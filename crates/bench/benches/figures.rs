@@ -1,0 +1,95 @@
+//! Per-figure Criterion benches: one benchmark per table/figure of the
+//! paper's evaluation, each running a full end-to-end discovery inside
+//! the deterministic simulator (or, for Figures 13/14, the real
+//! cryptographic workload). The `repro` binary prints the paper-style
+//! tables; these benches track the cost of regenerating them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nb_broker::TopologyKind;
+use nb_discovery::scenario::ScenarioBuilder;
+use nb_net::wan::{BLOOMINGTON, CARDIFF, FSU, NCSA, UMN};
+use nb_security::{open_envelope, seal_envelope, Certificate};
+
+use nb_bench::SecurityFixture;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Figures 2/9/11 plus Figure 1/8/10 structure: one discovery run per
+/// iteration in each topology, client in Bloomington.
+fn bench_topologies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/topology_discovery");
+    g.sample_size(20);
+    for (label, kind) in [
+        ("fig2_unconnected", TopologyKind::Unconnected),
+        ("fig9_star", TopologyKind::Star),
+        ("fig11_linear", TopologyKind::Linear),
+    ] {
+        g.bench_function(label, |b| {
+            let mut scenario = ScenarioBuilder::new(kind, BLOOMINGTON, 2005).build();
+            b.iter(|| scenario.run_discovery_once());
+        });
+    }
+    g.finish();
+}
+
+/// Figures 3–7: one discovery run per iteration with the client at each
+/// of the paper's five sites (unconnected topology).
+fn bench_sites(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/site_discovery");
+    g.sample_size(20);
+    for (label, site) in [
+        ("fig3_fsu", FSU),
+        ("fig4_cardiff", CARDIFF),
+        ("fig5_umn", UMN),
+        ("fig6_ncsa", NCSA),
+        ("fig7_bloomington", BLOOMINGTON),
+    ] {
+        g.bench_function(label, |b| {
+            let mut scenario =
+                ScenarioBuilder::new(TopologyKind::Unconnected, site, 2005).build();
+            b.iter(|| scenario.run_discovery_once());
+        });
+    }
+    g.finish();
+}
+
+/// Figure 12: multicast-only discovery.
+fn bench_multicast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures/multicast");
+    g.sample_size(20);
+    g.bench_function("fig12_multicast_only", |b| {
+        let mut scenario = ScenarioBuilder::multicast(2005, 2).build();
+        b.iter(|| scenario.run_discovery_once());
+    });
+    g.finish();
+}
+
+/// Figures 13 and 14: the security workloads.
+fn bench_security_figures(c: &mut Criterion) {
+    let fx = SecurityFixture::new(2005);
+    let mut g = c.benchmark_group("figures/security");
+    g.bench_function("fig13_cert_validation", |b| {
+        b.iter(|| {
+            Certificate::validate_chain(fx.client_chain(), &fx.ca.root_cert, 1_000_000).unwrap()
+        })
+    });
+    g.bench_function("fig14_sign_encrypt_extract", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let env = seal_envelope(&fx.request, &fx.client, fx.broker.public(), &mut rng);
+            open_envelope(&env, &fx.broker, &fx.ca.root_cert, 1_000_000).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_topologies,
+    bench_sites,
+    bench_multicast,
+    bench_security_figures
+);
+criterion_main!(figures);

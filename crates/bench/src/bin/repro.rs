@@ -1,0 +1,412 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all                 # everything, paper protocol (120 runs)
+//! repro table1              # machine inventory
+//! repro fig1|fig8|fig10     # topology diagrams
+//! repro fig2|fig9|fig11     # sub-activity breakdowns
+//! repro fig3..fig7          # per-site discovery time stats
+//! repro fig12               # multicast-only discovery
+//! repro fig13|fig14         # security costs
+//! repro ablation-timeout | ablation-maxresp | ablation-weights
+//! repro ablation-scale | ablation-loss | ablation-clock
+//! repro check               # self-verify every qualitative claim (exit 1 on failure)
+//! repro trace               # message-flow trace of one discovery
+//! repro all --runs 30 --seed 7    # faster smoke reproduction
+//! repro all --csv out/            # also write machine-readable CSVs
+//! ```
+
+use nb_bench::*;
+use nb_broker::TopologyKind;
+
+struct Args {
+    cmd: String,
+    runs: usize,
+    seed: u64,
+    csv: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { cmd: "all".to_string(), runs: PAPER_RUNS, seed: 2005, csv: None };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--runs" => {
+                i += 1;
+                args.runs = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--runs needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--csv" => {
+                i += 1;
+                let dir = argv.get(i).unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                });
+                args.csv = Some(std::path::PathBuf::from(dir));
+            }
+            other if !other.starts_with("--") => args.cmd = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Writes `rows` as `<dir>/<name>.csv` when CSV export is active.
+fn write_csv(csv: &Option<std::path::PathBuf>, name: &str, header: &str, rows: &[String]) {
+    let Some(dir) = csv else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let body = std::iter::once(header.to_string())
+        .chain(rows.iter().cloned())
+        .collect::<Vec<_>>()
+        .join("\n");
+    if let Err(e) = std::fs::write(&path, body + "\n") {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", path.display());
+}
+
+fn summary_csv_row(s: &nb_util::Summary) -> String {
+    format!("{},{},{},{},{},{}", s.n, s.mean, s.std_dev, s.max, s.min, s.error)
+}
+
+fn run(cmd: &str, runs: usize, seed: u64, csv: &Option<std::path::PathBuf>) {
+    match cmd {
+        "table1" => {
+            println!("=== Table 1: machines used in the testing process ===");
+            println!("{}", table1());
+        }
+        "fig1" => {
+            println!("=== Figure 1: unconnected topology ===");
+            println!("{}", topology_figure(TopologyKind::Unconnected));
+        }
+        "fig8" => {
+            println!("=== Figure 8: star topology ===");
+            println!("{}", topology_figure(TopologyKind::Star));
+        }
+        "fig10" => {
+            println!("=== Figure 10: linear topology ===");
+            println!("{}", topology_figure(TopologyKind::Linear));
+        }
+        "fig2" | "fig9" | "fig11" => {
+            let (kind, figno) = match cmd {
+                "fig2" => (TopologyKind::Unconnected, 2),
+                "fig9" => (TopologyKind::Star, 9),
+                _ => (TopologyKind::Linear, 11),
+            };
+            let rows = figure_breakdown(kind, seed, runs);
+            write_csv(
+                csv,
+                cmd,
+                "phase,share",
+                &rows.iter().map(|(l, s)| format!("{l},{s}")).collect::<Vec<_>>(),
+            );
+            println!(
+                "{}",
+                format_breakdown(
+                    &format!(
+                        "=== Figure {figno}: % time per discovery sub-activity, {} topology \
+                         (client in Bloomington, {runs} runs, seed {seed}) ===",
+                        kind.label()
+                    ),
+                    &rows
+                )
+            );
+        }
+        "fig3" | "fig4" | "fig5" | "fig6" | "fig7" => {
+            let figno: u32 = cmd[3..].parse().unwrap();
+            let (_, site, label) =
+                site_figures().into_iter().find(|(f, _, _)| *f == figno).unwrap();
+            let s = figure_site_times(site, seed, runs);
+            write_csv(csv, cmd, "n,mean_ms,std_dev,max,min,error", &[summary_csv_row(&s)]);
+            println!(
+                "{}",
+                format_summary(
+                    &format!(
+                        "=== Figure {figno}: discovery time, client in {label} \
+                         (unconnected topology, {runs} runs, seed {seed}) ==="
+                    ),
+                    &s
+                )
+            );
+        }
+        "fig12" => {
+            let s = figure_multicast(seed, runs, 2);
+            write_csv(csv, cmd, "n,mean_ms,std_dev,max,min,error", &[summary_csv_row(&s)]);
+            println!(
+                "{}",
+                format_summary(
+                    &format!(
+                        "=== Figure 12: broker discovery using ONLY multicast \
+                         (2 lab brokers reachable, {runs} runs, seed {seed}) ==="
+                    ),
+                    &s
+                )
+            );
+        }
+        "fig13" => {
+            let s = figure_cert_validation(seed, runs.max(PAPER_RUNS));
+            write_csv(csv, cmd, "n,mean_ms,std_dev,max,min,error", &[summary_csv_row(&s)]);
+            println!(
+                "{}",
+                format_summary(
+                    &format!(
+                        "=== Figure 13: time to validate an X.509-style certificate \
+                         ({} iterations) ===",
+                        runs.max(PAPER_RUNS)
+                    ),
+                    &s
+                )
+            );
+        }
+        "fig14" => {
+            let s = figure_sign_encrypt(seed, runs.max(PAPER_RUNS));
+            write_csv(csv, cmd, "n,mean_ms,std_dev,max,min,error", &[summary_csv_row(&s)]);
+            println!(
+                "{}",
+                format_summary(
+                    &format!(
+                        "=== Figure 14: time to sign+encrypt and later extract the \
+                         BrokerDiscoveryRequest ({} iterations) ===",
+                        runs.max(PAPER_RUNS)
+                    ),
+                    &s
+                )
+            );
+        }
+        "ablation-timeout" => {
+            println!("=== Ablation: collection-timeout sweep (star topology) ===");
+            println!("{:>12} {:>14} {:>16}", "timeout (ms)", "total (ms)", "responses");
+            let rows = ablation_timeout(seed, runs.min(30));
+            write_csv(
+                csv,
+                cmd,
+                "timeout_ms,total_ms,responses",
+                &rows.iter().map(|(t, x, y)| format!("{t},{x},{y}")).collect::<Vec<_>>(),
+            );
+            for (t, total, resp) in rows {
+                println!("{t:>12} {total:>14.1} {resp:>16.2}");
+            }
+            println!();
+        }
+        "ablation-maxresp" => {
+            println!("=== Ablation: max-responses cap sweep (star topology) ===");
+            println!("{:>12} {:>14} {:>16}", "cap", "total (ms)", "responses");
+            let rows = ablation_max_responses(seed, runs.min(30));
+            write_csv(
+                csv,
+                cmd,
+                "cap,total_ms,responses",
+                &rows.iter().map(|(c, x, y)| format!("{c},{x},{y}")).collect::<Vec<_>>(),
+            );
+            for (cap, total, resp) in rows {
+                println!("{cap:>12} {total:>14.1} {resp:>16.2}");
+            }
+            println!();
+        }
+        "ablation-weights" => {
+            println!("=== Ablation: selection-weight presets (winning site, star) ===");
+            for (preset, wins) in ablation_weights(seed, runs.min(30)) {
+                let row: Vec<String> =
+                    wins.iter().map(|(site, c)| format!("{site}:{c}")).collect();
+                println!("  {preset:<16} {}", row.join("  "));
+            }
+            println!();
+        }
+        "ablation-loss" => {
+            println!("=== Ablation: UDP loss sensitivity (unconnected topology) ===");
+            println!(
+                "{:>12} {:>10} {:>12} {:>12}",
+                "loss factor", "success", "responses", "total (ms)"
+            );
+            let rows = ablation_loss(seed, runs.min(30));
+            write_csv(
+                csv,
+                cmd,
+                "loss_factor,success_rate,responses,total_ms",
+                &rows.iter().map(|(f, s, r2, t)| format!("{f},{s},{r2},{t}")).collect::<Vec<_>>(),
+            );
+            for (f, succ, resp, total) in rows {
+                println!("{f:>12.1} {:>9.0}% {resp:>12.2} {total:>12.1}", succ * 100.0);
+            }
+            println!();
+        }
+        "ablation-clock" => {
+            println!(
+                "=== Ablation: NTP residual sensitivity (proximity-only selection, \
+                 target set of 1 — no ping disambiguation) ==="
+            );
+            println!(
+                "{:>16} {:>16} {:>20}",
+                "residual", "nearest chosen", "extra distance (ms)"
+            );
+            let rows = ablation_clock(seed, runs.min(40) as u64);
+            write_csv(
+                csv,
+                cmd,
+                "residual,nearest_rate,extra_distance_ms",
+                &rows.iter().map(|(l, r2, e)| format!("{l},{r2},{e}")).collect::<Vec<_>>(),
+            );
+            for (label, rate, err) in rows {
+                println!("{label:>16} {:>15.0}% {err:>20.1}", rate * 100.0);
+            }
+            println!();
+        }
+        "ablation-bulk" => {
+            println!(
+                "=== Ablation: bulk transfer across the overlay \
+                 (10 Mbit/s WAN, fragmentation + optional LZSS) ==="
+            );
+            println!(
+                "{:>12} {:>12} {:>12} {:>14}",
+                "size (KiB)", "compressed", "fragments", "virtual (ms)"
+            );
+            let rows = ablation_bulk(seed);
+            write_csv(
+                csv,
+                cmd,
+                "size_bytes,compressed,fragments,virtual_ms",
+                &rows.iter().map(|(s, c, f, t)| format!("{s},{c},{f},{t}")).collect::<Vec<_>>(),
+            );
+            for (size, compressed, frags, t) in rows {
+                println!(
+                    "{:>12} {:>12} {frags:>12} {t:>14.1}",
+                    size / 1024,
+                    if compressed { "lzss" } else { "raw" }
+                );
+            }
+            println!();
+        }
+        "ablation-topology" => {
+            println!("=== Ablation: overlay shapes at 10 brokers ===");
+            println!(
+                "{:>14} {:>12} {:>12} {:>10}",
+                "topology", "total (ms)", "wait share", "diameter"
+            );
+            let rows = ablation_topology(seed, runs.min(20));
+            write_csv(
+                csv,
+                cmd,
+                "topology,total_ms,wait_share,diameter",
+                &rows
+                    .iter()
+                    .map(|(k, t, w, d)| {
+                        format!("{k},{t},{w},{}", d.map(|d| d.to_string()).unwrap_or_default())
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            for (kind, total, wait, diam) in rows {
+                let d = diam.map(|d| d.to_string()).unwrap_or_else(|| "-".into());
+                println!("{kind:>14} {total:>12.1} {:>11.0}% {d:>10}", wait * 100.0);
+            }
+            println!();
+        }
+        "ablation-scale" => {
+            println!("=== Ablation: broker-count scaling (mean total ms) ===");
+            println!("{:>10} {:>14} {:>14}", "brokers", "topology", "total (ms)");
+            let rows = ablation_scale(seed, runs.min(20));
+            write_csv(
+                csv,
+                cmd,
+                "brokers,topology,total_ms",
+                &rows.iter().map(|(n, k, t)| format!("{n},{k},{t}")).collect::<Vec<_>>(),
+            );
+            for (n, kind, total) in rows {
+                println!("{n:>10} {kind:>14} {total:>14.1}");
+            }
+            println!();
+        }
+        "trace" => {
+            use nb_discovery::scenario::ScenarioBuilder;
+            use nb_net::wan::BLOOMINGTON;
+            let mut scenario =
+                ScenarioBuilder::new(TopologyKind::Star, BLOOMINGTON, seed).build();
+            scenario.sim.enable_trace();
+            let outcome = scenario.run_discovery_once();
+            let trace = scenario.sim.take_trace();
+            println!(
+                "=== Message flow of one discovery (star topology, seed {seed}) ===\n\
+                 {:<12} {:<22} {:<24} {:<8} {:>6}",
+                "t (ms)", "from", "to", "via", "bytes"
+            );
+            let t0 = trace.first().map(|r| r.at).unwrap_or_default();
+            let name = |n: nb_wire::NodeId| scenario.sim.node_name(n).to_string();
+            for rec in &trace {
+                println!(
+                    "{:<12.2} {:<22} {:<24} {:<8} {:>6}  {}",
+                    (rec.at - t0).as_secs_f64() * 1e3,
+                    name(rec.from.node),
+                    name(rec.to.node),
+                    if rec.stream { "stream" } else { "udp" },
+                    rec.bytes,
+                    rec.kind,
+                );
+            }
+            println!(
+                "\n{} messages; discovered {:?} in {:?}",
+                trace.len(),
+                outcome.chosen.map(name),
+                outcome.phases.total()
+            );
+        }
+        "check" => {
+            println!(
+                "=== Self-verification: the paper's qualitative claims \
+                 ({runs} runs per experiment, seed {seed}) ==="
+            );
+            let checks = shape_checks(seed, runs.clamp(10, 40));
+            let mut failed = 0;
+            for c in &checks {
+                let mark = if c.passed { "PASS" } else { "FAIL" };
+                if !c.passed {
+                    failed += 1;
+                }
+                println!("  [{mark}] {}", c.claim);
+                println!("         {}", c.evidence);
+            }
+            println!();
+            if failed > 0 {
+                eprintln!("{failed} claim(s) FAILED");
+                std::process::exit(1);
+            }
+            println!("all {} claims hold", checks.len());
+        }
+        "all" => {
+            for c in [
+                "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation-timeout",
+                "ablation-maxresp", "ablation-weights", "ablation-scale", "ablation-loss",
+                "ablation-clock", "ablation-topology", "ablation-bulk",
+            ] {
+                run(c, runs, seed, csv);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; try `repro all`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    run(&args.cmd, args.runs, args.seed, &args.csv);
+}

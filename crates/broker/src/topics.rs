@@ -1,0 +1,198 @@
+//! The subscription table.
+//!
+//! Tracks which *destinations* (local clients or overlay links) are
+//! interested in which topic filters. Link interest is reference-counted:
+//! the same filter can be propagated through a link on behalf of several
+//! downstream origins, and only disappears when every registration is
+//! withdrawn.
+
+use std::collections::BTreeMap;
+
+use nb_wire::{NodeId, Topic, TopicFilter};
+
+/// A routing destination for matched events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Destination {
+    /// A directly connected client.
+    Client(NodeId),
+    /// An overlay link to a neighbouring broker.
+    Link(NodeId),
+}
+
+/// Filter registrations per destination, with refcounts. Ordered maps
+/// keep iteration (and therefore downstream message emission and RNG
+/// consumption) deterministic under a fixed simulation seed.
+#[derive(Debug, Default)]
+pub struct SubscriptionTable {
+    by_dest: BTreeMap<Destination, BTreeMap<TopicFilter, usize>>,
+}
+
+impl SubscriptionTable {
+    /// An empty table.
+    pub fn new() -> SubscriptionTable {
+        SubscriptionTable::default()
+    }
+
+    /// Registers `filter` for `dest`; returns `true` if this is the first
+    /// registration of that filter at that destination.
+    pub fn subscribe(&mut self, dest: Destination, filter: TopicFilter) -> bool {
+        let count = self.by_dest.entry(dest).or_default().entry(filter).or_insert(0);
+        *count += 1;
+        *count == 1
+    }
+
+    /// Withdraws one registration of `filter` at `dest`; returns `true`
+    /// if the filter is now gone from that destination.
+    pub fn unsubscribe(&mut self, dest: Destination, filter: &TopicFilter) -> bool {
+        let Some(filters) = self.by_dest.get_mut(&dest) else {
+            return false;
+        };
+        let Some(count) = filters.get_mut(filter) else {
+            return false;
+        };
+        *count -= 1;
+        if *count == 0 {
+            filters.remove(filter);
+            if filters.is_empty() {
+                self.by_dest.remove(&dest);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every registration for `dest` (client disconnect or link
+    /// down), returning the filters that were registered there.
+    pub fn remove_destination(&mut self, dest: Destination) -> Vec<TopicFilter> {
+        self.by_dest
+            .remove(&dest)
+            .map(|filters| filters.into_keys().collect())
+            .unwrap_or_default()
+    }
+
+    /// Destinations whose filters match `topic`, sorted for determinism.
+    pub fn matches(&self, topic: &Topic) -> Vec<Destination> {
+        let mut out: Vec<Destination> = self
+            .by_dest
+            .iter()
+            .filter(|(_, filters)| filters.keys().any(|f| f.matches(topic)))
+            .map(|(dest, _)| *dest)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether `dest` has any filter matching `topic`.
+    pub fn dest_matches(&self, dest: Destination, topic: &Topic) -> bool {
+        self.by_dest
+            .get(&dest)
+            .is_some_and(|filters| filters.keys().any(|f| f.matches(topic)))
+    }
+
+    /// All distinct filters registered at `dest`.
+    pub fn filters_of(&self, dest: Destination) -> Vec<TopicFilter> {
+        let mut out: Vec<TopicFilter> = self
+            .by_dest
+            .get(&dest)
+            .map(|filters| filters.keys().cloned().collect())
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    /// Total number of distinct (destination, filter) registrations.
+    pub fn len(&self) -> usize {
+        self.by_dest.values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_dest.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(s: &str) -> TopicFilter {
+        TopicFilter::parse(s).unwrap()
+    }
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    #[test]
+    fn subscribe_match_unsubscribe() {
+        let mut tab = SubscriptionTable::new();
+        let c = Destination::Client(NodeId(1));
+        assert!(tab.subscribe(c, f("sports/*")));
+        assert_eq!(tab.matches(&t("sports/nba")), vec![c]);
+        assert!(tab.matches(&t("news/world")).is_empty());
+        assert!(tab.unsubscribe(c, &f("sports/*")));
+        assert!(tab.matches(&t("sports/nba")).is_empty());
+        assert!(tab.is_empty());
+    }
+
+    #[test]
+    fn refcounted_link_interest() {
+        let mut tab = SubscriptionTable::new();
+        let l = Destination::Link(NodeId(7));
+        assert!(tab.subscribe(l, f("a/b")));
+        assert!(!tab.subscribe(l, f("a/b"))); // second origin, same filter
+        assert!(!tab.unsubscribe(l, &f("a/b"))); // one registration remains
+        assert!(tab.dest_matches(l, &t("a/b")));
+        assert!(tab.unsubscribe(l, &f("a/b")));
+        assert!(!tab.dest_matches(l, &t("a/b")));
+    }
+
+    #[test]
+    fn unsubscribe_of_unknown_is_noop() {
+        let mut tab = SubscriptionTable::new();
+        assert!(!tab.unsubscribe(Destination::Client(NodeId(1)), &f("x")));
+        tab.subscribe(Destination::Client(NodeId(1)), f("x"));
+        assert!(!tab.unsubscribe(Destination::Client(NodeId(1)), &f("y")));
+        assert_eq!(tab.len(), 1);
+    }
+
+    #[test]
+    fn multiple_destinations_sorted() {
+        let mut tab = SubscriptionTable::new();
+        tab.subscribe(Destination::Link(NodeId(9)), f("a/**"));
+        tab.subscribe(Destination::Client(NodeId(2)), f("a/b"));
+        tab.subscribe(Destination::Client(NodeId(1)), f("a/*"));
+        let got = tab.matches(&t("a/b"));
+        assert_eq!(
+            got,
+            vec![
+                Destination::Client(NodeId(1)),
+                Destination::Client(NodeId(2)),
+                Destination::Link(NodeId(9)),
+            ]
+        );
+    }
+
+    #[test]
+    fn remove_destination_returns_filters() {
+        let mut tab = SubscriptionTable::new();
+        let c = Destination::Client(NodeId(3));
+        tab.subscribe(c, f("a"));
+        tab.subscribe(c, f("b/*"));
+        let mut removed = tab.remove_destination(c);
+        removed.sort();
+        assert_eq!(removed, vec![f("a"), f("b/*")]);
+        assert!(tab.is_empty());
+        assert!(tab.remove_destination(c).is_empty());
+    }
+
+    #[test]
+    fn filters_of_lists_distinct() {
+        let mut tab = SubscriptionTable::new();
+        let l = Destination::Link(NodeId(4));
+        tab.subscribe(l, f("x/*"));
+        tab.subscribe(l, f("x/*"));
+        tab.subscribe(l, f("y"));
+        assert_eq!(tab.filters_of(l), vec![f("x/*"), f("y")]);
+    }
+}

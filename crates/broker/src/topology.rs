@@ -1,0 +1,355 @@
+//! Overlay topology builders.
+//!
+//! The paper evaluates three broker-network shapes: **unconnected**
+//! (Figure 1: brokers registered at the BDN but with no overlay links),
+//! **star** (Figure 8: one hub), and **linear** (Figure 10: a chain with
+//! only one end registered at the BDN). This module builds those — plus
+//! ring, balanced tree and random topologies for ablations — as adjacency
+//! lists, and renders ASCII diagrams for the figure harness.
+
+use rand::Rng;
+
+/// The shape of a broker overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// No overlay links at all (Figure 1).
+    Unconnected,
+    /// Every broker links to broker 0 (Figure 8).
+    Star,
+    /// A chain `0 - 1 - … - n-1` (Figure 10).
+    Linear,
+    /// A cycle.
+    Ring,
+    /// A balanced binary tree rooted at 0.
+    Tree,
+}
+
+impl TopologyKind {
+    /// All deterministic kinds.
+    pub const ALL: [TopologyKind; 5] = [
+        TopologyKind::Unconnected,
+        TopologyKind::Star,
+        TopologyKind::Linear,
+        TopologyKind::Ring,
+        TopologyKind::Tree,
+    ];
+
+    /// Figure-harness label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologyKind::Unconnected => "unconnected",
+            TopologyKind::Star => "star",
+            TopologyKind::Linear => "linear",
+            TopologyKind::Ring => "ring",
+            TopologyKind::Tree => "tree",
+        }
+    }
+}
+
+/// An undirected overlay topology over brokers `0..n`.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    n: usize,
+    /// Edge list with `a < b`, sorted and deduplicated.
+    edges: Vec<(usize, usize)>,
+}
+
+impl Topology {
+    /// Builds a deterministic topology of `kind` over `n` brokers.
+    pub fn build(kind: TopologyKind, n: usize) -> Topology {
+        let mut edges = Vec::new();
+        match kind {
+            TopologyKind::Unconnected => {}
+            TopologyKind::Star => {
+                for i in 1..n {
+                    edges.push((0, i));
+                }
+            }
+            TopologyKind::Linear => {
+                for i in 1..n {
+                    edges.push((i - 1, i));
+                }
+            }
+            TopologyKind::Ring => {
+                for i in 1..n {
+                    edges.push((i - 1, i));
+                }
+                if n > 2 {
+                    edges.push((0, n - 1));
+                }
+            }
+            TopologyKind::Tree => {
+                for i in 1..n {
+                    edges.push(((i - 1) / 2, i));
+                }
+            }
+        }
+        Topology::from_edges(n, edges)
+    }
+
+    /// A connected random topology: a random spanning tree plus
+    /// `extra_edges` random chords.
+    pub fn random<R: Rng + ?Sized>(n: usize, extra_edges: usize, rng: &mut R) -> Topology {
+        let mut edges = Vec::new();
+        for i in 1..n {
+            let parent = rng.gen_range(0..i);
+            edges.push((parent, i));
+        }
+        let mut attempts = 0;
+        let mut added = 0;
+        while added < extra_edges && attempts < extra_edges * 20 && n >= 2 {
+            attempts += 1;
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            let e = (a.min(b), a.max(b));
+            if !edges.contains(&e) {
+                edges.push(e);
+                added += 1;
+            }
+        }
+        Topology::from_edges(n, edges)
+    }
+
+    /// Builds from an explicit edge list (normalised, deduplicated).
+    pub fn from_edges(n: usize, edges: Vec<(usize, usize)>) -> Topology {
+        let mut norm: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(a, b)| a != b && a < n && b < n)
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        Topology { n, edges: norm }
+    }
+
+    /// Broker count.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the topology has no brokers.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The normalised edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbours of broker `i`.
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == i {
+                    Some(b)
+                } else if b == i {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// For staged bring-up: the neighbour list each broker dials at start
+    /// (each edge dialled exactly once, by its higher-numbered end, so a
+    /// broker only dials peers that already exist when nodes are created
+    /// in index order).
+    pub fn dial_lists(&self) -> Vec<Vec<usize>> {
+        let mut lists = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            lists[b].push(a);
+        }
+        lists
+    }
+
+    /// Whether the overlay is connected (trivially true for n ≤ 1).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(i) = stack.pop() {
+            for nb in self.neighbors(i) {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// Graph diameter in hops (`None` if disconnected or empty).
+    pub fn diameter(&self) -> Option<usize> {
+        if self.n == 0 || !self.is_connected() {
+            return None;
+        }
+        let mut best = 0;
+        for start in 0..self.n {
+            let mut dist = vec![usize::MAX; self.n];
+            dist[start] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(i) = queue.pop_front() {
+                for nb in self.neighbors(i) {
+                    if dist[nb] == usize::MAX {
+                        dist[nb] = dist[i] + 1;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+            best = best.max(dist.into_iter().max().unwrap_or(0));
+        }
+        Some(best)
+    }
+
+    /// ASCII rendering for the figure harness (Figures 1, 8, 10).
+    pub fn render_ascii(&self, kind: TopologyKind, labels: &[String]) -> String {
+        let name = |i: usize| {
+            labels.get(i).cloned().unwrap_or_else(|| format!("B{i}"))
+        };
+        let mut out = String::new();
+        match kind {
+            TopologyKind::Unconnected => {
+                out.push_str("BDN registers every broker; no overlay links:\n");
+                for i in 0..self.n {
+                    out.push_str(&format!("  [{}]\n", name(i)));
+                }
+            }
+            TopologyKind::Star => {
+                out.push_str(&format!("Hub-and-spoke around [{}]:\n", name(0)));
+                for i in 1..self.n {
+                    out.push_str(&format!("  [{}] --- [{}]\n", name(0), name(i)));
+                }
+            }
+            TopologyKind::Linear => {
+                out.push_str("Chain (only the first broker registers with the BDN):\n  ");
+                for i in 0..self.n {
+                    if i > 0 {
+                        out.push_str(" --- ");
+                    }
+                    out.push_str(&format!("[{}]", name(i)));
+                }
+                out.push('\n');
+            }
+            _ => {
+                out.push_str(&format!("{} topology edges:\n", kind.label()));
+                for &(a, b) in &self.edges {
+                    out.push_str(&format!("  [{}] --- [{}]\n", name(a), name(b)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unconnected_has_no_edges() {
+        let t = Topology::build(TopologyKind::Unconnected, 5);
+        assert!(t.edges().is_empty());
+        assert!(!t.is_connected());
+        assert_eq!(t.diameter(), None);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::build(TopologyKind::Star, 5);
+        assert_eq!(t.edges().len(), 4);
+        assert_eq!(t.neighbors(0), vec![1, 2, 3, 4]);
+        assert_eq!(t.neighbors(3), vec![0]);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), Some(2));
+    }
+
+    #[test]
+    fn linear_shape() {
+        let t = Topology::build(TopologyKind::Linear, 5);
+        assert_eq!(t.edges(), &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), Some(4));
+        assert_eq!(t.neighbors(2), vec![1, 3]);
+    }
+
+    #[test]
+    fn ring_and_tree() {
+        let r = Topology::build(TopologyKind::Ring, 6);
+        assert!(r.is_connected());
+        assert_eq!(r.diameter(), Some(3));
+        assert!(r.neighbors(0).contains(&5));
+        let t = Topology::build(TopologyKind::Tree, 7);
+        assert!(t.is_connected());
+        assert_eq!(t.neighbors(0), vec![1, 2]);
+        assert_eq!(t.neighbors(1), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn random_topologies_are_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [2usize, 5, 10, 30] {
+            let t = Topology::random(n, 3, &mut rng);
+            assert!(t.is_connected(), "n={n}");
+            assert!(t.edges().len() >= n - 1);
+        }
+    }
+
+    #[test]
+    fn dial_lists_cover_each_edge_once() {
+        let t = Topology::build(TopologyKind::Star, 5);
+        let lists = t.dial_lists();
+        let total: usize = lists.iter().map(Vec::len).sum();
+        assert_eq!(total, t.edges().len());
+        // Every dial targets a lower index (already-created node).
+        for (i, list) in lists.iter().enumerate() {
+            for &peer in list {
+                assert!(peer < i);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        for kind in TopologyKind::ALL {
+            let t0 = Topology::build(kind, 0);
+            assert!(t0.edges().is_empty());
+            let t1 = Topology::build(kind, 1);
+            assert!(t1.edges().is_empty());
+            assert!(t1.is_connected());
+        }
+        // ring of 2 is a single edge, not a double edge
+        let r2 = Topology::build(TopologyKind::Ring, 2);
+        assert_eq!(r2.edges(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn ascii_renderings_mention_brokers() {
+        let labels: Vec<String> =
+            ["Indy", "UMN", "NCSA", "FSU", "Cardiff"].iter().map(|s| s.to_string()).collect();
+        for kind in [TopologyKind::Unconnected, TopologyKind::Star, TopologyKind::Linear] {
+            let t = Topology::build(kind, 5);
+            let art = t.render_ascii(kind, &labels);
+            assert!(art.contains("Cardiff"), "{kind:?}: {art}");
+        }
+    }
+
+    #[test]
+    fn from_edges_normalises() {
+        let t = Topology::from_edges(4, vec![(2, 1), (1, 2), (3, 3), (0, 9), (0, 1)]);
+        assert_eq!(t.edges(), &[(0, 1), (1, 2)]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Property-based tests for the broker substrate: the subscription table
+//! against a naive reference model, and topology invariants.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use nb_broker::topics::Destination;
+use nb_broker::{SubscriptionTable, Topology, TopologyKind};
+use nb_wire::{NodeId, Topic, TopicFilter};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Subscribe(u8, u8),   // (dest, filter index)
+    Unsubscribe(u8, u8),
+    RemoveDest(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(d, f)| Op::Subscribe(d % 6, f % 8)),
+        (any::<u8>(), any::<u8>()).prop_map(|(d, f)| Op::Unsubscribe(d % 6, f % 8)),
+        any::<u8>().prop_map(|d| Op::RemoveDest(d % 6)),
+    ]
+}
+
+fn dest(i: u8) -> Destination {
+    if i.is_multiple_of(2) {
+        Destination::Client(NodeId(u32::from(i)))
+    } else {
+        Destination::Link(NodeId(u32::from(i)))
+    }
+}
+
+fn filters() -> Vec<TopicFilter> {
+    ["a", "a/b", "a/*", "a/**", "b/c", "b/*", "**", "c"]
+        .iter()
+        .map(|s| TopicFilter::parse(s).unwrap())
+        .collect()
+}
+
+proptest! {
+    /// The table behaves exactly like a naive refcount map under any
+    /// operation sequence.
+    #[test]
+    fn subscription_table_matches_reference_model(ops in prop::collection::vec(arb_op(), 0..200)) {
+        let fs = filters();
+        let mut table = SubscriptionTable::new();
+        let mut model: BTreeMap<(u8, u8), usize> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Subscribe(d, f) => {
+                    let fresh = table.subscribe(dest(d), fs[f as usize].clone());
+                    let count = model.entry((d, f)).or_insert(0);
+                    *count += 1;
+                    prop_assert_eq!(fresh, *count == 1);
+                }
+                Op::Unsubscribe(d, f) => {
+                    let gone = table.unsubscribe(dest(d), &fs[f as usize]);
+                    match model.get_mut(&(d, f)) {
+                        None => prop_assert!(!gone),
+                        Some(count) => {
+                            *count -= 1;
+                            let model_gone = *count == 0;
+                            if model_gone {
+                                model.remove(&(d, f));
+                            }
+                            prop_assert_eq!(gone, model_gone);
+                        }
+                    }
+                }
+                Op::RemoveDest(d) => {
+                    let mut removed = table.remove_destination(dest(d));
+                    removed.sort();
+                    let mut expected: Vec<TopicFilter> = model
+                        .keys()
+                        .filter(|(dd, _)| *dd == d)
+                        .map(|(_, f)| fs[*f as usize].clone())
+                        .collect();
+                    expected.sort();
+                    expected.dedup();
+                    prop_assert_eq!(removed, expected);
+                    model.retain(|(dd, _), _| *dd != d);
+                }
+            }
+            // Size invariant.
+            let distinct: BTreeSet<(u8, u8)> = model.keys().copied().collect();
+            prop_assert_eq!(table.len(), distinct.len());
+        }
+    }
+
+    /// `matches` agrees with brute-force filter evaluation.
+    #[test]
+    fn matches_agrees_with_bruteforce(
+        ops in prop::collection::vec(arb_op(), 0..100),
+        topic_idx in 0usize..6,
+    ) {
+        let fs = filters();
+        let topics: Vec<Topic> =
+            ["a", "a/b", "a/b/c", "b/c", "c", "zz/yy"].iter().map(|s| Topic::parse(s).unwrap()).collect();
+        let mut table = SubscriptionTable::new();
+        let mut model: BTreeMap<(u8, u8), usize> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Subscribe(d, f) => {
+                    table.subscribe(dest(d), fs[f as usize].clone());
+                    *model.entry((d, f)).or_insert(0) += 1;
+                }
+                Op::Unsubscribe(d, f) => {
+                    table.unsubscribe(dest(d), &fs[f as usize]);
+                    if let Some(c) = model.get_mut(&(d, f)) {
+                        *c -= 1;
+                        if *c == 0 {
+                            model.remove(&(d, f));
+                        }
+                    }
+                }
+                Op::RemoveDest(d) => {
+                    table.remove_destination(dest(d));
+                    model.retain(|(dd, _), _| *dd != d);
+                }
+            }
+        }
+        let topic = &topics[topic_idx];
+        let expected: BTreeSet<Destination> = model
+            .keys()
+            .filter(|(_, f)| fs[*f as usize].matches(topic))
+            .map(|(d, _)| dest(*d))
+            .collect();
+        let got: BTreeSet<Destination> = table.matches(topic).into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn built_topologies_have_expected_edge_counts(n in 0usize..40) {
+        for kind in TopologyKind::ALL {
+            let t = Topology::build(kind, n);
+            let expected = match kind {
+                TopologyKind::Unconnected => 0,
+                TopologyKind::Star | TopologyKind::Linear | TopologyKind::Tree => n.saturating_sub(1),
+                TopologyKind::Ring => {
+                    if n <= 1 { 0 } else if n == 2 { 1 } else { n }
+                }
+            };
+            prop_assert_eq!(t.edges().len(), expected, "{:?} n={}", kind, n);
+            if n >= 1 && kind != TopologyKind::Unconnected {
+                prop_assert!(t.is_connected(), "{:?} n={}", kind, n);
+            }
+        }
+    }
+
+    #[test]
+    fn random_topology_connected_with_min_edges(
+        n in 2usize..50,
+        extra in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Topology::random(n, extra, &mut rng);
+        prop_assert!(t.is_connected());
+        prop_assert!(t.edges().len() >= n - 1);
+        prop_assert!(t.edges().len() <= n - 1 + extra);
+        // dial_lists covers each edge exactly once, dialling downwards.
+        let total: usize = t.dial_lists().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, t.edges().len());
+    }
+
+    #[test]
+    fn neighbors_symmetric(n in 2usize..30, extra in 0usize..6, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Topology::random(n, extra, &mut rng);
+        for i in 0..n {
+            for nb in t.neighbors(i) {
+                prop_assert!(t.neighbors(nb).contains(&i), "{i} <-> {nb}");
+            }
+        }
+    }
+}
+
+mod routing_convergence {
+    use std::time::Duration;
+
+    use proptest::prelude::*;
+
+    use nb_broker::{BrokerActor, BrokerConfig, PubSubClient, Topology};
+    use nb_net::{ClockProfile, LinkSpec, Sim};
+    use nb_wire::{NodeId, RealmId, Topic, TopicFilter};
+
+    proptest! {
+        // Expensive sim runs: keep the case count modest.
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The regression guard for the interest-propagation protocol:
+        /// on ANY connected overlay with ANY subscriber placement, every
+        /// subscriber receives every published event exactly once.
+        /// (The naive split-horizon protocol failed this whenever two
+        /// subscribers' interest floods met mid-overlay.)
+        #[test]
+        fn any_overlay_any_subscribers_exactly_once(
+            n in 3usize..16,
+            extra in 0usize..5,
+            topo_seed in any::<u64>(),
+            sim_seed in any::<u64>(),
+            sub_mask in 1u16..0x7FFF,
+            publisher_pick in any::<prop::sample::Index>(),
+        ) {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(topo_seed);
+            let topo = Topology::random(n, extra, &mut rng);
+            prop_assume!(topo.is_connected());
+
+            let mut sim = Sim::with_clock_profile(sim_seed, ClockProfile::perfect());
+            sim.network_mut().intra_realm_spec = LinkSpec::lan().with_loss(0.0);
+            let mut brokers: Vec<NodeId> = Vec::new();
+            for (i, dials) in topo.dial_lists().into_iter().enumerate() {
+                let neighbors = dials.iter().map(|&j| brokers[j]).collect();
+                let cfg = BrokerConfig { neighbors, ..BrokerConfig::default() };
+                brokers.push(sim.add_node(
+                    &format!("b{i}"),
+                    RealmId(0),
+                    Box::new(BrokerActor::new(cfg)),
+                ));
+            }
+            // Subscribers on the brokers selected by the mask bits.
+            let filter = TopicFilter::parse("t/**").unwrap();
+            let subs: Vec<NodeId> = (0..n)
+                .filter(|i| sub_mask & (1 << (i % 15)) != 0)
+                .map(|i| {
+                    sim.add_node(
+                        &format!("s{i}"),
+                        RealmId(0),
+                        Box::new(PubSubClient::new(brokers[i], vec![filter.clone()])),
+                    )
+                })
+                .collect();
+            prop_assume!(!subs.is_empty());
+            let publisher_broker = brokers[publisher_pick.index(n)];
+            let publisher = sim.add_node(
+                "p",
+                RealmId(0),
+                Box::new(PubSubClient::new(publisher_broker, vec![])),
+            );
+            // Links + interest propagation settle.
+            sim.run_for(Duration::from_secs(5));
+            for i in 0..3u8 {
+                sim.actor_mut::<PubSubClient>(publisher)
+                    .unwrap()
+                    .queue_publish(Topic::parse("t/x").unwrap(), vec![i]);
+            }
+            sim.run_for(Duration::from_secs(5));
+            for &s in &subs {
+                let client = sim.actor::<PubSubClient>(s).unwrap();
+                prop_assert_eq!(
+                    client.received.len(),
+                    3,
+                    "subscriber {} on overlay n={} extra={} seed={}",
+                    s, n, extra, topo_seed
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Broker advertisement dissemination.
+//!
+//! Paper §2: brokers "advertise and register their presence with one or
+//! more of these BDNs" — either **directly** (the BDNs listed in the
+//! broker's configuration file) or by publishing on the well-known
+//! **advertisement topic** all BDNs subscribe to. Advertisements may be
+//! lost (§7), so they are re-issued periodically. When a **private BDN**
+//! announces itself on the BDN-advertisement topic (§2.4), brokers may
+//! re-advertise to it.
+
+use std::time::Duration;
+
+use nb_broker::Broker;
+use nb_wire::addr::well_known;
+use nb_wire::topic::BROKER_ADVERTISEMENT_TOPIC;
+use nb_wire::{BrokerAdvertisement, Endpoint, Message, NodeId, Topic, Wire};
+
+use nb_net::{Context, Incoming};
+
+use crate::responder::Responder;
+
+const TIMER_READVERTISE: u64 = 0xAD00_0000_0000_0001;
+
+/// The advertisement service embedded in a discovery-enabled broker.
+#[derive(Debug)]
+pub struct Advertiser {
+    /// BDNs advertised to directly (from the broker configuration file).
+    bdns: Vec<NodeId>,
+    /// Also publish advertisements on the well-known topic.
+    use_topic: bool,
+    /// Re-advertisement period (ads are fire-and-forget and can be lost).
+    readvertise: Duration,
+    /// Optional geographical information for the advertisement.
+    pub geography: Option<String>,
+    /// Optional institutional information.
+    pub institution: Option<String>,
+    /// Advertisements issued (direct sends + topic publishes).
+    pub ads_sent: u64,
+    /// Private BDNs discovered at runtime via BDN advertisements.
+    pub discovered_bdns: Vec<NodeId>,
+}
+
+impl Advertiser {
+    /// Advertises to `bdns` directly every `readvertise`; also publishes
+    /// on the advertisement topic when `use_topic`.
+    pub fn new(bdns: Vec<NodeId>, use_topic: bool, readvertise: Duration) -> Advertiser {
+        Advertiser {
+            bdns,
+            use_topic,
+            readvertise,
+            geography: None,
+            institution: None,
+            ads_sent: 0,
+            discovered_bdns: Vec::new(),
+        }
+    }
+
+    /// The BDNs currently advertised to (configured + discovered).
+    pub fn all_bdns(&self) -> Vec<NodeId> {
+        let mut out = self.bdns.clone();
+        out.extend(self.discovered_bdns.iter().copied());
+        out
+    }
+
+    /// Builds this broker's advertisement.
+    pub fn build_ad(&self, broker: &Broker, ctx: &mut dyn Context) -> BrokerAdvertisement {
+        BrokerAdvertisement {
+            broker: ctx.me(),
+            hostname: broker.config().hostname.clone(),
+            logical_address: broker.config().logical_address.clone(),
+            realm: ctx.realm(),
+            transports: Responder::transports(),
+            geography: self.geography.clone(),
+            institution: self.institution.clone(),
+            issued_at_utc: ctx.utc_micros(),
+        }
+    }
+
+    /// Issues the advertisement now: direct UDP to every known BDN, plus
+    /// a topic publish when configured.
+    pub fn advertise(&mut self, broker: &mut Broker, ctx: &mut dyn Context) {
+        let ad = self.build_ad(broker, ctx);
+        for bdn in self.all_bdns() {
+            ctx.send_udp(
+                well_known::BROKER,
+                Endpoint::new(bdn, well_known::BDN),
+                &Message::Advertisement(ad.clone()),
+            );
+            self.ads_sent += 1;
+        }
+        if self.use_topic {
+            let topic = Topic::parse(BROKER_ADVERTISEMENT_TOPIC).expect("well-known topic");
+            let payload = Message::Advertisement(ad).to_bytes().to_vec();
+            let _ = broker.publish_local(topic, payload, ctx);
+            self.ads_sent += 1;
+        }
+    }
+
+    /// Call from the owning actor's `on_start`.
+    pub fn on_start(&mut self, broker: &mut Broker, ctx: &mut dyn Context) {
+        self.advertise(broker, ctx);
+        ctx.set_timer(self.readvertise, TIMER_READVERTISE);
+    }
+
+    /// Offers an incoming runtime event; returns `true` if consumed.
+    pub fn handle(&mut self, event: &Incoming, broker: &mut Broker, ctx: &mut dyn Context) -> bool {
+        match event {
+            Incoming::Timer { token } if *token == TIMER_READVERTISE => {
+                self.advertise(broker, ctx);
+                ctx.set_timer(self.readvertise, TIMER_READVERTISE);
+                true
+            }
+            // Re-advertise with a fresh (synced) timestamp as soon as the
+            // NTP service completes.
+            Incoming::ClockSynced => {
+                self.advertise(broker, ctx);
+                false // others may care about ClockSynced too
+            }
+            _ => false,
+        }
+    }
+
+    /// A private BDN announced itself (paper §2.4): remember it and
+    /// re-advertise immediately.
+    pub fn on_bdn_advertisement(
+        &mut self,
+        bdn: NodeId,
+        broker: &mut Broker,
+        ctx: &mut dyn Context,
+    ) {
+        if self.bdns.contains(&bdn) || self.discovered_bdns.contains(&bdn) {
+            return;
+        }
+        self.discovered_bdns.push(bdn);
+        self.advertise(broker, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_broker::BrokerConfig;
+    use nb_wire::{Port, RealmId};
+
+    struct FakeCtx {
+        sent: Vec<(Endpoint, Message)>,
+        timers: Vec<u64>,
+        rng: rand::rngs::StdRng,
+    }
+
+    impl FakeCtx {
+        fn new() -> FakeCtx {
+            use rand::SeedableRng;
+            FakeCtx { sent: vec![], timers: vec![], rng: rand::rngs::StdRng::seed_from_u64(2) }
+        }
+    }
+
+    impl Context for FakeCtx {
+        fn me(&self) -> NodeId {
+            NodeId(7)
+        }
+        fn realm(&self) -> RealmId {
+            RealmId(3)
+        }
+        fn now(&self) -> nb_net::SimTime {
+            nb_net::SimTime::from_secs(1)
+        }
+        fn utc_micros(&self) -> u64 {
+            42
+        }
+        fn clock_synced(&self) -> bool {
+            true
+        }
+        fn raw_local_micros(&self) -> u64 {
+            42
+        }
+        fn set_clock_estimate_ns(&mut self, _est: i64) {}
+        fn send_udp(&mut self, _from: Port, to: Endpoint, msg: &Message) {
+            self.sent.push((to, msg.clone()));
+        }
+        fn send_stream(&mut self, _from: Port, to: Endpoint, msg: &Message) {
+            self.sent.push((to, msg.clone()));
+        }
+        fn send_multicast(
+            &mut self,
+            _f: Port,
+            _g: nb_wire::GroupId,
+            _t: Port,
+            _m: &Message,
+        ) {
+        }
+        fn join_group(&mut self, _g: nb_wire::GroupId) {}
+        fn leave_group(&mut self, _g: nb_wire::GroupId) {}
+        fn set_timer(&mut self, _d: Duration, token: u64) {
+            self.timers.push(token);
+        }
+        fn cancel_timer(&mut self, _t: u64) {}
+        fn rng(&mut self) -> &mut dyn rand::RngCore {
+            &mut self.rng
+        }
+    }
+
+    #[test]
+    fn advertises_to_every_configured_bdn_on_start() {
+        let mut adv = Advertiser::new(vec![NodeId(100), NodeId(101)], false, Duration::from_secs(60));
+        let mut broker = Broker::new(BrokerConfig::default());
+        let mut ctx = FakeCtx::new();
+        adv.on_start(&mut broker, &mut ctx);
+        assert_eq!(adv.ads_sent, 2);
+        assert_eq!(ctx.sent.len(), 2);
+        for (to, msg) in &ctx.sent {
+            assert_eq!(to.port, well_known::BDN);
+            let Message::Advertisement(ad) = msg else { panic!("expected ad") };
+            assert_eq!(ad.broker, NodeId(7));
+            assert_eq!(ad.realm, RealmId(3));
+            assert_eq!(ad.issued_at_utc, 42);
+        }
+        assert_eq!(ctx.timers, vec![TIMER_READVERTISE]);
+    }
+
+    #[test]
+    fn readvertise_timer_consumed_and_rearmed() {
+        let mut adv = Advertiser::new(vec![NodeId(100)], false, Duration::from_secs(60));
+        let mut broker = Broker::new(BrokerConfig::default());
+        let mut ctx = FakeCtx::new();
+        let consumed =
+            adv.handle(&Incoming::Timer { token: TIMER_READVERTISE }, &mut broker, &mut ctx);
+        assert!(consumed);
+        assert_eq!(adv.ads_sent, 1);
+        assert_eq!(ctx.timers, vec![TIMER_READVERTISE]);
+        // unrelated timers untouched
+        assert!(!adv.handle(&Incoming::Timer { token: 5 }, &mut broker, &mut ctx));
+    }
+
+    #[test]
+    fn topic_publication_counts() {
+        let mut adv = Advertiser::new(vec![], true, Duration::from_secs(60));
+        let mut broker = Broker::new(BrokerConfig::default());
+        let mut ctx = FakeCtx::new();
+        adv.advertise(&mut broker, &mut ctx);
+        assert_eq!(adv.ads_sent, 1);
+        assert_eq!(broker.events_routed, 1, "topic ad routed through the broker");
+    }
+
+    #[test]
+    fn private_bdn_discovery_triggers_readvertisement() {
+        let mut adv = Advertiser::new(vec![NodeId(100)], false, Duration::from_secs(60));
+        let mut broker = Broker::new(BrokerConfig::default());
+        let mut ctx = FakeCtx::new();
+        adv.on_bdn_advertisement(NodeId(200), &mut broker, &mut ctx);
+        assert_eq!(adv.discovered_bdns, vec![NodeId(200)]);
+        // Re-advertisement went to both the configured and the new BDN.
+        assert_eq!(adv.ads_sent, 2);
+        // Duplicate announcements are ignored.
+        adv.on_bdn_advertisement(NodeId(200), &mut broker, &mut ctx);
+        assert_eq!(adv.discovered_bdns.len(), 1);
+        assert_eq!(adv.ads_sent, 2);
+        // Known/configured BDNs are not re-added.
+        adv.on_bdn_advertisement(NodeId(100), &mut broker, &mut ctx);
+        assert!(adv.discovered_bdns.len() == 1);
+    }
+
+    #[test]
+    fn clock_sync_triggers_fresh_ad_but_is_not_consumed() {
+        let mut adv = Advertiser::new(vec![NodeId(100)], false, Duration::from_secs(60));
+        let mut broker = Broker::new(BrokerConfig::default());
+        let mut ctx = FakeCtx::new();
+        assert!(!adv.handle(&Incoming::ClockSynced, &mut broker, &mut ctx));
+        assert_eq!(adv.ads_sent, 1);
+    }
+}

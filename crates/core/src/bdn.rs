@@ -1,0 +1,460 @@
+//! The Broker Discovery Node (BDN).
+//!
+//! BDNs are "registered nodes that facilitate the discovery of brokers"
+//! (paper §2). A BDN:
+//!
+//! * maintains a **registry** of broker advertisements (direct sends and
+//!   the well-known topic, optionally filtered by geography — "a BDN in
+//!   the US may be interested only in broker additions in North
+//!   America"),
+//! * measures **network distance** to registered brokers with periodic
+//!   UDP pings (§4),
+//! * on a discovery request: **acks** immediately (§3), suppresses
+//!   duplicates (idempotency), and **injects** the request into the
+//!   broker network at the brokers it maintains connections to —
+//!   *closest and farthest first* "to ensure that the broker discovery
+//!   request propagates faster through the broker network" (§4) — with a
+//!   per-send processing cost that makes the unconnected topology's
+//!   O(N) distribution visible (§9),
+//! * optionally requires credentials before disseminating (private BDNs,
+//!   §2.4).
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use nb_util::{BoundedDedup, Uuid};
+use nb_wire::addr::well_known;
+use nb_wire::topic::{BDN_ADVERTISEMENT_TOPIC, BROKER_ADVERTISEMENT_TOPIC, DISCOVERY_REQUEST_TOPIC};
+use nb_wire::{
+    BrokerAdvertisement, DiscoveryRequest, Endpoint, Event, Message, NodeId, Topic, TopicFilter,
+    Wire,
+};
+
+use nb_net::{impl_actor_any, Actor, Context, Incoming, SimTime};
+
+use crate::config::SecuritySuite;
+use crate::policy::ResponsePolicy;
+
+const TIMER_PING: u64 = 0xBD00_0000_0000_0001;
+const TIMER_INJECT: u64 = 0xBD00_0000_0000_0002;
+
+/// BDN configuration.
+#[derive(Debug, Clone)]
+pub struct BdnConfig {
+    /// Brokers this BDN maintains active connections to; discovery
+    /// requests are injected at these.
+    pub attached_brokers: Vec<NodeId>,
+    /// RTT refresh interval for registered brokers.
+    pub ping_interval: Duration,
+    /// Per-send processing cost when distributing a request to several
+    /// brokers (serialisation at the BDN; drives the O(N) behaviour of
+    /// the unconnected topology).
+    pub per_send_delay: Duration,
+    /// Dedup-cache capacity for request UUIDs.
+    pub dedup_capacity: usize,
+    /// Policy gating dissemination (private BDNs require credentials).
+    pub policy: ResponsePolicy,
+    /// Only store advertisements whose geography contains this substring.
+    pub accept_geography: Option<String>,
+    /// Announce this BDN on the BDN-advertisement topic via an attached
+    /// broker (private-BDN bootstrap, §2.4).
+    pub advertise_as_private: bool,
+    /// Automatically maintain a connection to every broker that
+    /// registers ("a given BDN may maintain active connections to one or
+    /// more broker nodes", §2). Scenario builders that pin an explicit
+    /// attachment set this to `false`.
+    pub auto_attach: bool,
+    /// When set, [`nb_wire::Message::Secure`] envelopes are opened with
+    /// this identity and the sender chain validated against the trust
+    /// root (§9.1). `peer_public` is unused on the BDN side.
+    pub security: Option<SecuritySuite>,
+    /// Registry entries not refreshed by a new advertisement within this
+    /// period are dropped (§1.2: "broker processes may join and leave the
+    /// broker network at arbitrary times" — the registry must not serve
+    /// ghosts). Brokers re-advertise every 120 s by default.
+    pub ad_ttl: Duration,
+}
+
+impl Default for BdnConfig {
+    fn default() -> Self {
+        BdnConfig {
+            attached_brokers: Vec::new(),
+            ping_interval: Duration::from_secs(5),
+            per_send_delay: Duration::from_millis(60),
+            dedup_capacity: 1000,
+            policy: ResponsePolicy::open(),
+            accept_geography: None,
+            advertise_as_private: false,
+            auto_attach: true,
+            security: None,
+            ad_ttl: Duration::from_secs(300),
+        }
+    }
+}
+
+/// A registry entry for one advertised broker.
+#[derive(Debug, Clone)]
+pub struct Registered {
+    /// The most recent advertisement.
+    pub ad: BrokerAdvertisement,
+    /// Measured round-trip time to the broker, µs.
+    pub rtt_us: Option<u64>,
+    /// When the advertisement was last refreshed (BDN-local time).
+    pub last_seen: SimTime,
+}
+
+/// Orders injection targets: closest first, farthest second, the rest by
+/// ascending RTT, unknown-RTT targets last (paper §4).
+pub fn injection_order(targets: &[(NodeId, Option<u64>)]) -> Vec<NodeId> {
+    let mut known: Vec<(NodeId, u64)> =
+        targets.iter().filter_map(|(n, r)| r.map(|r| (*n, r))).collect();
+    known.sort_by_key(|&(n, r)| (r, n));
+    let mut unknown: Vec<NodeId> =
+        targets.iter().filter(|(_, r)| r.is_none()).map(|(n, _)| *n).collect();
+    unknown.sort_unstable();
+    let mut order = Vec::with_capacity(targets.len());
+    if let Some(&(closest, _)) = known.first() {
+        order.push(closest);
+    }
+    if known.len() > 1 {
+        let (farthest, _) = known[known.len() - 1];
+        order.push(farthest);
+    }
+    for &(n, _) in known.iter().skip(1).take(known.len().saturating_sub(2)) {
+        order.push(n);
+    }
+    order.extend(unknown);
+    order
+}
+
+/// The BDN actor.
+pub struct Bdn {
+    cfg: BdnConfig,
+    registry: HashMap<NodeId, Registered>,
+    dedup: BoundedDedup<Uuid>,
+    ping_nonces: HashMap<u64, (NodeId, SimTime)>,
+    next_nonce: u64,
+    /// Broker-topic attachment state (client-connect handshake).
+    attach_ok: HashMap<NodeId, bool>,
+    /// Injections queued behind the per-send processing delay.
+    inject_queue: VecDeque<(NodeId, DiscoveryRequest)>,
+    inject_timer_armed: bool,
+    /// Requests accepted for dissemination.
+    pub requests_handled: u64,
+    /// Duplicate requests acked but not re-disseminated.
+    pub duplicate_requests: u64,
+    /// Requests refused by the policy.
+    pub rejected_requests: u64,
+    /// Advertisements stored.
+    pub ads_registered: u64,
+    /// Advertisements filtered out (geography).
+    pub ads_filtered: u64,
+    /// Registry entries expired for lack of re-advertisement.
+    pub ads_expired: u64,
+    /// Secured requests successfully opened.
+    pub secured_requests: u64,
+    /// Envelopes that failed validation or decryption.
+    pub rejected_envelopes: u64,
+}
+
+impl Bdn {
+    /// A BDN from `cfg`.
+    pub fn new(cfg: BdnConfig) -> Bdn {
+        let dedup = BoundedDedup::new(cfg.dedup_capacity);
+        Bdn {
+            cfg,
+            registry: HashMap::new(),
+            dedup,
+            ping_nonces: HashMap::new(),
+            next_nonce: 1,
+            attach_ok: HashMap::new(),
+            inject_queue: VecDeque::new(),
+            inject_timer_armed: false,
+            requests_handled: 0,
+            duplicate_requests: 0,
+            rejected_requests: 0,
+            ads_registered: 0,
+            ads_filtered: 0,
+            ads_expired: 0,
+            secured_requests: 0,
+            rejected_envelopes: 0,
+        }
+    }
+
+    /// Registered broker count.
+    pub fn registry_len(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// The registry entry for `broker`.
+    pub fn registered(&self, broker: NodeId) -> Option<&Registered> {
+        self.registry.get(&broker)
+    }
+
+    fn register_ad(&mut self, ad: BrokerAdvertisement, ctx: &mut dyn Context) {
+        if let Some(filter) = &self.cfg.accept_geography {
+            let matches = ad.geography.as_deref().is_some_and(|g| g.contains(filter.as_str()));
+            if !matches {
+                self.ads_filtered += 1;
+                return;
+            }
+        }
+        let now = ctx.now();
+        let broker = ad.broker;
+        let entry = self.registry.entry(broker).or_insert(Registered {
+            ad: ad.clone(),
+            rtt_us: None,
+            last_seen: now,
+        });
+        entry.ad = ad;
+        entry.last_seen = now;
+        self.ads_registered += 1;
+        if self.cfg.auto_attach && !self.cfg.attached_brokers.contains(&broker) {
+            self.cfg.attached_brokers.push(broker);
+            self.attach_ok.insert(broker, false);
+            let connect = Message::ClientConnect { client: ctx.me(), reply_port: well_known::BDN };
+            ctx.send_stream(well_known::BDN, Endpoint::new(broker, well_known::BROKER), &connect);
+        }
+    }
+
+    fn ping_registered(&mut self, ctx: &mut dyn Context) {
+        // Expire stale advertisements first.
+        let cutoff = self.cfg.ad_ttl;
+        let now = ctx.now();
+        let before = self.registry.len();
+        self.registry.retain(|_, reg| now - reg.last_seen <= cutoff);
+        let expired = before - self.registry.len();
+        if expired > 0 {
+            self.ads_expired += expired as u64;
+            if self.cfg.auto_attach {
+                // Auto-managed attachments follow the registry; pinned
+                // (scenario-configured) attachments are left alone so a
+                // returning broker is usable immediately.
+                let registry = &self.registry;
+                self.cfg.attached_brokers.retain(|b| registry.contains_key(b));
+                self.attach_ok.retain(|b, _| registry.contains_key(b));
+            }
+        }
+        let mut brokers: Vec<NodeId> = self.registry.keys().copied().collect();
+        brokers.sort_unstable();
+        for broker in brokers {
+            let nonce = self.next_nonce;
+            self.next_nonce += 1;
+            self.ping_nonces.insert(nonce, (broker, ctx.now()));
+            let ping = Message::Ping {
+                nonce,
+                sent_at: ctx.now().as_micros(),
+                reply_to: Endpoint::new(ctx.me(), well_known::BDN),
+            };
+            ctx.send_udp(well_known::BDN, Endpoint::new(broker, well_known::PING), &ping);
+        }
+        // Nonce table hygiene: drop entries that never got a pong.
+        if self.ping_nonces.len() > 4096 {
+            self.ping_nonces.clear();
+        }
+        ctx.set_timer(self.cfg.ping_interval, TIMER_PING);
+    }
+
+    fn on_discovery_request(&mut self, req: DiscoveryRequest, ctx: &mut dyn Context) {
+        // Always ack — "a BDN is expected to acknowledge the receipt of a
+        // discovery request in a timely manner"; retransmissions are
+        // idempotent (§3).
+        let ack = Message::DiscoveryAck { request_id: req.request_id, bdn: ctx.me() };
+        ctx.send_udp(well_known::BDN, req.reply_to, &ack);
+        if !self.dedup.check_and_insert(req.request_id) {
+            self.duplicate_requests += 1;
+            return;
+        }
+        if !self.cfg.policy.permits(&req) {
+            self.rejected_requests += 1;
+            return;
+        }
+        self.requests_handled += 1;
+        // Injection order over attached brokers, closest/farthest first.
+        let targets: Vec<(NodeId, Option<u64>)> = self
+            .cfg
+            .attached_brokers
+            .iter()
+            .map(|&b| (b, self.registry.get(&b).and_then(|r| r.rtt_us)))
+            .collect();
+        for target in injection_order(&targets) {
+            self.inject_queue.push_back((target, req.clone()));
+        }
+        self.pump_injections(ctx);
+    }
+
+    /// Sends the next queued injection, charging the per-send delay
+    /// between consecutive sends (the O(N) distribution cost).
+    fn pump_injections(&mut self, ctx: &mut dyn Context) {
+        if self.inject_timer_armed {
+            return;
+        }
+        let Some((target, req)) = self.inject_queue.pop_front() else {
+            return;
+        };
+        let topic = Topic::parse(DISCOVERY_REQUEST_TOPIC).expect("well-known topic");
+        let event = Event {
+            id: Uuid::random(ctx.rng()),
+            topic,
+            source: ctx.me(),
+            payload: Message::Discovery(req).to_bytes().to_vec(),
+        };
+        ctx.send_stream(
+            well_known::BDN,
+            Endpoint::new(target, well_known::BROKER),
+            &Message::Publish(event),
+        );
+        if !self.inject_queue.is_empty() {
+            self.inject_timer_armed = true;
+            ctx.set_timer(self.cfg.per_send_delay, TIMER_INJECT);
+        }
+    }
+
+    fn attach(&mut self, ctx: &mut dyn Context) {
+        for &broker in &self.cfg.attached_brokers {
+            self.attach_ok.insert(broker, false);
+            let connect = Message::ClientConnect { client: ctx.me(), reply_port: well_known::BDN };
+            ctx.send_stream(well_known::BDN, Endpoint::new(broker, well_known::BROKER), &connect);
+        }
+    }
+}
+
+impl Actor for Bdn {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        self.attach(ctx);
+        ctx.set_timer(self.cfg.ping_interval, TIMER_PING);
+    }
+
+    fn on_incoming(&mut self, event: Incoming, ctx: &mut dyn Context) {
+        match event {
+            Incoming::Timer { token: TIMER_PING } => self.ping_registered(ctx),
+            Incoming::Timer { token: TIMER_INJECT } => {
+                self.inject_timer_armed = false;
+                self.pump_injections(ctx);
+            }
+            Incoming::Datagram { msg, .. } | Incoming::Stream { msg, .. } => match msg {
+                Message::Advertisement(ad) => self.register_ad(ad, ctx),
+                Message::Discovery(req) => self.on_discovery_request(req, ctx),
+                Message::Secure(env) => {
+                    let Some(suite) = &self.cfg.security else {
+                        self.rejected_envelopes += 1;
+                        return;
+                    };
+                    match nb_security::open_envelope(
+                        &env,
+                        &suite.identity,
+                        &suite.trust_root,
+                        ctx.utc_micros(),
+                    ) {
+                        Ok(Message::Discovery(req)) => {
+                            self.secured_requests += 1;
+                            self.on_discovery_request(req, ctx);
+                        }
+                        _ => self.rejected_envelopes += 1,
+                    }
+                }
+                Message::Pong { nonce, .. } => {
+                    if let Some((broker, sent)) = self.ping_nonces.remove(&nonce) {
+                        let rtt = (ctx.now() - sent).as_micros() as u64;
+                        if let Some(entry) = self.registry.get_mut(&broker) {
+                            entry.rtt_us = Some(rtt);
+                        }
+                    }
+                }
+                Message::ClientConnectAck { broker, accepted }
+                    if accepted => {
+                        self.attach_ok.insert(broker, true);
+                        // Subscribe to the advertisement topic through
+                        // this broker.
+                        let filter = TopicFilter::parse(BROKER_ADVERTISEMENT_TOPIC)
+                            .expect("well-known topic");
+                        ctx.send_stream(
+                            well_known::BDN,
+                            Endpoint::new(broker, well_known::BROKER),
+                            &Message::ClientSubscribe { filter },
+                        );
+                        if self.cfg.advertise_as_private {
+                            let topic = Topic::parse(BDN_ADVERTISEMENT_TOPIC)
+                                .expect("well-known topic");
+                            let announce = Message::BdnAdvertisement {
+                                bdn: ctx.me(),
+                                endpoint: Endpoint::new(ctx.me(), well_known::BDN),
+                                requires_credentials: self.cfg.policy.allowed_principals.is_some()
+                                    || self.cfg.policy.required_token.is_some(),
+                            };
+                            let ev = Event {
+                                id: Uuid::random(ctx.rng()),
+                                topic,
+                                source: ctx.me(),
+                                payload: announce.to_bytes().to_vec(),
+                            };
+                            ctx.send_stream(
+                                well_known::BDN,
+                                Endpoint::new(broker, well_known::BROKER),
+                                &Message::Publish(ev),
+                            );
+                        }
+                    }
+                // Topic-based advertisements arrive as Publish events on
+                // our client attachment.
+                Message::Publish(ev)
+                    if ev.topic.as_str() == BROKER_ADVERTISEMENT_TOPIC => {
+                        if let Ok(Message::Advertisement(ad)) = Message::from_bytes(&ev.payload) {
+                            self.register_ad(ad, ctx);
+                        }
+                    }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    impl_actor_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injection_order_closest_then_farthest() {
+        let targets = vec![
+            (NodeId(1), Some(50_000u64)),
+            (NodeId(2), Some(10_000)),
+            (NodeId(3), Some(120_000)),
+            (NodeId(4), Some(80_000)),
+        ];
+        let order = injection_order(&targets);
+        assert_eq!(order[0], NodeId(2), "closest first");
+        assert_eq!(order[1], NodeId(3), "farthest second");
+        assert_eq!(order.len(), 4);
+        // middle ones by ascending RTT
+        assert_eq!(&order[2..], &[NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    fn injection_order_unknown_rtts_last() {
+        let targets = vec![
+            (NodeId(1), None),
+            (NodeId(2), Some(10_000)),
+            (NodeId(3), None),
+        ];
+        let order = injection_order(&targets);
+        assert_eq!(order, vec![NodeId(2), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn injection_order_degenerate_cases() {
+        assert!(injection_order(&[]).is_empty());
+        assert_eq!(injection_order(&[(NodeId(5), Some(1))]), vec![NodeId(5)]);
+        assert_eq!(
+            injection_order(&[(NodeId(5), None), (NodeId(6), None)]),
+            vec![NodeId(5), NodeId(6)]
+        );
+        // two known: closest then farthest, no repeats
+        assert_eq!(
+            injection_order(&[(NodeId(1), Some(5)), (NodeId(2), Some(9))]),
+            vec![NodeId(1), NodeId(2)]
+        );
+    }
+}

@@ -1,0 +1,893 @@
+//! The requesting node's discovery state machine.
+//!
+//! Implements the full client side of the paper's scheme:
+//!
+//! 1. **Issue** a UUID-tagged discovery request to one configured BDN
+//!    (§3), retransmitting on ack timeout and failing over down the BDN
+//!    list — requests are idempotent at the BDN.
+//! 2. **Collect** UDP discovery responses for a configurable window,
+//!    closing early once `max_responses` have arrived (§9's timeout /
+//!    max-responses trade-off).
+//! 3. **Select** the target set: estimate one-way delays from the NTP
+//!    timestamps, apply the weighting formula, keep the best
+//!    `size(T)` (§6, §9).
+//! 4. **Ping** every target over UDP, `ping_count` times each, and
+//!    choose the lowest average RTT (§6).
+//! 5. **Connect** to the chosen broker, walking down the target set if a
+//!    broker refuses or times out.
+//!
+//! Fallbacks (§7): when no BDN acks, the request goes out over
+//! **multicast** (realm-limited); when that also fails, the client pings
+//! its **cached target set** from the previous session directly.
+//!
+//! Every phase is timed — these timings are exactly the "percentage of
+//! time spent in various sub-activities" of Figures 2, 9 and 11.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use nb_util::Uuid;
+use nb_wire::addr::{well_known, DISCOVERY_GROUP};
+use nb_wire::message::TransportEndpoint;
+use nb_wire::{
+    DiscoveryRequest, DiscoveryResponse, Endpoint, Message, NodeId, RealmId, TransportKind,
+    UsageMetrics,
+};
+
+use nb_net::{impl_actor_any, Actor, Context, Incoming, SimTime};
+
+use crate::config::DiscoveryConfig;
+use crate::selection::{choose_by_rtt, estimate_delay_us, shortlist, Candidate};
+
+/// Timer token that kicks off a discovery run (harnesses inject
+/// `Incoming::Timer { token: TIMER_START }` to re-run discovery).
+pub const TIMER_START: u64 = 0xD15C_0000_0000_0001;
+const TIMER_ACK: u64 = 0xD15C_0000_0000_0002;
+const TIMER_WINDOW: u64 = 0xD15C_0000_0000_0003;
+const TIMER_PING: u64 = 0xD15C_0000_0000_0004;
+const TIMER_CONNECT: u64 = 0xD15C_0000_0000_0005;
+
+/// Where the client is in the discovery process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Not currently discovering.
+    Idle,
+    /// Request sent; waiting for the BDN ack.
+    AwaitingAck,
+    /// Gathering UDP responses.
+    Collecting,
+    /// Measuring RTTs to the target set.
+    Pinging,
+    /// Connecting to the chosen broker.
+    Connecting,
+    /// Finished successfully.
+    Done,
+    /// Exhausted every path without connecting.
+    Failed,
+}
+
+/// Wall-clock (virtual) time spent in each sub-activity of one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Issuing the request until the BDN ack (or first response).
+    pub issue: Duration,
+    /// Waiting for the initial set of responses.
+    pub collect: Duration,
+    /// Computing the target set.
+    pub select: Duration,
+    /// UDP ping measurement.
+    pub ping: Duration,
+    /// Connection establishment.
+    pub connect: Duration,
+}
+
+impl PhaseTimes {
+    /// Total discovery time.
+    pub fn total(&self) -> Duration {
+        self.issue + self.collect + self.select + self.ping + self.connect
+    }
+
+    /// `(label, share)` pairs — the paper's sub-activity percentage
+    /// breakdown (Figures 2/9/11). Empty if the total is zero.
+    pub fn shares(&self) -> Vec<(&'static str, f64)> {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        vec![
+            ("issue+ack", self.issue.as_secs_f64() / total),
+            ("await responses", self.collect.as_secs_f64() / total),
+            ("selection", self.select.as_secs_f64() / total),
+            ("ping measurement", self.ping.as_secs_f64() / total),
+            ("connect", self.connect.as_secs_f64() / total),
+        ]
+    }
+}
+
+/// The result of one discovery run.
+#[derive(Debug, Clone)]
+pub struct DiscoveryOutcome {
+    /// The broker connected to (`None` on failure).
+    pub chosen: Option<NodeId>,
+    /// The broker's TCP endpoint.
+    pub endpoint: Option<Endpoint>,
+    /// Per-phase timings.
+    pub phases: PhaseTimes,
+    /// Responses gathered in the collection window.
+    pub responses_received: usize,
+    /// The target set (broker ids, best weight first).
+    pub target_set: Vec<NodeId>,
+    /// Measured ping RTTs (µs).
+    pub rtts_us: Vec<(NodeId, u64)>,
+    /// Whether the multicast path was used.
+    pub used_multicast: bool,
+    /// Whether the cached target set was used.
+    pub used_cached_targets: bool,
+    /// The BDN that served the request, if any.
+    pub bdn_used: Option<NodeId>,
+}
+
+/// The discovery client actor.
+pub struct DiscoveryClient {
+    cfg: DiscoveryConfig,
+    /// Start a discovery automatically once the clock syncs.
+    auto_start: bool,
+    phase: Phase,
+    run_started: SimTime,
+    phase_started: SimTime,
+    times: PhaseTimes,
+    request: Option<DiscoveryRequest>,
+    bdn_idx: usize,
+    retransmits: u32,
+    candidates: Vec<Candidate>,
+    targets: Vec<Candidate>,
+    used_multicast: bool,
+    used_cache: bool,
+    bdn_used: Option<NodeId>,
+    ping_nonces: HashMap<u64, (NodeId, SimTime)>,
+    next_nonce: u64,
+    rtts: Vec<(NodeId, u64)>,
+    expected_pongs: usize,
+    connect_order: Vec<(NodeId, Endpoint)>,
+    connect_idx: usize,
+    responses_count: usize,
+    /// Completed runs, oldest first.
+    pub completed: Vec<DiscoveryOutcome>,
+    /// Target set remembered across runs (§7: "every node keeps track of
+    /// its last target set of brokers").
+    pub last_target_set: Vec<NodeId>,
+    /// Runs kicked off.
+    pub runs_started: u64,
+}
+
+impl DiscoveryClient {
+    /// A client that will discover automatically after NTP sync.
+    pub fn new(cfg: DiscoveryConfig) -> DiscoveryClient {
+        DiscoveryClient::with_auto_start(cfg, true)
+    }
+
+    /// A client; when `auto_start` is false, runs only start on
+    /// [`TIMER_START`] injections.
+    pub fn with_auto_start(cfg: DiscoveryConfig, auto_start: bool) -> DiscoveryClient {
+        let cached = cfg.cached_targets.clone();
+        DiscoveryClient {
+            cfg,
+            auto_start,
+            phase: Phase::Idle,
+            run_started: SimTime::ZERO,
+            phase_started: SimTime::ZERO,
+            times: PhaseTimes::default(),
+            request: None,
+            bdn_idx: 0,
+            retransmits: 0,
+            candidates: Vec::new(),
+            targets: Vec::new(),
+            used_multicast: false,
+            used_cache: false,
+            bdn_used: None,
+            ping_nonces: HashMap::new(),
+            next_nonce: 1,
+            rtts: Vec::new(),
+            expected_pongs: 0,
+            connect_order: Vec::new(),
+            connect_idx: 0,
+            responses_count: 0,
+            completed: Vec::new(),
+            last_target_set: cached,
+            runs_started: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The most recent completed outcome.
+    pub fn outcome(&self) -> Option<&DiscoveryOutcome> {
+        self.completed.last()
+    }
+
+    /// The discovery configuration.
+    pub fn config(&self) -> &DiscoveryConfig {
+        &self.cfg
+    }
+
+    fn mark_phase(&mut self, ctx: &dyn Context) -> Duration {
+        let now = ctx.now();
+        let spent = now - self.phase_started;
+        self.phase_started = now;
+        spent
+    }
+
+    /// Begins a fresh discovery run.
+    pub fn begin(&mut self, ctx: &mut dyn Context) {
+        if !matches!(self.phase, Phase::Idle | Phase::Done | Phase::Failed) {
+            return; // a run is already in flight
+        }
+        self.runs_started += 1;
+        self.run_started = ctx.now();
+        self.phase_started = ctx.now();
+        self.times = PhaseTimes::default();
+        self.candidates.clear();
+        self.targets.clear();
+        self.rtts.clear();
+        self.ping_nonces.clear();
+        self.connect_order.clear();
+        self.connect_idx = 0;
+        self.responses_count = 0;
+        self.bdn_idx = 0;
+        self.retransmits = 0;
+        self.used_multicast = false;
+        self.used_cache = false;
+        self.bdn_used = None;
+        self.request = Some(self.build_request(ctx));
+        if self.cfg.multicast_only || self.cfg.bdns.is_empty() {
+            self.go_multicast(ctx);
+        } else {
+            self.phase = Phase::AwaitingAck;
+            self.send_to_bdn(ctx);
+        }
+    }
+
+    fn build_request(&self, ctx: &mut dyn Context) -> DiscoveryRequest {
+        DiscoveryRequest {
+            request_id: Uuid::random(ctx.rng()),
+            requester: ctx.me(),
+            hostname: format!("node-{}", ctx.me()),
+            realm: ctx.realm(),
+            reply_to: Endpoint::new(ctx.me(), well_known::DISCOVERY_REPLY),
+            transports: vec![
+                TransportEndpoint { kind: TransportKind::Udp, port: well_known::DISCOVERY_REPLY },
+                TransportEndpoint { kind: TransportKind::Tcp, port: well_known::BROKER },
+            ],
+            credentials: self.cfg.credentials.clone(),
+            issued_at_utc: ctx.utc_micros(),
+        }
+    }
+
+    fn send_to_bdn(&mut self, ctx: &mut dyn Context) {
+        let bdn = self.cfg.bdns[self.bdn_idx];
+        let req = self.request.clone().expect("request built");
+        let msg = Message::Discovery(req);
+        // Secured configuration (§9.1): sign + encrypt the request to the
+        // BDN's key. The multicast fallback stays in the clear, matching
+        // the paper's prototype.
+        let msg = match &self.cfg.security {
+            None => msg,
+            Some(suite) => Message::Secure(nb_security::seal_envelope(
+                &msg,
+                &suite.identity,
+                suite.peer_public,
+                ctx.rng(),
+            )),
+        };
+        ctx.send_udp(well_known::DISCOVERY_REPLY, Endpoint::new(bdn, well_known::BDN), &msg);
+        ctx.set_timer(self.cfg.ack_timeout, TIMER_ACK);
+    }
+
+    fn go_multicast(&mut self, ctx: &mut dyn Context) {
+        self.used_multicast = true;
+        // Fresh UUID so brokers that deduplicated the BDN-path request
+        // still answer the multicast retry.
+        let mut req = self.build_request(ctx);
+        req.issued_at_utc = ctx.utc_micros();
+        self.request = Some(req.clone());
+        ctx.send_multicast(
+            well_known::DISCOVERY_REPLY,
+            DISCOVERY_GROUP,
+            well_known::MULTICAST_DISCOVERY,
+            &Message::Discovery(req),
+        );
+        // Multicast has no ack; the issue phase ends immediately.
+        { let spent = self.mark_phase(ctx); self.times.issue += spent; }
+        self.phase = Phase::Collecting;
+        ctx.cancel_timer(TIMER_ACK);
+        ctx.set_timer(self.cfg.collection_window, TIMER_WINDOW);
+    }
+
+    fn start_collecting(&mut self, ctx: &mut dyn Context) {
+        { let spent = self.mark_phase(ctx); self.times.issue += spent; }
+        self.phase = Phase::Collecting;
+        ctx.cancel_timer(TIMER_ACK);
+        ctx.set_timer(self.cfg.collection_window, TIMER_WINDOW);
+    }
+
+    fn on_response(&mut self, resp: DiscoveryResponse, ctx: &mut dyn Context) {
+        let current_id = self.request.as_ref().map(|r| r.request_id);
+        if Some(resp.request_id) != current_id {
+            return; // stale response from an earlier run/request
+        }
+        if resp.broker == ctx.me() {
+            return; // a joining broker must not select itself
+        }
+        match self.phase {
+            Phase::AwaitingAck => {
+                // Implicit ack: responses prove the request got through.
+                self.start_collecting(ctx);
+            }
+            Phase::Collecting => {}
+            _ => return,
+        }
+        let est = estimate_delay_us(ctx.utc_micros(), &resp);
+        self.candidates.push(Candidate { response: resp, est_delay_us: est, weight: 0.0 });
+        if self.candidates.len() >= self.cfg.max_responses {
+            self.end_collection(ctx);
+        }
+    }
+
+    fn end_collection(&mut self, ctx: &mut dyn Context) {
+        ctx.cancel_timer(TIMER_WINDOW);
+        { let spent = self.mark_phase(ctx); self.times.collect += spent; }
+        // Selection (pure computation; negligible under virtual time but
+        // timed for the breakdown's completeness).
+        let candidates = std::mem::take(&mut self.candidates);
+        let n = candidates.len();
+        self.responses_count = self.responses_count.max(n);
+        self.targets = shortlist(
+            candidates,
+            &self.cfg.weights,
+            self.cfg.max_responses,
+            self.cfg.target_set_size,
+        );
+        self.candidates = Vec::new();
+        { let spent = self.mark_phase(ctx); self.times.select += spent; }
+        if self.targets.is_empty() {
+            // No broker answered (§7 fallbacks).
+            if self.cfg.multicast_fallback && !self.used_multicast && n == 0 {
+                self.phase = Phase::AwaitingAck;
+                self.go_multicast(ctx);
+            } else if !self.last_target_set.is_empty() && !self.used_cache {
+                self.ping_cached_targets(ctx);
+            } else {
+                self.finish(None, ctx);
+            }
+            return;
+        }
+        self.start_pinging(ctx);
+    }
+
+    /// §7: after a prolonged disconnect with no BDN available, ping the
+    /// remembered target set directly.
+    fn ping_cached_targets(&mut self, ctx: &mut dyn Context) {
+        self.used_cache = true;
+        self.targets = self
+            .last_target_set
+            .clone()
+            .into_iter()
+            .map(|broker| Candidate {
+                response: DiscoveryResponse {
+                    request_id: self.request.as_ref().map(|r| r.request_id).unwrap_or(Uuid::NIL),
+                    broker,
+                    hostname: String::new(),
+                    realm: RealmId(0),
+                    transports: vec![
+                        TransportEndpoint { kind: TransportKind::Tcp, port: well_known::BROKER },
+                        TransportEndpoint { kind: TransportKind::Udp, port: well_known::PING },
+                    ],
+                    issued_at_utc: 0,
+                    metrics: UsageMetrics {
+                        active_connections: 0,
+                        num_links: 0,
+                        cpu_load_permille: 0,
+                        total_memory: 0,
+                        used_memory: 0,
+                    },
+                },
+                est_delay_us: 0,
+                weight: 0.0,
+            })
+            .collect();
+        self.start_pinging(ctx);
+    }
+
+    fn start_pinging(&mut self, ctx: &mut dyn Context) {
+        self.phase = Phase::Pinging;
+        self.rtts.clear();
+        self.ping_nonces.clear();
+        self.expected_pongs = 0;
+        let targets: Vec<(NodeId, Endpoint)> = self
+            .targets
+            .iter()
+            .map(|t| {
+                let port = t.response.port_for(TransportKind::Udp).unwrap_or(well_known::PING);
+                (t.response.broker, Endpoint::new(t.response.broker, port))
+            })
+            .collect();
+        for (broker, ep) in targets {
+            for _ in 0..self.cfg.ping_count {
+                let nonce = self.next_nonce;
+                self.next_nonce += 1;
+                self.ping_nonces.insert(nonce, (broker, ctx.now()));
+                self.expected_pongs += 1;
+                let ping = Message::Ping {
+                    nonce,
+                    sent_at: ctx.now().as_micros(),
+                    reply_to: Endpoint::new(ctx.me(), well_known::PING),
+                };
+                ctx.send_udp(well_known::PING, ep, &ping);
+            }
+        }
+        ctx.set_timer(self.cfg.ping_window, TIMER_PING);
+    }
+
+    fn on_pong(&mut self, nonce: u64, ctx: &mut dyn Context) {
+        if self.phase != Phase::Pinging {
+            return;
+        }
+        if let Some((broker, sent)) = self.ping_nonces.remove(&nonce) {
+            let rtt = (ctx.now() - sent).as_micros() as u64;
+            self.rtts.push((broker, rtt));
+            if self.rtts.len() >= self.expected_pongs {
+                self.end_pinging(ctx);
+            }
+        }
+    }
+
+    fn end_pinging(&mut self, ctx: &mut dyn Context) {
+        ctx.cancel_timer(TIMER_PING);
+        { let spent = self.mark_phase(ctx); self.times.ping += spent; }
+        // Connection order: ping winner first, then the rest of the
+        // target set by weight (so refused connections walk down the
+        // list).
+        let winner = choose_by_rtt(&self.targets, &self.rtts);
+        let mut order: Vec<(NodeId, Endpoint)> = Vec::new();
+        if let Some(w) = winner {
+            if let Some(t) = self.targets.iter().find(|t| t.response.broker == w) {
+                let port = t.response.port_for(TransportKind::Tcp).unwrap_or(well_known::BROKER);
+                order.push((w, Endpoint::new(w, port)));
+            }
+        }
+        for t in &self.targets {
+            let b = t.response.broker;
+            if Some(b) == winner {
+                continue;
+            }
+            let port = t.response.port_for(TransportKind::Tcp).unwrap_or(well_known::BROKER);
+            order.push((b, Endpoint::new(b, port)));
+        }
+        if order.is_empty() {
+            self.finish(None, ctx);
+            return;
+        }
+        self.connect_order = order;
+        self.connect_idx = 0;
+        self.phase = Phase::Connecting;
+        self.try_connect(ctx);
+    }
+
+    fn try_connect(&mut self, ctx: &mut dyn Context) {
+        let (_broker, ep) = self.connect_order[self.connect_idx];
+        let msg = if self.cfg.join_as_broker {
+            // §1.1: a joining broker opens an overlay link instead.
+            Message::LinkHello { from: ctx.me(), realm: ctx.realm() }
+        } else {
+            Message::ClientConnect { client: ctx.me(), reply_port: well_known::BROKER }
+        };
+        ctx.send_stream(well_known::BROKER, ep, &msg);
+        ctx.set_timer(self.cfg.ack_timeout, TIMER_CONNECT);
+    }
+
+    fn on_connect_ack(&mut self, broker: NodeId, accepted: bool, ctx: &mut dyn Context) {
+        if self.phase != Phase::Connecting {
+            return;
+        }
+        let (expected, ep) = self.connect_order[self.connect_idx];
+        if broker != expected {
+            return;
+        }
+        if accepted {
+            ctx.cancel_timer(TIMER_CONNECT);
+            self.finish(Some((broker, ep)), ctx);
+        } else {
+            self.advance_connect(ctx);
+        }
+    }
+
+    fn advance_connect(&mut self, ctx: &mut dyn Context) {
+        self.connect_idx += 1;
+        if self.connect_idx < self.connect_order.len() {
+            self.try_connect(ctx);
+        } else {
+            ctx.cancel_timer(TIMER_CONNECT);
+            self.finish(None, ctx);
+        }
+    }
+
+    fn finish(&mut self, chosen: Option<(NodeId, Endpoint)>, ctx: &mut dyn Context) {
+        match self.phase {
+            Phase::Connecting => { let spent = self.mark_phase(ctx); self.times.connect += spent; }
+            Phase::Pinging => { let spent = self.mark_phase(ctx); self.times.ping += spent; }
+            Phase::Collecting => { let spent = self.mark_phase(ctx); self.times.collect += spent; }
+            _ => {
+                { let spent = self.mark_phase(ctx); self.times.issue += spent; }
+            }
+        }
+        let target_set: Vec<NodeId> = self.targets.iter().map(|t| t.response.broker).collect();
+        if !target_set.is_empty() {
+            self.last_target_set = target_set.clone();
+        }
+        let outcome = DiscoveryOutcome {
+            chosen: chosen.map(|(b, _)| b),
+            endpoint: chosen.map(|(_, e)| e),
+            phases: self.times,
+            responses_received: self.responses_count.max(self.candidates.len()),
+            target_set,
+            rtts_us: self.rtts.clone(),
+            used_multicast: self.used_multicast,
+            used_cached_targets: self.used_cache,
+            bdn_used: self.bdn_used,
+        };
+        self.phase = if outcome.chosen.is_some() { Phase::Done } else { Phase::Failed };
+        self.completed.push(outcome);
+    }
+
+    fn on_ack_timeout(&mut self, ctx: &mut dyn Context) {
+        if self.phase != Phase::AwaitingAck {
+            return;
+        }
+        self.retransmits += 1;
+        if self.retransmits <= self.cfg.retransmits_per_bdn {
+            // Idempotent retransmission to the same BDN (§3).
+            self.send_to_bdn(ctx);
+            return;
+        }
+        // Fail over to the next configured BDN.
+        self.retransmits = 0;
+        self.bdn_idx += 1;
+        if self.bdn_idx < self.cfg.bdns.len() {
+            self.send_to_bdn(ctx);
+            return;
+        }
+        // Every BDN is unreachable (§7).
+        if self.cfg.multicast_fallback && !self.used_multicast {
+            self.go_multicast(ctx);
+        } else if !self.last_target_set.is_empty() && !self.used_cache {
+            { let spent = self.mark_phase(ctx); self.times.issue += spent; }
+            self.ping_cached_targets(ctx);
+        } else {
+            self.finish(None, ctx);
+        }
+    }
+}
+
+impl Actor for DiscoveryClient {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        if self.auto_start && ctx.clock_synced() {
+            self.begin(ctx);
+        }
+    }
+
+    fn on_incoming(&mut self, event: Incoming, ctx: &mut dyn Context) {
+        match event {
+            Incoming::ClockSynced => {
+                if self.auto_start && self.runs_started == 0 {
+                    self.begin(ctx);
+                }
+            }
+            Incoming::Timer { token } => match token {
+                TIMER_START => self.begin(ctx),
+                TIMER_ACK => self.on_ack_timeout(ctx),
+                TIMER_WINDOW
+                    if self.phase == Phase::Collecting => {
+                        self.end_collection(ctx);
+                    }
+                TIMER_PING
+                    if self.phase == Phase::Pinging => {
+                        self.end_pinging(ctx);
+                    }
+                TIMER_CONNECT
+                    if self.phase == Phase::Connecting => {
+                        self.advance_connect(ctx);
+                    }
+                _ => {}
+            },
+            Incoming::Datagram { msg, .. } => match msg {
+                Message::DiscoveryAck { request_id, bdn } => {
+                    let current = self.request.as_ref().map(|r| r.request_id);
+                    if self.phase == Phase::AwaitingAck && Some(request_id) == current {
+                        self.bdn_used = Some(bdn);
+                        self.start_collecting(ctx);
+                    }
+                }
+                Message::Response(resp) => self.on_response(resp, ctx),
+                Message::Pong { nonce, .. } => self.on_pong(nonce, ctx),
+                _ => {}
+            },
+            Incoming::Stream { msg, .. } => match msg {
+                Message::ClientConnectAck { broker, accepted } => {
+                    self.on_connect_ack(broker, accepted, ctx);
+                }
+                // Broker-join mode: the peer's LinkAccept seals the join.
+                Message::LinkAccept { from, .. } if self.cfg.join_as_broker => {
+                    self.on_connect_ack(from, true, ctx);
+                }
+                _ => {}
+            },
+        }
+    }
+
+    impl_actor_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_shares_sum_to_one() {
+        let times = PhaseTimes {
+            issue: Duration::from_millis(10),
+            collect: Duration::from_millis(70),
+            select: Duration::from_millis(1),
+            ping: Duration::from_millis(15),
+            connect: Duration::from_millis(4),
+        };
+        let shares = times.shares();
+        assert_eq!(shares.len(), 5);
+        let sum: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(times.total(), Duration::from_millis(100));
+        // The dominant share is awaiting responses.
+        let max = shares.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        assert_eq!(max.0, "await responses");
+    }
+
+    #[test]
+    fn zero_total_has_no_shares() {
+        assert!(PhaseTimes::default().shares().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod state_machine_tests {
+    use super::*;
+    use nb_wire::message::TransportEndpoint;
+    use nb_wire::{GroupId, Port, RealmId, UsageMetrics};
+
+    /// A scripted context: records sends and timers, advances time on
+    /// demand.
+    struct FakeCtx {
+        now_ms: u64,
+        sent: Vec<(Port, Endpoint, Message)>,
+        timers: Vec<(Duration, u64)>,
+        cancelled: Vec<u64>,
+        rng: rand::rngs::StdRng,
+    }
+
+    impl FakeCtx {
+        fn new() -> FakeCtx {
+            use rand::SeedableRng;
+            FakeCtx {
+                now_ms: 0,
+                sent: Vec::new(),
+                timers: Vec::new(),
+                cancelled: Vec::new(),
+                rng: rand::rngs::StdRng::seed_from_u64(1),
+            }
+        }
+
+        fn last_kind(&self) -> &'static str {
+            self.sent.last().map(|(_, _, m)| m.kind()).unwrap_or("-")
+        }
+    }
+
+    impl Context for FakeCtx {
+        fn me(&self) -> NodeId {
+            NodeId(9)
+        }
+        fn realm(&self) -> RealmId {
+            RealmId(0)
+        }
+        fn now(&self) -> SimTime {
+            SimTime::from_millis(self.now_ms)
+        }
+        fn utc_micros(&self) -> u64 {
+            self.now_ms * 1000
+        }
+        fn clock_synced(&self) -> bool {
+            true
+        }
+        fn raw_local_micros(&self) -> u64 {
+            self.now_ms * 1000
+        }
+        fn set_clock_estimate_ns(&mut self, _e: i64) {}
+        fn send_udp(&mut self, p: Port, to: Endpoint, m: &Message) {
+            self.sent.push((p, to, m.clone()));
+        }
+        fn send_stream(&mut self, p: Port, to: Endpoint, m: &Message) {
+            self.sent.push((p, to, m.clone()));
+        }
+        fn send_multicast(&mut self, p: Port, _g: GroupId, tp: Port, m: &Message) {
+            self.sent.push((p, Endpoint::new(NodeId(u32::MAX), tp), m.clone()));
+        }
+        fn join_group(&mut self, _g: GroupId) {}
+        fn leave_group(&mut self, _g: GroupId) {}
+        fn set_timer(&mut self, d: Duration, t: u64) {
+            self.timers.push((d, t));
+        }
+        fn cancel_timer(&mut self, t: u64) {
+            self.cancelled.push(t);
+        }
+        fn rng(&mut self) -> &mut dyn rand::RngCore {
+            &mut self.rng
+        }
+    }
+
+    fn response_from(broker: u32, request_id: Uuid, utc: u64) -> Message {
+        Message::Response(DiscoveryResponse {
+            request_id,
+            broker: NodeId(broker),
+            hostname: format!("b{broker}"),
+            realm: RealmId(0),
+            transports: vec![
+                TransportEndpoint { kind: TransportKind::Tcp, port: well_known::BROKER },
+                TransportEndpoint { kind: TransportKind::Udp, port: well_known::PING },
+            ],
+            issued_at_utc: utc,
+            metrics: UsageMetrics {
+                active_connections: 0,
+                num_links: 1,
+                cpu_load_permille: 0,
+                total_memory: 1 << 30,
+                used_memory: 100 << 20,
+            },
+        })
+    }
+
+    fn datagram(msg: Message) -> Incoming {
+        Incoming::Datagram {
+            from: Endpoint::new(NodeId(100), well_known::BDN),
+            to_port: well_known::DISCOVERY_REPLY,
+            msg,
+        }
+    }
+
+    fn client_with(max_responses: usize) -> DiscoveryClient {
+        DiscoveryClient::with_auto_start(
+            DiscoveryConfig {
+                bdns: vec![NodeId(100)],
+                max_responses,
+                target_set_size: 2,
+                ping_count: 1,
+                ..DiscoveryConfig::default()
+            },
+            false,
+        )
+    }
+
+    #[test]
+    fn full_walk_request_to_done_with_implicit_ack() {
+        let mut ctx = FakeCtx::new();
+        let mut c = client_with(2);
+        c.begin(&mut ctx);
+        assert_eq!(c.phase(), Phase::AwaitingAck);
+        assert_eq!(ctx.last_kind(), "discovery-request");
+        let rid = c.request.as_ref().unwrap().request_id;
+
+        // A response lands before any ack: implicit transition into
+        // Collecting (the paper's ack is a receipt, not a gate).
+        ctx.now_ms = 20;
+        c.on_incoming(datagram(response_from(1, rid, 15_000)), &mut ctx);
+        assert_eq!(c.phase(), Phase::Collecting);
+
+        // The second response hits max_responses: straight to Pinging.
+        ctx.now_ms = 40;
+        c.on_incoming(datagram(response_from(2, rid, 30_000)), &mut ctx);
+        assert_eq!(c.phase(), Phase::Pinging);
+        let pings: Vec<&Message> =
+            ctx.sent.iter().map(|(_, _, m)| m).filter(|m| m.kind() == "ping").collect();
+        assert_eq!(pings.len(), 2, "one ping per target");
+
+        // Pongs for both targets: broker 1 answers faster.
+        let nonce_of = |m: &&Message| match m {
+            Message::Ping { nonce, .. } => *nonce,
+            _ => unreachable!(),
+        };
+        let nonces: Vec<u64> = pings.iter().map(nonce_of).collect();
+        ctx.now_ms = 45;
+        c.on_incoming(
+            datagram(Message::Pong { nonce: nonces[0], echoed_sent_at: 0, responder: NodeId(1) }),
+            &mut ctx,
+        );
+        ctx.now_ms = 70;
+        c.on_incoming(
+            datagram(Message::Pong { nonce: nonces[1], echoed_sent_at: 0, responder: NodeId(2) }),
+            &mut ctx,
+        );
+        assert_eq!(c.phase(), Phase::Connecting);
+        assert_eq!(ctx.last_kind(), "client-connect");
+
+        // The winner (broker 1, lower RTT) accepts.
+        ctx.now_ms = 80;
+        c.on_incoming(
+            Incoming::Stream {
+                from: Endpoint::new(NodeId(1), well_known::BROKER),
+                to_port: well_known::BROKER,
+                msg: Message::ClientConnectAck { broker: NodeId(1), accepted: true },
+            },
+            &mut ctx,
+        );
+        assert_eq!(c.phase(), Phase::Done);
+        let outcome = c.outcome().unwrap();
+        assert_eq!(outcome.chosen, Some(NodeId(1)));
+        assert_eq!(outcome.responses_received, 2);
+        assert_eq!(outcome.phases.total(), Duration::from_millis(80));
+        assert_eq!(c.last_target_set.len(), 2, "target set cached for §7 reconnects");
+    }
+
+    #[test]
+    fn stale_responses_from_previous_runs_are_ignored() {
+        let mut ctx = FakeCtx::new();
+        let mut c = client_with(5);
+        c.begin(&mut ctx);
+        let old = Uuid::from_u128(0xDEAD);
+        c.on_incoming(datagram(response_from(1, old, 1000)), &mut ctx);
+        assert_eq!(c.phase(), Phase::AwaitingAck, "foreign request id must not transition");
+    }
+
+    #[test]
+    fn multicast_only_begins_in_collecting() {
+        let mut ctx = FakeCtx::new();
+        let mut c = DiscoveryClient::with_auto_start(
+            DiscoveryConfig { multicast_only: true, ..DiscoveryConfig::default() },
+            false,
+        );
+        c.begin(&mut ctx);
+        assert_eq!(c.phase(), Phase::Collecting);
+        assert_eq!(ctx.last_kind(), "discovery-request");
+        // The window timer is armed.
+        assert!(ctx.timers.iter().any(|(_, t)| *t == TIMER_WINDOW));
+    }
+
+    #[test]
+    fn connect_rejection_walks_then_fails() {
+        let mut ctx = FakeCtx::new();
+        let mut c = client_with(2);
+        c.begin(&mut ctx);
+        let rid = c.request.as_ref().unwrap().request_id;
+        c.on_incoming(datagram(response_from(1, rid, 1000)), &mut ctx);
+        c.on_incoming(datagram(response_from(2, rid, 2000)), &mut ctx);
+        // Skip pongs entirely: the ping window expires, the client falls
+        // back to target-set order.
+        c.on_incoming(Incoming::Timer { token: TIMER_PING }, &mut ctx);
+        assert_eq!(c.phase(), Phase::Connecting);
+        // First choice refuses…
+        let first = c.connect_order[0].0;
+        c.on_incoming(
+            Incoming::Stream {
+                from: Endpoint::new(first, well_known::BROKER),
+                to_port: well_known::BROKER,
+                msg: Message::ClientConnectAck { broker: first, accepted: false },
+            },
+            &mut ctx,
+        );
+        assert_eq!(c.phase(), Phase::Connecting, "walked to the next target");
+        let second = c.connect_order[1].0;
+        assert_ne!(first, second);
+        // …second times out: exhausted, Failed.
+        c.on_incoming(Incoming::Timer { token: TIMER_CONNECT }, &mut ctx);
+        assert_eq!(c.phase(), Phase::Failed);
+        assert!(c.outcome().unwrap().chosen.is_none());
+    }
+}

@@ -1,0 +1,238 @@
+//! Discovery configuration.
+//!
+//! Mirrors the knobs the paper calls out: the node configuration file's
+//! BDN list (§3), the configurable collection timeout and maximum
+//! response count (§9), the target-set size `size(T) <= size(N)` —
+//! "usually … between 5 and 20, and configurable" (§10) — the ping
+//! repetition count, and the weighting factors of the selection formula.
+
+use std::time::Duration;
+
+use nb_security::{Certificate, Identity, PublicKey};
+use nb_util::{Config, ConfigError};
+use nb_wire::{Credential, NodeId};
+
+/// Weighting factors for broker selection — the paper's §9 snippet:
+///
+/// ```text
+/// weight += (freemem / totalmem) * WEIGHTAGE_FREE_TO_TOTAL_MEMORY;
+/// weight += (totalmem / (1024 * 1024)) * WEIGHTAGE_TOTAL_MEMORY;
+/// weight -= numlinks * WEIGHTAGE_NUM_LINKS;
+/// // OTHER factors may be similarly added
+/// ```
+///
+/// We add connection count, CPU load and estimated delay as the paper's
+/// "OTHER factors".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionWeights {
+    /// Reward per unit of free/total memory ratio (higher is better).
+    pub free_to_total_memory: f64,
+    /// Reward per MiB of total memory (higher is better).
+    pub total_memory_mb: f64,
+    /// Penalty per overlay link (lower is better).
+    pub num_links: f64,
+    /// Penalty per active client connection.
+    pub connections: f64,
+    /// Penalty per unit CPU load in `[0, 1]`.
+    pub cpu_load: f64,
+    /// Penalty per millisecond of estimated one-way delay.
+    pub delay_ms: f64,
+}
+
+impl Default for SelectionWeights {
+    fn default() -> Self {
+        SelectionWeights {
+            free_to_total_memory: 100.0,
+            total_memory_mb: 0.01,
+            num_links: 1.0,
+            connections: 0.1,
+            cpu_load: 50.0,
+            delay_ms: 0.5,
+        }
+    }
+}
+
+impl SelectionWeights {
+    /// Weights that ignore load entirely and optimise pure proximity
+    /// (ablation: "nearest-only" selection).
+    pub fn proximity_only() -> SelectionWeights {
+        SelectionWeights {
+            free_to_total_memory: 0.0,
+            total_memory_mb: 0.0,
+            num_links: 0.0,
+            connections: 0.0,
+            cpu_load: 0.0,
+            delay_ms: 1.0,
+        }
+    }
+
+    /// Weights that ignore proximity and optimise pure load (ablation).
+    pub fn load_only() -> SelectionWeights {
+        SelectionWeights { delay_ms: 0.0, ..SelectionWeights::default() }
+    }
+}
+
+/// Credentials for the secured request path (paper §9.1): the client
+/// signs + encrypts its discovery request to the BDN's public key; the
+/// BDN validates the certificate chain against the shared trust root.
+#[derive(Debug, Clone)]
+pub struct SecuritySuite {
+    /// This node's identity (keys + certificate chain).
+    pub identity: Identity,
+    /// The trust anchor for peer certificate chains.
+    pub trust_root: Certificate,
+    /// The peer's (BDN's) public key requests are encrypted to.
+    pub peer_public: PublicKey,
+}
+
+/// Full configuration of the discovery process at a requesting node.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// BDNs to try, in preference order (the node configuration file's
+    /// `gridservicelocator.org/.com/.net/.info` list plus private BDNs).
+    pub bdns: Vec<NodeId>,
+    /// How long to gather discovery responses before deciding
+    /// (paper: "typically 4-5 seconds", configurable).
+    pub collection_window: Duration,
+    /// Stop collecting once this many responses arrived ("a client might
+    /// … specify that only the first N responses must be considered").
+    pub max_responses: usize,
+    /// Target set size `size(T)` (paper: 5–20, typically ~10).
+    pub target_set_size: usize,
+    /// UDP pings sent per target broker ("may be repeated multiple times
+    /// to compute the average RTT").
+    pub ping_count: u32,
+    /// How long to wait for pongs before deciding.
+    pub ping_window: Duration,
+    /// BDN ack timeout before retransmitting the request.
+    pub ack_timeout: Duration,
+    /// Retransmissions per BDN before failing over to the next.
+    pub retransmits_per_bdn: u32,
+    /// Fall back to multicast when every configured BDN is unreachable.
+    pub multicast_fallback: bool,
+    /// Skip BDNs entirely and discover via multicast only (Figure 12).
+    pub multicast_only: bool,
+    /// Selection weights.
+    pub weights: SelectionWeights,
+    /// Credentials presented with requests (§3).
+    pub credentials: Option<Credential>,
+    /// A remembered target set from a previous session (§7): pinged
+    /// directly when BDNs and multicast both fail.
+    pub cached_targets: Vec<NodeId>,
+    /// When set, requests to BDNs are signed + encrypted (§9.1).
+    pub security: Option<SecuritySuite>,
+    /// The requester is itself a broker joining the overlay (§1.1's
+    /// second case): the final step opens an overlay **link** to the
+    /// chosen broker (`LinkHello`/`LinkAccept`) instead of a client
+    /// connection.
+    pub join_as_broker: bool,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            bdns: Vec::new(),
+            collection_window: Duration::from_secs(4),
+            max_responses: 5,
+            target_set_size: 10,
+            ping_count: 3,
+            ping_window: Duration::from_secs(1),
+            ack_timeout: Duration::from_secs(1),
+            retransmits_per_bdn: 2,
+            multicast_fallback: true,
+            multicast_only: false,
+            weights: SelectionWeights::default(),
+            credentials: None,
+            cached_targets: Vec::new(),
+            security: None,
+            join_as_broker: false,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// Applies overrides from a node configuration file. Recognised keys
+    /// (all optional): `discovery.timeout.ms`, `discovery.max_responses`,
+    /// `discovery.target_set_size`, `discovery.ping.count`,
+    /// `discovery.ping.window.ms`, `discovery.ack.timeout.ms`,
+    /// `discovery.retransmits`, `discovery.multicast.fallback`,
+    /// `discovery.multicast.only`, and the five
+    /// `selection.weight.*` factors.
+    pub fn apply_config(mut self, cfg: &Config) -> Result<Self, ConfigError> {
+        self.collection_window = Duration::from_millis(
+            cfg.get_u64("discovery.timeout.ms", self.collection_window.as_millis() as u64)?,
+        );
+        self.max_responses =
+            cfg.get_u64("discovery.max_responses", self.max_responses as u64)? as usize;
+        self.target_set_size =
+            cfg.get_u64("discovery.target_set_size", self.target_set_size as u64)? as usize;
+        self.ping_count = cfg.get_u64("discovery.ping.count", u64::from(self.ping_count))? as u32;
+        self.ping_window = Duration::from_millis(
+            cfg.get_u64("discovery.ping.window.ms", self.ping_window.as_millis() as u64)?,
+        );
+        self.ack_timeout = Duration::from_millis(
+            cfg.get_u64("discovery.ack.timeout.ms", self.ack_timeout.as_millis() as u64)?,
+        );
+        self.retransmits_per_bdn =
+            cfg.get_u64("discovery.retransmits", u64::from(self.retransmits_per_bdn))? as u32;
+        self.multicast_fallback =
+            cfg.get_bool("discovery.multicast.fallback", self.multicast_fallback)?;
+        self.multicast_only = cfg.get_bool("discovery.multicast.only", self.multicast_only)?;
+        let w = &mut self.weights;
+        w.free_to_total_memory =
+            cfg.get_f64("selection.weight.free_to_total_memory", w.free_to_total_memory)?;
+        w.total_memory_mb = cfg.get_f64("selection.weight.total_memory_mb", w.total_memory_mb)?;
+        w.num_links = cfg.get_f64("selection.weight.num_links", w.num_links)?;
+        w.connections = cfg.get_f64("selection.weight.connections", w.connections)?;
+        w.cpu_load = cfg.get_f64("selection.weight.cpu_load", w.cpu_load)?;
+        w.delay_ms = cfg.get_f64("selection.weight.delay_ms", w.delay_ms)?;
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_bands() {
+        let c = DiscoveryConfig::default();
+        let window_s = c.collection_window.as_secs_f64();
+        assert!((4.0..=5.0).contains(&window_s), "paper: 4-5s window");
+        assert!((5..=20).contains(&c.target_set_size), "paper: target set 5-20");
+        assert!(c.multicast_fallback);
+        assert!(!c.multicast_only);
+    }
+
+    #[test]
+    fn config_file_overrides() {
+        let text = "\
+discovery.timeout.ms = 2500
+discovery.max_responses = 8
+discovery.target_set_size = 6
+discovery.ping.count = 5
+discovery.multicast.only = true
+selection.weight.num_links = 3.5
+";
+        let parsed = Config::parse(text).unwrap();
+        let c = DiscoveryConfig::default().apply_config(&parsed).unwrap();
+        assert_eq!(c.collection_window, Duration::from_millis(2500));
+        assert_eq!(c.max_responses, 8);
+        assert_eq!(c.target_set_size, 6);
+        assert_eq!(c.ping_count, 5);
+        assert!(c.multicast_only);
+        assert!((c.weights.num_links - 3.5).abs() < 1e-12);
+        // untouched keys keep defaults
+        assert_eq!(c.retransmits_per_bdn, 2);
+    }
+
+    #[test]
+    fn ablation_weight_presets() {
+        let p = SelectionWeights::proximity_only();
+        assert_eq!(p.free_to_total_memory, 0.0);
+        assert!(p.delay_ms > 0.0);
+        let l = SelectionWeights::load_only();
+        assert_eq!(l.delay_ms, 0.0);
+        assert!(l.free_to_total_memory > 0.0);
+    }
+}

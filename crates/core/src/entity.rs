@@ -1,0 +1,250 @@
+//! The entity facade: the full life cycle the paper motivates.
+//!
+//! §1.2: *"The brokering environment … is a very dynamic and fluid
+//! system where broker processes may join and leave the broker network
+//! at arbitrary times … It is thus not possible for any entity to assume
+//! that a given broker may be available indefinitely."*
+//!
+//! An [`Entity`] is what a downstream application actually runs: it
+//! discovers the best broker (embedding a [`DiscoveryClient`]), attaches
+//! to it, registers its subscriptions, publishes queued events, monitors
+//! the broker with UDP keepalive pings, and — when the broker stops
+//! answering — **rediscovers** and reattaches, transparently resuming
+//! its subscriptions.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use nb_util::Uuid;
+use nb_wire::addr::well_known;
+use nb_wire::{Endpoint, Event, Message, NodeId, Topic, TopicFilter};
+
+use nb_net::{impl_actor_any, Actor, Context, Incoming, SimTime};
+
+use crate::client::{DiscoveryClient, Phase};
+use crate::config::DiscoveryConfig;
+
+const TIMER_KEEPALIVE: u64 = 0xE171_0000_0000_0001;
+const TIMER_FLUSH: u64 = 0xE171_0000_0000_0002;
+/// Discovery-client timers live in this namespace (see `client.rs`).
+const DISCOVERY_TIMER_PREFIX: u64 = 0xD15C_0000_0000_0000;
+
+/// Where the entity is in its life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityState {
+    /// Running (or about to run) broker discovery.
+    Discovering,
+    /// Attached to a broker and exchanging events.
+    Attached(NodeId),
+    /// Discovery exhausted every path; will retry after a backoff.
+    Stranded,
+}
+
+/// A messaging entity: discovery + attachment + pub/sub + failover.
+pub struct Entity {
+    discovery: DiscoveryClient,
+    filters: Vec<TopicFilter>,
+    state: EntityState,
+    outbox: VecDeque<(Topic, Vec<u8>)>,
+    keepalive_interval: Duration,
+    keepalive_misses: u32,
+    retry_backoff: Duration,
+    last_heard: SimTime,
+    ping_nonces: HashMap<u64, SimTime>,
+    next_nonce: u64,
+    missed: u32,
+    /// Events delivered to this entity.
+    pub received: Vec<Event>,
+    /// Events published.
+    pub published: u64,
+    /// Every broker this entity has attached to, in order.
+    pub attachments: Vec<NodeId>,
+    /// Failovers performed (keepalive losses leading to rediscovery).
+    pub failovers: u64,
+}
+
+impl Entity {
+    /// An entity using `cfg` for discovery and subscribing to `filters`
+    /// once attached.
+    pub fn new(cfg: DiscoveryConfig, filters: Vec<TopicFilter>) -> Entity {
+        Entity {
+            discovery: DiscoveryClient::new(cfg),
+            filters,
+            state: EntityState::Discovering,
+            outbox: VecDeque::new(),
+            keepalive_interval: Duration::from_secs(2),
+            keepalive_misses: 3,
+            retry_backoff: Duration::from_secs(5),
+            last_heard: SimTime::ZERO,
+            ping_nonces: HashMap::new(),
+            next_nonce: 1,
+            missed: 0,
+            received: Vec::new(),
+            published: 0,
+            attachments: Vec::new(),
+            failovers: 0,
+        }
+    }
+
+    /// Current life-cycle state.
+    pub fn state(&self) -> EntityState {
+        self.state
+    }
+
+    /// The broker currently attached to, if any.
+    pub fn broker(&self) -> Option<NodeId> {
+        match self.state {
+            EntityState::Attached(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The embedded discovery client (read-only observability).
+    pub fn discovery(&self) -> &DiscoveryClient {
+        &self.discovery
+    }
+
+    /// Queues an event for publication (flushed while attached).
+    pub fn queue_publish(&mut self, topic: Topic, payload: Vec<u8>) {
+        self.outbox.push_back((topic, payload));
+    }
+
+    fn broker_endpoint(&self) -> Option<Endpoint> {
+        self.broker().map(|b| Endpoint::new(b, well_known::BROKER))
+    }
+
+    fn on_attached(&mut self, broker: NodeId, ctx: &mut dyn Context) {
+        self.state = EntityState::Attached(broker);
+        self.attachments.push(broker);
+        self.last_heard = ctx.now();
+        self.missed = 0;
+        self.ping_nonces.clear();
+        let ep = Endpoint::new(broker, well_known::BROKER);
+        for filter in self.filters.clone() {
+            ctx.send_stream(well_known::BROKER, ep, &Message::ClientSubscribe { filter });
+        }
+        self.flush(ctx);
+        ctx.set_timer(self.keepalive_interval, TIMER_KEEPALIVE);
+        ctx.set_timer(Duration::from_millis(50), TIMER_FLUSH);
+    }
+
+    fn flush(&mut self, ctx: &mut dyn Context) {
+        let Some(ep) = self.broker_endpoint() else {
+            return;
+        };
+        while let Some((topic, payload)) = self.outbox.pop_front() {
+            let ev = Event { id: Uuid::random(ctx.rng()), topic, source: ctx.me(), payload };
+            ctx.send_stream(well_known::BROKER, ep, &Message::Publish(ev));
+            self.published += 1;
+        }
+    }
+
+    fn keepalive_tick(&mut self, ctx: &mut dyn Context) {
+        let EntityState::Attached(broker) = self.state else {
+            return;
+        };
+        // Count an outstanding unanswered ping as a miss.
+        if !self.ping_nonces.is_empty() {
+            self.missed += 1;
+            self.ping_nonces.clear();
+        }
+        if self.missed >= self.keepalive_misses {
+            // The broker is gone (§1.2): rediscover.
+            self.failovers += 1;
+            self.state = EntityState::Discovering;
+            self.discovery.begin(ctx);
+            return;
+        }
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        self.ping_nonces.insert(nonce, ctx.now());
+        let ping = Message::Ping {
+            nonce,
+            sent_at: ctx.now().as_micros(),
+            reply_to: Endpoint::new(ctx.me(), well_known::PING),
+        };
+        ctx.send_udp(well_known::PING, Endpoint::new(broker, well_known::PING), &ping);
+        ctx.set_timer(self.keepalive_interval, TIMER_KEEPALIVE);
+    }
+
+    fn check_discovery_progress(&mut self, ctx: &mut dyn Context) {
+        if self.state != EntityState::Discovering {
+            return; // only act on a discovery we are waiting for
+        }
+        match self.discovery.phase() {
+            Phase::Done => {
+                let chosen = self
+                    .discovery
+                    .outcome()
+                    .and_then(|o| o.chosen)
+                    .expect("done implies chosen");
+                self.on_attached(chosen, ctx);
+            }
+            Phase::Failed
+                if self.state != EntityState::Stranded => {
+                    self.state = EntityState::Stranded;
+                    // Retry after a backoff (the environment is fluid;
+                    // brokers may return).
+                    ctx.set_timer(self.retry_backoff, TIMER_KEEPALIVE);
+                }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for Entity {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        self.discovery.on_start(ctx);
+        self.check_discovery_progress(ctx);
+    }
+
+    fn on_incoming(&mut self, event: Incoming, ctx: &mut dyn Context) {
+        match &event {
+            Incoming::Timer { token: TIMER_KEEPALIVE } => {
+                match self.state {
+                    EntityState::Attached(_) => self.keepalive_tick(ctx),
+                    EntityState::Stranded => {
+                        self.state = EntityState::Discovering;
+                        self.discovery.begin(ctx);
+                        self.check_discovery_progress(ctx);
+                    }
+                    EntityState::Discovering => {}
+                }
+                return;
+            }
+            Incoming::Timer { token: TIMER_FLUSH } => {
+                if matches!(self.state, EntityState::Attached(_)) {
+                    self.flush(ctx);
+                    ctx.set_timer(Duration::from_millis(50), TIMER_FLUSH);
+                }
+                return;
+            }
+            Incoming::Timer { token } if *token & 0xFFFF_0000_0000_0000 == DISCOVERY_TIMER_PREFIX => {
+                self.discovery.on_incoming(event, ctx);
+                self.check_discovery_progress(ctx);
+                return;
+            }
+            Incoming::Stream { msg: Message::Publish(ev), .. } => {
+                self.received.push(ev.clone());
+                self.last_heard = ctx.now();
+                self.missed = 0;
+                return;
+            }
+            Incoming::Datagram { msg: Message::Pong { nonce, .. }, .. }
+                if self.ping_nonces.contains_key(nonce) =>
+            {
+                self.ping_nonces.remove(nonce);
+                self.last_heard = ctx.now();
+                self.missed = 0;
+                return;
+            }
+            _ => {}
+        }
+        // Everything else (discovery acks, responses, discovery pongs,
+        // connect acks, clock sync) belongs to the discovery machinery.
+        self.discovery.on_incoming(event, ctx);
+        self.check_discovery_progress(ctx);
+    }
+
+    impl_actor_any!();
+}

@@ -1,0 +1,419 @@
+//! The broker-side discovery responder.
+//!
+//! Handles three duties of a broker participating in discovery:
+//!
+//! 1. **Answering discovery requests** (paper §5): dedup by request UUID
+//!    (the last-1000 cache of §4), consult the [`ResponsePolicy`], then
+//!    send a [`nb_wire::DiscoveryResponse`] — NTP timestamp, process
+//!    info, usage metrics — over **UDP** directly to the requester.
+//! 2. **Answering UDP pings** (paper §6) with pongs echoing the sender's
+//!    timestamp.
+//! 3. **Listening on the discovery multicast group** (paper §7): a
+//!    request received via multicast is answered *and* re-flooded into
+//!    the overlay so that "the discovery request would be propagated
+//!    through the system".
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use nb_broker::Broker;
+use nb_util::{BoundedDedup, Uuid};
+use nb_wire::addr::{well_known, DISCOVERY_GROUP};
+use nb_wire::message::TransportEndpoint;
+use nb_wire::topic::DISCOVERY_REQUEST_TOPIC;
+use nb_wire::{
+    DiscoveryRequest, DiscoveryResponse, Endpoint, Message, Topic, TransportKind, Wire,
+};
+
+use nb_net::{Context, Incoming};
+
+use crate::policy::ResponsePolicy;
+
+/// Timer-token namespace used for delayed responses.
+const RESPONDER_TIMER_BASE: u64 = 0x5E50_0000_0000_0000;
+
+/// The responder service embedded in a discovery-enabled broker actor.
+#[derive(Debug)]
+pub struct Responder {
+    policy: ResponsePolicy,
+    dedup: BoundedDedup<Uuid>,
+    listen_multicast: bool,
+    /// Service time before a response leaves the broker: policy check,
+    /// metrics collection and serialisation (the paper ran a 2005 JVM).
+    /// Each response is delayed by `service_time + U(0, service_time/2)`.
+    pub service_time: Duration,
+    pending: HashMap<u64, (Endpoint, Message)>,
+    next_pending: u64,
+    /// Responses actually sent.
+    pub responses_sent: u64,
+    /// Requests suppressed as duplicates.
+    pub duplicates_suppressed: u64,
+    /// Requests rejected by policy.
+    pub rejected_by_policy: u64,
+    /// Pings answered.
+    pub pings_answered: u64,
+}
+
+impl Responder {
+    /// A responder with the given policy and dedup-cache capacity
+    /// (paper default: 1000).
+    pub fn new(policy: ResponsePolicy, dedup_capacity: usize, listen_multicast: bool) -> Responder {
+        Responder {
+            policy,
+            dedup: BoundedDedup::new(dedup_capacity),
+            listen_multicast,
+            service_time: Duration::from_millis(40),
+            pending: HashMap::new(),
+            next_pending: 0,
+            responses_sent: 0,
+            duplicates_suppressed: 0,
+            rejected_by_policy: 0,
+            pings_answered: 0,
+        }
+    }
+
+    /// Transports this broker advertises: TCP broker service + UDP ping.
+    pub fn transports() -> Vec<TransportEndpoint> {
+        vec![
+            TransportEndpoint { kind: TransportKind::Tcp, port: well_known::BROKER },
+            TransportEndpoint { kind: TransportKind::Udp, port: well_known::PING },
+            TransportEndpoint { kind: TransportKind::Multicast, port: well_known::MULTICAST_DISCOVERY },
+        ]
+    }
+
+    /// Joins the discovery multicast group if configured.
+    pub fn on_start(&mut self, ctx: &mut dyn Context) {
+        if self.listen_multicast {
+            ctx.join_group(DISCOVERY_GROUP);
+        }
+    }
+
+    /// Offers an incoming runtime event; returns `true` if consumed.
+    pub fn handle(&mut self, event: &Incoming, broker: &mut Broker, ctx: &mut dyn Context) -> bool {
+        if let Incoming::Timer { token } = event {
+            if (token & !0xFFFF_FFFFu64) == RESPONDER_TIMER_BASE {
+                if let Some((dest, msg)) = self.pending.remove(token) {
+                    ctx.send_udp(well_known::DISCOVERY_REPLY, dest, &msg);
+                    self.responses_sent += 1;
+                }
+                return true;
+            }
+            return false;
+        }
+        let Incoming::Datagram { to_port, msg, .. } = event else {
+            return false;
+        };
+        match (to_port, msg) {
+            (&p, Message::Ping { nonce, sent_at, reply_to }) if p == well_known::PING => {
+                self.pings_answered += 1;
+                let pong =
+                    Message::Pong { nonce: *nonce, echoed_sent_at: *sent_at, responder: ctx.me() };
+                ctx.send_udp(well_known::PING, *reply_to, &pong);
+                true
+            }
+            (&p, Message::Discovery(req)) if p == well_known::MULTICAST_DISCOVERY => {
+                // Multicast path: answer, then propagate through the
+                // overlay on the predefined topic (paper §7).
+                let req = req.clone();
+                self.reflood(&req, broker, ctx);
+                self.on_request(req, broker, ctx);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn reflood(&mut self, req: &DiscoveryRequest, broker: &mut Broker, ctx: &mut dyn Context) {
+        // Only re-flood requests we haven't seen (dedup is checked again
+        // in on_request for the response decision; peek here).
+        if self.dedup.contains(&req.request_id) {
+            return;
+        }
+        let topic = Topic::parse(DISCOVERY_REQUEST_TOPIC).expect("well-known topic");
+        let payload = Message::Discovery(req.clone()).to_bytes().to_vec();
+        // Flood-topic events surface back to the owning actor, which
+        // routes them to `on_request`; dedup keeps us idempotent.
+        let _ = broker.publish_local(topic, payload, ctx);
+    }
+
+    /// Processes a discovery request however it arrived (overlay flood or
+    /// multicast).
+    pub fn on_request(
+        &mut self,
+        req: DiscoveryRequest,
+        broker: &mut Broker,
+        ctx: &mut dyn Context,
+    ) {
+        if !self.dedup.check_and_insert(req.request_id) {
+            self.duplicates_suppressed += 1;
+            return;
+        }
+        if !self.policy.permits(&req) {
+            self.rejected_by_policy += 1;
+            return;
+        }
+        let metrics = broker.metrics(ctx);
+        let response = DiscoveryResponse {
+            request_id: req.request_id,
+            broker: ctx.me(),
+            hostname: broker.config().hostname.clone(),
+            realm: ctx.realm(),
+            transports: Self::transports(),
+            issued_at_utc: ctx.utc_micros(),
+            metrics,
+        };
+        // UDP, per §5.2: cheap for the requester, and loss over long
+        // paths naturally filters out distant brokers. The response is
+        // stamped now but leaves after the modelled service time, so the
+        // requester's delay estimate honestly includes broker processing.
+        let msg = Message::Response(response);
+        if self.service_time.is_zero() {
+            ctx.send_udp(well_known::DISCOVERY_REPLY, req.reply_to, &msg);
+            self.responses_sent += 1;
+        } else {
+            use rand::Rng;
+            let jitter = self.service_time.as_nanos() as u64 / 2;
+            let extra = if jitter == 0 { 0 } else { ctx.rng().gen_range(0..=jitter) };
+            let delay = self.service_time + Duration::from_nanos(extra);
+            let token = RESPONDER_TIMER_BASE | (self.next_pending & 0xFFFF_FFFF);
+            self.next_pending += 1;
+            self.pending.insert(token, (req.reply_to, msg));
+            ctx.set_timer(delay, token);
+        }
+    }
+
+    /// Decodes a surfaced flood-topic event into a request, if it is one.
+    pub fn decode_flooded_request(event_payload: &[u8]) -> Option<DiscoveryRequest> {
+        match Message::from_bytes(event_payload) {
+            Ok(Message::Discovery(req)) => Some(req),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_broker::BrokerConfig;
+    use nb_wire::{Credential, NodeId, Port, RealmId};
+
+    // Unit-level tests drive the responder against a scripted context;
+    // end-to-end behaviour is covered in the scenario tests.
+    struct FakeCtx {
+        sent: Vec<(Port, Endpoint, Message)>,
+        rng: rand::rngs::StdRng,
+        joined: Vec<nb_wire::GroupId>,
+        timers: Vec<u64>,
+    }
+
+    impl FakeCtx {
+        fn new() -> FakeCtx {
+            use rand::SeedableRng;
+            FakeCtx {
+                sent: Vec::new(),
+                rng: rand::rngs::StdRng::seed_from_u64(1),
+                joined: vec![],
+                timers: vec![],
+            }
+        }
+    }
+
+    impl Context for FakeCtx {
+        fn me(&self) -> NodeId {
+            NodeId(5)
+        }
+        fn realm(&self) -> RealmId {
+            RealmId(2)
+        }
+        fn now(&self) -> nb_net::SimTime {
+            nb_net::SimTime::from_secs(10)
+        }
+        fn utc_micros(&self) -> u64 {
+            123_456_789
+        }
+        fn clock_synced(&self) -> bool {
+            true
+        }
+        fn raw_local_micros(&self) -> u64 {
+            123_456_789
+        }
+        fn set_clock_estimate_ns(&mut self, _est: i64) {}
+        fn send_udp(&mut self, from_port: Port, to: Endpoint, msg: &Message) {
+            self.sent.push((from_port, to, msg.clone()));
+        }
+        fn send_stream(&mut self, from_port: Port, to: Endpoint, msg: &Message) {
+            self.sent.push((from_port, to, msg.clone()));
+        }
+        fn send_multicast(
+            &mut self,
+            _from_port: Port,
+            _group: nb_wire::GroupId,
+            _to_port: Port,
+            _msg: &Message,
+        ) {
+        }
+        fn join_group(&mut self, group: nb_wire::GroupId) {
+            self.joined.push(group);
+        }
+        fn leave_group(&mut self, _group: nb_wire::GroupId) {}
+        fn set_timer(&mut self, _delay: std::time::Duration, token: u64) {
+            self.timers.push(token);
+        }
+        fn cancel_timer(&mut self, _token: u64) {}
+        fn rng(&mut self) -> &mut dyn rand::RngCore {
+            &mut self.rng
+        }
+    }
+
+    fn request(id: u128) -> DiscoveryRequest {
+        DiscoveryRequest {
+            request_id: Uuid::from_u128(id),
+            requester: NodeId(9),
+            hostname: "client".into(),
+            realm: RealmId(0),
+            reply_to: Endpoint::new(NodeId(9), well_known::DISCOVERY_REPLY),
+            transports: vec![],
+            credentials: None,
+            issued_at_utc: 7,
+        }
+    }
+
+    #[test]
+    fn responds_once_per_request_id() {
+        let mut r = Responder::new(ResponsePolicy::open(), 1000, false);
+        r.service_time = Duration::ZERO;
+        let mut broker = Broker::new(BrokerConfig::default());
+        let mut ctx = FakeCtx::new();
+        r.on_request(request(1), &mut broker, &mut ctx);
+        r.on_request(request(1), &mut broker, &mut ctx);
+        r.on_request(request(2), &mut broker, &mut ctx);
+        assert_eq!(r.responses_sent, 2);
+        assert_eq!(r.duplicates_suppressed, 1);
+        assert_eq!(ctx.sent.len(), 2);
+        let Message::Response(resp) = &ctx.sent[0].2 else {
+            panic!("expected response");
+        };
+        assert_eq!(resp.request_id, Uuid::from_u128(1));
+        assert_eq!(resp.broker, NodeId(5));
+        assert_eq!(resp.issued_at_utc, 123_456_789);
+        assert!(resp.port_for(TransportKind::Tcp).is_some());
+    }
+
+    #[test]
+    fn policy_rejection_counts_and_sends_nothing() {
+        let mut r = Responder::new(
+            ResponsePolicy::principals(vec!["alice".into()]),
+            1000,
+            false,
+        );
+        r.service_time = Duration::ZERO;
+        let mut broker = Broker::new(BrokerConfig::default());
+        let mut ctx = FakeCtx::new();
+        r.on_request(request(1), &mut broker, &mut ctx); // no credentials
+        assert_eq!(r.rejected_by_policy, 1);
+        assert_eq!(r.responses_sent, 0);
+        assert!(ctx.sent.is_empty());
+        let mut ok = request(2);
+        ok.credentials = Some(Credential { principal: "alice".into(), token: vec![] });
+        r.on_request(ok, &mut broker, &mut ctx);
+        assert_eq!(r.responses_sent, 1);
+    }
+
+    #[test]
+    fn answers_pings_with_echoed_timestamp() {
+        let mut r = Responder::new(ResponsePolicy::open(), 10, false);
+        let mut broker = Broker::new(BrokerConfig::default());
+        let mut ctx = FakeCtx::new();
+        let consumed = r.handle(
+            &Incoming::Datagram {
+                from: Endpoint::new(NodeId(9), well_known::PING),
+                to_port: well_known::PING,
+                msg: Message::Ping {
+                    nonce: 44,
+                    sent_at: 9_000,
+                    reply_to: Endpoint::new(NodeId(9), well_known::PING),
+                },
+            },
+            &mut broker,
+            &mut ctx,
+        );
+        assert!(consumed);
+        assert_eq!(r.pings_answered, 1);
+        let Message::Pong { nonce, echoed_sent_at, responder } = &ctx.sent[0].2 else {
+            panic!("expected pong");
+        };
+        assert_eq!((*nonce, *echoed_sent_at, *responder), (44, 9_000, NodeId(5)));
+    }
+
+    #[test]
+    fn multicast_request_answered_and_reflooded() {
+        let mut r = Responder::new(ResponsePolicy::open(), 10, true);
+        r.service_time = Duration::ZERO;
+        let mut broker = Broker::new(BrokerConfig::default());
+        let mut ctx = FakeCtx::new();
+        r.on_start(&mut ctx);
+        assert_eq!(ctx.joined, vec![DISCOVERY_GROUP]);
+        let consumed = r.handle(
+            &Incoming::Datagram {
+                from: Endpoint::new(NodeId(9), well_known::MULTICAST_DISCOVERY),
+                to_port: well_known::MULTICAST_DISCOVERY,
+                msg: Message::Discovery(request(3)),
+            },
+            &mut broker,
+            &mut ctx,
+        );
+        assert!(consumed);
+        assert_eq!(r.responses_sent, 1);
+        // With no links the reflood sends nothing over the wire, but the
+        // broker must have routed the event locally exactly once.
+        assert_eq!(broker.events_routed, 1);
+    }
+
+    #[test]
+    fn non_discovery_traffic_not_consumed() {
+        let mut r = Responder::new(ResponsePolicy::open(), 10, false);
+        let mut broker = Broker::new(BrokerConfig::default());
+        let mut ctx = FakeCtx::new();
+        let consumed = r.handle(
+            &Incoming::Datagram {
+                from: Endpoint::new(NodeId(1), Port(9)),
+                to_port: Port(9),
+                msg: Message::Heartbeat { from: NodeId(1), seq: 0 },
+            },
+            &mut broker,
+            &mut ctx,
+        );
+        assert!(!consumed);
+        assert!(!r.handle(&Incoming::Timer { token: 1 }, &mut broker, &mut ctx));
+    }
+
+    #[test]
+    fn service_time_delays_the_response_until_the_timer() {
+        let mut r = Responder::new(ResponsePolicy::open(), 10, false);
+        assert!(!r.service_time.is_zero(), "delayed by default");
+        let mut broker = Broker::new(BrokerConfig::default());
+        let mut ctx = FakeCtx::new();
+        r.on_request(request(9), &mut broker, &mut ctx);
+        assert_eq!(r.responses_sent, 0, "nothing on the wire yet");
+        assert!(ctx.sent.is_empty());
+        assert_eq!(ctx.timers.len(), 1);
+        let token = ctx.timers[0];
+        let consumed = r.handle(&Incoming::Timer { token }, &mut broker, &mut ctx);
+        assert!(consumed);
+        assert_eq!(r.responses_sent, 1);
+        assert!(matches!(ctx.sent[0].2, Message::Response(_)));
+        // A stale/duplicate firing is consumed but sends nothing more.
+        assert!(r.handle(&Incoming::Timer { token }, &mut broker, &mut ctx));
+        assert_eq!(r.responses_sent, 1);
+        // Foreign timers are not consumed.
+        assert!(!r.handle(&Incoming::Timer { token: 1 }, &mut broker, &mut ctx));
+    }
+
+    #[test]
+    fn decode_flooded_request_roundtrip() {
+        let req = request(5);
+        let payload = Message::Discovery(req.clone()).to_bytes();
+        assert_eq!(Responder::decode_flooded_request(&payload), Some(req));
+        assert_eq!(Responder::decode_flooded_request(b"junk"), None);
+    }
+}

@@ -1,0 +1,288 @@
+//! The paper's five-site WAN testbed (Table 1) as a network model.
+//!
+//! The evaluation ran five brokers on hosts in Indianapolis (IN), the
+//! University of Minnesota (MN), NCSA (IL), Florida State (FL) and
+//! Cardiff (UK), with the discovery client usually in Bloomington (IN) —
+//! the Community Grids Lab, where multicast was available but filtered at
+//! the lab boundary. [`WanModel`] captures the site inventory and a
+//! one-way latency matrix calibrated to 2005-era Internet paths, and
+//! knows how to install itself into a [`NetworkModel`].
+
+use std::fmt;
+use std::time::Duration;
+
+use nb_wire::{NodeId, RealmId};
+
+use crate::link::{LinkSpec, NetworkModel};
+
+/// Index of a site within the [`WanModel`].
+pub type SiteIdx = usize;
+
+/// One site of the testbed.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Short name used in figure labels ("Bloomington", "Cardiff" …).
+    pub name: &'static str,
+    /// Hostname of the machine at this site (Table 1).
+    pub host: &'static str,
+    /// Location string (Table 1).
+    pub location: &'static str,
+    /// Machine specification summary (Table 1, `uname -a`).
+    pub machine: &'static str,
+    /// JVM version the paper ran (Table 1); retained for the inventory
+    /// printout — this reproduction runs native code.
+    pub jvm: &'static str,
+    /// Network realm: one per site; multicast never crosses it.
+    pub realm: RealmId,
+    /// Memory available to a broker process on this machine (bytes);
+    /// feeds the usage metric in discovery responses.
+    pub total_memory: u64,
+}
+
+/// The Bloomington client lab (site 0 in the model).
+pub const BLOOMINGTON: SiteIdx = 0;
+/// complexity.ucs.indiana.edu — Indianapolis, IN.
+pub const INDIANAPOLIS: SiteIdx = 1;
+/// webis.msi.umn.edu — University of Minnesota.
+pub const UMN: SiteIdx = 2;
+/// tungsten.ncsa.uiuc.edu — NCSA, UIUC, IL.
+pub const NCSA: SiteIdx = 3;
+/// pamd2.fsit.fsu.edu — Florida State University.
+pub const FSU: SiteIdx = 4;
+/// bouscat.cs.cf.ac.uk — Cardiff, UK.
+pub const CARDIFF: SiteIdx = 5;
+
+const GIB: u64 = 1024 * 1024 * 1024;
+
+/// The Table-1 testbed: sites plus a one-way latency matrix.
+#[derive(Debug, Clone)]
+pub struct WanModel {
+    sites: Vec<Site>,
+    /// One-way latency in milliseconds, symmetric.
+    one_way_ms: Vec<Vec<f64>>,
+}
+
+impl Default for WanModel {
+    fn default() -> Self {
+        WanModel::paper()
+    }
+}
+
+impl WanModel {
+    /// The paper's testbed.
+    pub fn paper() -> WanModel {
+        let sites = vec![
+            Site {
+                name: "Bloomington",
+                host: "gridfarm.ucs.indiana.edu",
+                location: "Bloomington, IN, USA (Community Grids Lab)",
+                machine: "Linux x86 lab workstation",
+                jvm: "Java HotSpot(TM) Client VM 1.4.2",
+                realm: RealmId(0),
+                total_memory: GIB,
+            },
+            Site {
+                name: "Indianapolis",
+                host: "complexity.ucs.indiana.edu",
+                location: "Indianapolis, IN, USA",
+                machine: "SunOS 5.9 Generic sun4u sparc SUNW,Sun-Fire-880",
+                jvm: "Java HotSpot(TM) Client VM 1.5.0-beta",
+                realm: RealmId(1),
+                total_memory: 8 * GIB,
+            },
+            Site {
+                name: "UMN",
+                host: "webis.msi.umn.edu",
+                location: "University of Minnesota, Minneapolis, MN, USA",
+                machine: "Linux 2.6 x86_64 AMD Opteron(tm) Processor 240",
+                jvm: "Java HotSpot(TM) 64-Bit Server VM (Blackdown)",
+                realm: RealmId(2),
+                total_memory: 4 * GIB,
+            },
+            Site {
+                name: "NCSA",
+                host: "tungsten.ncsa.uiuc.edu",
+                location: "NCSA, UIUC, IL, USA",
+                machine: "Linux 2.4 SMP i686 (tungsten cluster node)",
+                jvm: "Java HotSpot(TM) Client VM 1.4.1_01",
+                realm: RealmId(3),
+                total_memory: 2 * GIB,
+            },
+            Site {
+                name: "FSU",
+                host: "pamd2.fsit.fsu.edu",
+                location: "Florida State University, Tallahassee, FL, USA",
+                machine: "Linux 2.4 SMP i686",
+                jvm: "Java HotSpot(TM) Client VM (Blackdown beta)",
+                realm: RealmId(4),
+                total_memory: GIB,
+            },
+            Site {
+                name: "Cardiff",
+                host: "bouscat.cs.cf.ac.uk",
+                location: "Cardiff University, Cardiff, UK",
+                machine: "Linux 2.4 SMP i686",
+                jvm: "Java HotSpot(TM) Client VM 1.4.1_01",
+                realm: RealmId(5),
+                total_memory: GIB,
+            },
+        ];
+        // One-way latencies (ms), calibrated to 2005 Abilene/GEANT paths:
+        // regional Indiana hops are a couple of ms, Midwest hops ~5-15 ms,
+        // IN->FL ~20 ms, and the transatlantic hop to Cardiff dominates.
+        let m = vec![
+            //            Blo   Indy  UMN   NCSA  FSU   Cardiff
+            /* Blo  */ vec![0.0, 1.5, 14.0, 6.0, 22.0, 54.0],
+            /* Indy */ vec![1.5, 0.0, 13.0, 5.0, 21.0, 53.0],
+            /* UMN  */ vec![14.0, 13.0, 0.0, 9.0, 30.0, 60.0],
+            /* NCSA */ vec![6.0, 5.0, 9.0, 0.0, 24.0, 57.0],
+            /* FSU  */ vec![22.0, 21.0, 30.0, 24.0, 0.0, 65.0],
+            /* Crdf */ vec![54.0, 53.0, 60.0, 57.0, 65.0, 0.0],
+        ];
+        WanModel { sites, one_way_ms: m }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the model has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The site at `idx`.
+    pub fn site(&self, idx: SiteIdx) -> &Site {
+        &self.sites[idx]
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// The five broker sites of the paper's experiments (everything but
+    /// the Bloomington client lab).
+    pub fn broker_sites(&self) -> [SiteIdx; 5] {
+        [INDIANAPOLIS, UMN, NCSA, FSU, CARDIFF]
+    }
+
+    /// One-way latency between two sites.
+    pub fn one_way(&self, a: SiteIdx, b: SiteIdx) -> Duration {
+        Duration::from_micros((self.one_way_ms[a][b] * 1e3) as u64)
+    }
+
+    /// The WAN link spec between two sites (loss grows with distance),
+    /// or a LAN spec within one site.
+    pub fn link_spec(&self, a: SiteIdx, b: SiteIdx) -> LinkSpec {
+        if a == b {
+            LinkSpec::lan()
+        } else {
+            LinkSpec::wan(self.one_way(a, b))
+        }
+    }
+
+    /// Installs the pairwise links between already-registered nodes whose
+    /// site placement is given by `placement: (node, site)`.
+    pub fn install(&self, network: &mut NetworkModel, placement: &[(NodeId, SiteIdx)]) {
+        for (i, &(na, sa)) in placement.iter().enumerate() {
+            for &(nb, sb) in placement.iter().skip(i + 1) {
+                network.set_link(na, nb, self.link_spec(sa, sb));
+            }
+        }
+    }
+}
+
+impl fmt::Display for WanModel {
+    /// Renders the Table-1 style machine inventory.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<13} {:<28} {:<46} {:<10}",
+            "Site", "Host", "Machine", "Memory"
+        )?;
+        for s in &self.sites {
+            writeln!(
+                f,
+                "{:<13} {:<28} {:<46} {:>6} MiB",
+                s.name,
+                s.host,
+                s.machine,
+                s.total_memory / (1024 * 1024)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let w = WanModel::paper();
+        for a in 0..w.len() {
+            assert_eq!(w.one_way(a, a), Duration::ZERO);
+            for b in 0..w.len() {
+                assert_eq!(w.one_way(a, b), w.one_way(b, a), "{a}<->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cardiff_is_farthest_from_bloomington() {
+        let w = WanModel::paper();
+        let d = |s| w.one_way(BLOOMINGTON, s);
+        for s in [INDIANAPOLIS, UMN, NCSA, FSU] {
+            assert!(d(CARDIFF) > d(s));
+        }
+        // And Indianapolis is nearest.
+        for s in [UMN, NCSA, FSU, CARDIFF] {
+            assert!(d(INDIANAPOLIS) < d(s));
+        }
+    }
+
+    #[test]
+    fn link_specs_reflect_distance() {
+        let w = WanModel::paper();
+        let near = w.link_spec(BLOOMINGTON, INDIANAPOLIS);
+        let far = w.link_spec(BLOOMINGTON, CARDIFF);
+        assert!(far.latency > near.latency);
+        assert!(far.loss > near.loss);
+        // same-site is a LAN
+        assert_eq!(w.link_spec(FSU, FSU), LinkSpec::lan());
+    }
+
+    #[test]
+    fn install_wires_all_pairs() {
+        let w = WanModel::paper();
+        let mut net = NetworkModel::new();
+        let nodes: Vec<(NodeId, SiteIdx)> =
+            (0..6).map(|i| (NodeId(i as u32), i as SiteIdx)).collect();
+        for &(n, s) in &nodes {
+            net.register_node(n, w.site(s).realm);
+        }
+        w.install(&mut net, &nodes);
+        let spec = net.spec_between(NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(spec.latency, w.one_way(BLOOMINGTON, CARDIFF));
+    }
+
+    #[test]
+    fn six_distinct_realms() {
+        let w = WanModel::paper();
+        let mut realms: Vec<u16> = w.sites().iter().map(|s| s.realm.0).collect();
+        realms.sort_unstable();
+        realms.dedup();
+        assert_eq!(realms.len(), 6);
+    }
+
+    #[test]
+    fn inventory_prints_all_hosts() {
+        let text = WanModel::paper().to_string();
+        for host in ["complexity.ucs.indiana.edu", "bouscat.cs.cf.ac.uk", "webis.msi.umn.edu"] {
+            assert!(text.contains(host), "{host} missing from inventory");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The XTEA block cipher in CBC mode with PKCS#7 padding.
+//!
+//! XTEA (Needham & Wheeler, 1997) is a 64-bit-block, 128-bit-key Feistel
+//! cipher — small enough to implement exactly and heavy enough that
+//! encryption cost in Figure 14 is real work.
+
+use std::fmt;
+
+const ROUNDS: u32 = 64; // 32 cycles
+const DELTA: u32 = 0x9E37_79B9;
+const BLOCK: usize = 8;
+
+/// Errors from decryption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CipherError {
+    /// Ciphertext length not a positive multiple of the block size.
+    BadLength,
+    /// Padding bytes malformed (wrong key or corrupt data).
+    BadPadding,
+}
+
+impl fmt::Display for CipherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CipherError::BadLength => f.write_str("ciphertext length invalid"),
+            CipherError::BadPadding => f.write_str("padding invalid (corrupt data or wrong key)"),
+        }
+    }
+}
+
+impl std::error::Error for CipherError {}
+
+fn key_words(key: &[u8; 16]) -> [u32; 4] {
+    [
+        u32::from_be_bytes(key[0..4].try_into().unwrap()),
+        u32::from_be_bytes(key[4..8].try_into().unwrap()),
+        u32::from_be_bytes(key[8..12].try_into().unwrap()),
+        u32::from_be_bytes(key[12..16].try_into().unwrap()),
+    ]
+}
+
+fn encrypt_block(k: &[u32; 4], block: &mut [u8]) {
+    let mut v0 = u32::from_be_bytes(block[0..4].try_into().unwrap());
+    let mut v1 = u32::from_be_bytes(block[4..8].try_into().unwrap());
+    let mut sum = 0u32;
+    for _ in 0..ROUNDS / 2 {
+        v0 = v0.wrapping_add(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k[(sum & 3) as usize])),
+        );
+        sum = sum.wrapping_add(DELTA);
+        v1 = v1.wrapping_add(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
+        );
+    }
+    block[0..4].copy_from_slice(&v0.to_be_bytes());
+    block[4..8].copy_from_slice(&v1.to_be_bytes());
+}
+
+fn decrypt_block(k: &[u32; 4], block: &mut [u8]) {
+    let mut v0 = u32::from_be_bytes(block[0..4].try_into().unwrap());
+    let mut v1 = u32::from_be_bytes(block[4..8].try_into().unwrap());
+    let mut sum = DELTA.wrapping_mul(ROUNDS / 2);
+    for _ in 0..ROUNDS / 2 {
+        v1 = v1.wrapping_sub(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(k[((sum >> 11) & 3) as usize])),
+        );
+        sum = sum.wrapping_sub(DELTA);
+        v0 = v0.wrapping_sub(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)) ^ (sum.wrapping_add(k[(sum & 3) as usize])),
+        );
+    }
+    block[0..4].copy_from_slice(&v0.to_be_bytes());
+    block[4..8].copy_from_slice(&v1.to_be_bytes());
+}
+
+/// Encrypts `plaintext` under `key` with CBC chaining from `iv`
+/// (PKCS#7-padded; output length is a multiple of 8).
+pub fn encrypt_cbc(key: &[u8; 16], iv: &[u8; BLOCK], plaintext: &[u8]) -> Vec<u8> {
+    let k = key_words(key);
+    let pad = BLOCK - (plaintext.len() % BLOCK);
+    let mut data = Vec::with_capacity(plaintext.len() + pad);
+    data.extend_from_slice(plaintext);
+    data.extend(std::iter::repeat_n(pad as u8, pad));
+    let mut prev = *iv;
+    for chunk in data.chunks_mut(BLOCK) {
+        for (b, p) in chunk.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        encrypt_block(&k, chunk);
+        prev.copy_from_slice(chunk);
+    }
+    data
+}
+
+/// Decrypts CBC ciphertext produced by [`encrypt_cbc`].
+pub fn decrypt_cbc(
+    key: &[u8; 16],
+    iv: &[u8; BLOCK],
+    ciphertext: &[u8],
+) -> Result<Vec<u8>, CipherError> {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK) {
+        return Err(CipherError::BadLength);
+    }
+    let k = key_words(key);
+    let mut data = ciphertext.to_vec();
+    let mut prev = *iv;
+    for chunk in data.chunks_mut(BLOCK) {
+        let this_cipher: [u8; BLOCK] = chunk.try_into().unwrap();
+        decrypt_block(&k, chunk);
+        for (b, p) in chunk.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        prev = this_cipher;
+    }
+    let pad = *data.last().unwrap() as usize;
+    if pad == 0 || pad > BLOCK || data.len() < pad {
+        return Err(CipherError::BadPadding);
+    }
+    if !data[data.len() - pad..].iter().all(|&b| b as usize == pad) {
+        return Err(CipherError::BadPadding);
+    }
+    data.truncate(data.len() - pad);
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 16] = [7; 16];
+    const IV: [u8; 8] = [9; 8];
+
+    #[test]
+    fn xtea_known_vector() {
+        // Published XTEA test vector: key=000102…0f, pt=4142434445464748.
+        let key: [u8; 16] =
+            [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+        let k = key_words(&key);
+        let mut block = *b"ABCDEFGH";
+        encrypt_block(&k, &mut block);
+        assert_eq!(block, [0x49, 0x7d, 0xf3, 0xd0, 0x72, 0x61, 0x2c, 0xb5]);
+        decrypt_block(&k, &mut block);
+        assert_eq!(&block, b"ABCDEFGH");
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let ct = encrypt_cbc(&KEY, &IV, &pt);
+            assert_eq!(ct.len() % 8, 0);
+            assert!(ct.len() > pt.len(), "padding always added");
+            assert_eq!(decrypt_cbc(&KEY, &IV, &ct).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails_or_garbles() {
+        let pt = b"attack at dawn".to_vec();
+        let ct = encrypt_cbc(&KEY, &IV, &pt);
+        let mut wrong = KEY;
+        wrong[0] ^= 1;
+        match decrypt_cbc(&wrong, &IV, &ct) {
+            Err(CipherError::BadPadding) => {}
+            Ok(garbled) => assert_ne!(garbled, pt),
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn tampered_ciphertext_detected_or_garbled() {
+        let pt = vec![0u8; 64];
+        let mut ct = encrypt_cbc(&KEY, &IV, &pt);
+        ct[3] ^= 0xFF;
+        match decrypt_cbc(&KEY, &IV, &ct) {
+            Err(CipherError::BadPadding) => {}
+            Ok(garbled) => assert_ne!(garbled, pt),
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn invalid_lengths_rejected() {
+        assert_eq!(decrypt_cbc(&KEY, &IV, &[]), Err(CipherError::BadLength));
+        assert_eq!(decrypt_cbc(&KEY, &IV, &[0; 7]), Err(CipherError::BadLength));
+        assert_eq!(decrypt_cbc(&KEY, &IV, &[0; 12]), Err(CipherError::BadLength));
+    }
+
+    #[test]
+    fn cbc_hides_repeating_blocks() {
+        let pt = vec![0x42u8; 64];
+        let ct = encrypt_cbc(&KEY, &IV, &pt);
+        let first = &ct[0..8];
+        assert!(ct[8..].chunks(8).all(|c| c != first), "CBC must not repeat ECB-style");
+    }
+
+    #[test]
+    fn different_iv_different_ciphertext() {
+        let pt = b"same plaintext".to_vec();
+        let c1 = encrypt_cbc(&KEY, &IV, &pt);
+        let c2 = encrypt_cbc(&KEY, &[1; 8], &pt);
+        assert_ne!(c1, c2);
+        assert_eq!(decrypt_cbc(&KEY, &[1; 8], &c2).unwrap(), pt);
+    }
+}

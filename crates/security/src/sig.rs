@@ -1,0 +1,141 @@
+//! Schnorr signatures over the group in [`crate::keys`].
+//!
+//! Sign: pick nonce `k`, compute `r = g^k`, `e = H(r ‖ m) mod q`,
+//! `s = k + e·x mod q`. Verify: `g^s == r · y^e (mod p)`.
+
+use rand::Rng;
+
+use crate::keys::{modpow, mulmod, KeyPair, PublicKey, G, P, Q};
+use crate::sha256::Sha256;
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// Challenge hash reduced mod `q`.
+    pub e: u64,
+    /// Response scalar.
+    pub s: u64,
+}
+
+impl Signature {
+    /// Serialises to 16 bytes.
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.e.to_be_bytes());
+        out[8..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses the 16-byte form.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Signature> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        Some(Signature {
+            e: u64::from_be_bytes(bytes[..8].try_into().unwrap()),
+            s: u64::from_be_bytes(bytes[8..].try_into().unwrap()),
+        })
+    }
+}
+
+fn challenge(r: u64, message: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(&r.to_be_bytes()).update(message);
+    let digest = h.finalize();
+    u64::from_be_bytes(digest[..8].try_into().unwrap()) % Q
+}
+
+/// Signs `message` with `key`.
+pub fn sign<R: Rng + ?Sized>(key: &KeyPair, message: &[u8], rng: &mut R) -> Signature {
+    loop {
+        let k = rng.gen_range(1..Q);
+        let r = modpow(G, k, P);
+        let e = challenge(r, message);
+        if e == 0 {
+            continue; // degenerate challenge; resample nonce
+        }
+        let s = (u128::from(k) + u128::from(e) * u128::from(key.private)) % u128::from(Q);
+        return Signature { e, s: s as u64 };
+    }
+}
+
+/// Verifies `sig` over `message` against `public`.
+pub fn verify(public: PublicKey, message: &[u8], sig: &Signature) -> bool {
+    if sig.e == 0 || sig.e >= Q || sig.s >= Q {
+        return false;
+    }
+    // r' = g^s * y^(-e) = g^s * y^(q - e)  (y has order q)
+    let gs = modpow(G, sig.s, P);
+    let y_neg_e = modpow(public.0, Q - sig.e, P);
+    let r = mulmod(gs, y_neg_e, P);
+    challenge(r, message) == sig.e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let key = KeyPair::generate(&mut rng);
+        for msg in [&b""[..], b"x", b"the quick brown fox", &[0u8; 1000]] {
+            let sig = sign(&key, msg, &mut rng);
+            assert!(verify(key.public, msg, &sig));
+        }
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let key = KeyPair::generate(&mut rng);
+        let sig = sign(&key, b"pay alice 10", &mut rng);
+        assert!(!verify(key.public, b"pay alice 99", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let key = KeyPair::generate(&mut rng);
+        let other = KeyPair::generate(&mut rng);
+        let sig = sign(&key, b"msg", &mut rng);
+        assert!(!verify(other.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn malformed_signatures_rejected() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let key = KeyPair::generate(&mut rng);
+        let sig = sign(&key, b"msg", &mut rng);
+        assert!(!verify(key.public, b"msg", &Signature { e: 0, s: sig.s }));
+        assert!(!verify(key.public, b"msg", &Signature { e: Q, s: sig.s }));
+        assert!(!verify(key.public, b"msg", &Signature { e: sig.e, s: Q }));
+        let mut flipped = sig;
+        flipped.s ^= 1;
+        assert!(!verify(key.public, b"msg", &flipped));
+    }
+
+    #[test]
+    fn byte_serialisation_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let key = KeyPair::generate(&mut rng);
+        let sig = sign(&key, b"serialize me", &mut rng);
+        let back = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(back, sig);
+        assert!(Signature::from_bytes(&[0; 15]).is_none());
+        assert!(Signature::from_bytes(&[0; 17]).is_none());
+    }
+
+    #[test]
+    fn signatures_are_randomised() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let key = KeyPair::generate(&mut rng);
+        let s1 = sign(&key, b"m", &mut rng);
+        let s2 = sign(&key, b"m", &mut rng);
+        assert_ne!(s1, s2, "nonces must differ");
+        assert!(verify(key.public, b"m", &s1));
+        assert!(verify(key.public, b"m", &s2));
+    }
+}

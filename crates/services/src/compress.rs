@@ -1,0 +1,314 @@
+//! Payload (de)compression — an LZSS codec implemented from scratch.
+//!
+//! Format: a 1-byte tag (`0` = stored raw, `1` = LZSS) followed by a
+//! `u32` big-endian original length, then the body. LZSS body is a
+//! stream of 8-item groups: a flags byte (bit `i` set ⇒ item `i` is a
+//! back-reference) followed by items — a literal byte, or a 2-byte
+//! `(distance: 12 bits, length-3: 4 bits)` reference into a 4 KiB
+//! window. Incompressible inputs are stored raw, so the envelope never
+//! grows by more than 5 bytes.
+
+use std::fmt;
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = MIN_MATCH + 15; // 4-bit length field
+
+const TAG_RAW: u8 = 0;
+const TAG_LZSS: u8 = 1;
+
+/// Errors raised while decompressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The envelope was shorter than its header.
+    Truncated,
+    /// Unknown format tag.
+    BadTag(u8),
+    /// A back-reference pointed before the start of the output.
+    BadReference,
+    /// The body decoded to a different length than the header claimed.
+    LengthMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::Truncated => f.write_str("compressed envelope truncated"),
+            CompressError::BadTag(t) => write!(f, "unknown compression tag {t}"),
+            CompressError::BadReference => f.write_str("back-reference out of range"),
+            CompressError::LengthMismatch { expected, got } => {
+                write!(f, "decoded {got} bytes, header claimed {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Compresses `data` into a self-describing envelope. Falls back to raw
+/// storage when LZSS does not help.
+///
+/// ```
+/// use nb_services::{compress_payload, decompress_payload};
+///
+/// let log = b"sensor,reading\n".repeat(500);
+/// let envelope = compress_payload(&log);
+/// assert!(envelope.len() < log.len() / 2);
+/// assert_eq!(decompress_payload(&envelope).unwrap(), log);
+/// ```
+pub fn compress_payload(data: &[u8]) -> Vec<u8> {
+    let lz = lzss_encode(data);
+    let mut out = Vec::with_capacity(lz.len().min(data.len()) + 5);
+    if lz.len() < data.len() {
+        out.push(TAG_LZSS);
+        out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        out.extend_from_slice(&lz);
+    } else {
+        out.push(TAG_RAW);
+        out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Decompresses an envelope produced by [`compress_payload`].
+pub fn decompress_payload(envelope: &[u8]) -> Result<Vec<u8>, CompressError> {
+    if envelope.len() < 5 {
+        return Err(CompressError::Truncated);
+    }
+    let tag = envelope[0];
+    let expected = u32::from_be_bytes(envelope[1..5].try_into().unwrap()) as usize;
+    let body = &envelope[5..];
+    let out = match tag {
+        TAG_RAW => body.to_vec(),
+        TAG_LZSS => lzss_decode(body, expected)?,
+        other => return Err(CompressError::BadTag(other)),
+    };
+    if out.len() != expected {
+        return Err(CompressError::LengthMismatch { expected, got: out.len() });
+    }
+    Ok(out)
+}
+
+/// Ratio helper: `compressed_len / original_len` (1.0+ε for raw storage).
+pub fn compression_ratio(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    compress_payload(data).len() as f64 / data.len() as f64
+}
+
+fn lzss_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // 3-byte hash chains for match finding.
+    let mut head = vec![usize::MAX; 1 << 13];
+    let mut prev = vec![usize::MAX; data.len().max(1)];
+    let hash = |a: u8, b: u8, c: u8| -> usize {
+        ((usize::from(a) << 10) ^ (usize::from(b) << 5) ^ usize::from(c)) & ((1 << 13) - 1)
+    };
+
+    let mut i = 0;
+    let mut flags_pos = usize::MAX;
+    let mut flags = 0u8;
+    let mut item = 0u8;
+    while i < data.len() {
+        if item == 0 {
+            flags_pos = out.len();
+            out.push(0);
+            flags = 0;
+        }
+        // Find the longest match within the window via the hash chain.
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data[i], data[i + 1], data[i + 2]);
+            let mut candidate = head[h];
+            let mut tries = 32; // bounded chain walk
+            while candidate != usize::MAX && tries > 0 {
+                let dist = i - candidate;
+                if dist > WINDOW {
+                    break;
+                }
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < limit && data[candidate + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l == limit {
+                        break;
+                    }
+                }
+                candidate = prev[candidate];
+                tries -= 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            flags |= 1 << item;
+            debug_assert!((1..=WINDOW).contains(&best_dist));
+            let token: u16 = (((best_dist - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
+            out.extend_from_slice(&token.to_be_bytes());
+            // Insert hash entries for every covered position.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= data.len() {
+                    let h = hash(data[i], data[i + 1], data[i + 2]);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            out.push(data[i]);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash(data[i], data[i + 1], data[i + 2]);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+        item += 1;
+        if item == 8 {
+            out[flags_pos] = flags;
+            item = 0;
+        }
+    }
+    if item != 0 {
+        out[flags_pos] = flags;
+    }
+    out
+}
+
+fn lzss_decode(body: &[u8], expected: usize) -> Result<Vec<u8>, CompressError> {
+    let mut out = Vec::with_capacity(expected);
+    let mut pos = 0;
+    while pos < body.len() && out.len() < expected {
+        let flags = body[pos];
+        pos += 1;
+        for item in 0..8 {
+            if out.len() >= expected {
+                break;
+            }
+            if pos >= body.len() {
+                return Err(CompressError::Truncated);
+            }
+            if flags & (1 << item) != 0 {
+                if pos + 2 > body.len() {
+                    return Err(CompressError::Truncated);
+                }
+                let token = u16::from_be_bytes(body[pos..pos + 2].try_into().unwrap());
+                pos += 2;
+                let dist = usize::from(token >> 4) + 1;
+                let len = usize::from(token & 0xF) + MIN_MATCH;
+                if dist > out.len() {
+                    return Err(CompressError::BadReference);
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            } else {
+                out.push(body[pos]);
+                pos += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"abc"] {
+            let env = compress_payload(data);
+            assert_eq!(decompress_payload(&env).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_shrinks_substantially() {
+        let data = b"Services/BrokerDiscoveryNodes/BrokerAdvertisement ".repeat(100);
+        let env = compress_payload(&data);
+        assert!(
+            env.len() < data.len() / 3,
+            "{} -> {} bytes: poor ratio",
+            data.len(),
+            env.len()
+        );
+        assert_eq!(decompress_payload(&env).unwrap(), data);
+    }
+
+    #[test]
+    fn zeros_compress_nearly_away() {
+        let data = vec![0u8; 10_000];
+        let env = compress_payload(&data);
+        // The 4-bit length field caps matches at 18 bytes, so the floor
+        // is ~12% of the input plus flag bytes.
+        assert!(env.len() < 1300, "{} bytes for 10k zeros", env.len());
+        assert_eq!(decompress_payload(&env).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_is_stored_raw_with_bounded_overhead() {
+        // A deterministic pseudo-random byte stream.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        let env = compress_payload(&data);
+        assert!(env.len() <= data.len() + 5, "overhead bounded");
+        assert_eq!(env[0], TAG_RAW);
+        assert_eq!(decompress_payload(&env).unwrap(), data);
+    }
+
+    #[test]
+    fn long_matches_cross_group_boundaries() {
+        let mut data = Vec::new();
+        for i in 0..50u8 {
+            data.extend_from_slice(&[i; 40]);
+        }
+        let env = compress_payload(&data);
+        assert_eq!(decompress_payload(&env).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_envelopes_are_rejected() {
+        let env = compress_payload(&b"hello world hello world hello world".repeat(4));
+        assert_eq!(decompress_payload(&env[..3]), Err(CompressError::Truncated));
+        assert!(decompress_payload(&env[..env.len() - 1]).is_err());
+        assert_eq!(decompress_payload(&[]), Err(CompressError::Truncated));
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut env = compress_payload(b"x");
+        env[0] = 9;
+        assert_eq!(decompress_payload(&env), Err(CompressError::BadTag(9)));
+    }
+
+    #[test]
+    fn corrupted_reference_detected() {
+        // Hand-craft an LZSS body whose first item is a back-reference
+        // with nothing in the window.
+        let mut env = vec![TAG_LZSS];
+        env.extend_from_slice(&10u32.to_be_bytes());
+        env.push(0b0000_0001); // first item is a reference
+        env.extend_from_slice(&0u16.to_be_bytes()); // dist=1 into empty output
+        assert_eq!(decompress_payload(&env), Err(CompressError::BadReference));
+    }
+
+    #[test]
+    fn ratio_helper_sane() {
+        assert_eq!(compression_ratio(&[]), 1.0);
+        assert!(compression_ratio(&vec![7u8; 4096]) < 0.15);
+    }
+}

@@ -1,0 +1,314 @@
+//! Fragmentation and coalescing of large payloads.
+//!
+//! The paper's substrate supports "fragmentation and coalescing of large
+//! datasets" (§1). [`fragment_payload`] splits a payload into MTU-sized
+//! [`Fragment`]s (each self-describing: message id, index, count), and a
+//! [`Reassembler`] coalesces them — tolerant of out-of-order arrival,
+//! duplicates and interleaved messages, with stale partial assemblies
+//! expiring after a configurable age.
+
+use std::collections::HashMap;
+
+use nb_net::SimTime;
+use nb_util::Uuid;
+use nb_wire::{Wire, WireError, WireReader, WireWriter};
+
+/// One fragment of a larger payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Identifies the original message.
+    pub message_id: Uuid,
+    /// This fragment's position (0-based).
+    pub index: u32,
+    /// Total fragments in the message.
+    pub count: u32,
+    /// The chunk bytes.
+    pub chunk: Vec<u8>,
+}
+
+impl Wire for Fragment {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_uuid(self.message_id);
+        w.put_u32(self.index);
+        w.put_u32(self.count);
+        w.put_bytes(&self.chunk);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let f = Fragment {
+            message_id: r.get_uuid()?,
+            index: r.get_u32()?,
+            count: r.get_u32()?,
+            chunk: r.get_bytes()?,
+        };
+        if f.count == 0 || f.index >= f.count {
+            return Err(WireError::Invalid("fragment index/count"));
+        }
+        Ok(f)
+    }
+}
+
+/// Splits `payload` into fragments of at most `mtu` bytes each.
+///
+/// An empty payload yields a single empty fragment so the receiver still
+/// observes the message.
+///
+/// ```
+/// use std::time::Duration;
+/// use nb_services::{fragment_payload, Reassembler};
+/// use nb_util::Uuid;
+/// use nb_net::SimTime;
+///
+/// let data = vec![7u8; 4000];
+/// let frags = fragment_payload(Uuid::from_u128(1), &data, 1400);
+/// assert_eq!(frags.len(), 3);
+/// let mut r = Reassembler::new(Duration::from_secs(30), 8);
+/// let mut out = None;
+/// for f in frags {
+///     out = r.accept(f, SimTime::ZERO).or(out);
+/// }
+/// assert_eq!(out.unwrap(), data);
+/// ```
+///
+/// # Panics
+/// Panics if `mtu` is zero.
+pub fn fragment_payload(message_id: Uuid, payload: &[u8], mtu: usize) -> Vec<Fragment> {
+    assert!(mtu > 0, "mtu must be positive");
+    if payload.is_empty() {
+        return vec![Fragment { message_id, index: 0, count: 1, chunk: Vec::new() }];
+    }
+    let count = payload.len().div_ceil(mtu);
+    payload
+        .chunks(mtu)
+        .enumerate()
+        .map(|(i, chunk)| Fragment {
+            message_id,
+            index: i as u32,
+            count: count as u32,
+            chunk: chunk.to_vec(),
+        })
+        .collect()
+}
+
+#[derive(Debug)]
+struct Partial {
+    chunks: Vec<Option<Vec<u8>>>,
+    received: usize,
+    first_seen: SimTime,
+}
+
+/// Coalesces fragments back into payloads.
+#[derive(Debug)]
+pub struct Reassembler {
+    partials: HashMap<Uuid, Partial>,
+    max_age: std::time::Duration,
+    max_partials: usize,
+    /// Completed messages.
+    pub completed: u64,
+    /// Fragments dropped (duplicates, inconsistent metadata).
+    pub dropped: u64,
+    /// Partial assemblies expired.
+    pub expired: u64,
+}
+
+impl Reassembler {
+    /// A reassembler expiring partials older than `max_age`, tracking at
+    /// most `max_partials` messages at once (oldest evicted beyond that).
+    pub fn new(max_age: std::time::Duration, max_partials: usize) -> Reassembler {
+        Reassembler {
+            partials: HashMap::new(),
+            max_age,
+            max_partials: max_partials.max(1),
+            completed: 0,
+            dropped: 0,
+            expired: 0,
+        }
+    }
+
+    /// Number of messages currently mid-assembly.
+    pub fn pending(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Feeds one fragment at local time `now`; returns the full payload
+    /// when this fragment completes its message.
+    pub fn accept(&mut self, fragment: Fragment, now: SimTime) -> Option<Vec<u8>> {
+        self.expire(now);
+        let count = fragment.count as usize;
+        if count == 0 || fragment.index as usize >= count {
+            self.dropped += 1;
+            return None;
+        }
+        let partial = self.partials.entry(fragment.message_id).or_insert_with(|| Partial {
+            chunks: {
+                let mut v = Vec::with_capacity(count);
+                v.resize_with(count, || None);
+                v
+            },
+            received: 0,
+            first_seen: now,
+        });
+        if partial.chunks.len() != count {
+            // Inconsistent metadata for the same message id.
+            self.dropped += 1;
+            return None;
+        }
+        let slot = &mut partial.chunks[fragment.index as usize];
+        if slot.is_some() {
+            self.dropped += 1; // duplicate
+            return None;
+        }
+        *slot = Some(fragment.chunk);
+        partial.received += 1;
+        if partial.received == count {
+            let done = self.partials.remove(&fragment.message_id).expect("present");
+            self.completed += 1;
+            let mut payload = Vec::new();
+            for chunk in done.chunks {
+                payload.extend(chunk.expect("all chunks received"));
+            }
+            return Some(payload);
+        }
+        // Bound memory: evict the oldest partial beyond the cap.
+        if self.partials.len() > self.max_partials {
+            if let Some((&oldest, _)) =
+                self.partials.iter().min_by_key(|(id, p)| (p.first_seen, id.as_u128()))
+            {
+                self.partials.remove(&oldest);
+                self.expired += 1;
+            }
+        }
+        None
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        let max_age = self.max_age;
+        let before = self.partials.len();
+        self.partials.retain(|_, p| now - p.first_seen <= max_age);
+        self.expired += (before - self.partials.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn roundtrip_in_order() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let frags = fragment_payload(Uuid::from_u128(1), &payload, 1400);
+        assert_eq!(frags.len(), 8);
+        let mut r = Reassembler::new(Duration::from_secs(30), 64);
+        let mut out = None;
+        for f in frags {
+            out = r.accept(f, t(0)).or(out);
+        }
+        assert_eq!(out.unwrap(), payload);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn roundtrip_out_of_order_with_duplicates() {
+        let payload = b"the quick brown fox jumps over the lazy dog".repeat(50);
+        let mut frags = fragment_payload(Uuid::from_u128(2), &payload, 100);
+        frags.reverse();
+        let dup = frags[3].clone();
+        frags.insert(10, dup); // duplicate arrives mid-assembly
+        let mut r = Reassembler::new(Duration::from_secs(30), 64);
+        let mut out = None;
+        for f in frags {
+            if let Some(p) = r.accept(f, t(1)) {
+                out = Some(p);
+            }
+        }
+        assert_eq!(out.unwrap(), payload);
+        assert_eq!(r.dropped, 1, "the duplicate was counted");
+    }
+
+    #[test]
+    fn interleaved_messages_assemble_independently() {
+        let a = vec![1u8; 5000];
+        let b = vec![2u8; 7000];
+        let fa = fragment_payload(Uuid::from_u128(10), &a, 1000);
+        let fb = fragment_payload(Uuid::from_u128(11), &b, 1000);
+        let mut r = Reassembler::new(Duration::from_secs(30), 64);
+        let mut done = Vec::new();
+        for (x, y) in fa.iter().zip(fb.iter()) {
+            if let Some(p) = r.accept(x.clone(), t(2)) {
+                done.push(p);
+            }
+            if let Some(p) = r.accept(y.clone(), t(2)) {
+                done.push(p);
+            }
+        }
+        for f in fb.iter().skip(fa.len()) {
+            if let Some(p) = r.accept(f.clone(), t(2)) {
+                done.push(p);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done.contains(&a));
+        assert!(done.contains(&b));
+    }
+
+    #[test]
+    fn stale_partials_expire() {
+        let payload = vec![9u8; 3000];
+        let frags = fragment_payload(Uuid::from_u128(3), &payload, 1000);
+        let mut r = Reassembler::new(Duration::from_millis(100), 64);
+        r.accept(frags[0].clone(), t(0));
+        assert_eq!(r.pending(), 1);
+        // Much later, the rest arrives — too late.
+        r.accept(frags[1].clone(), t(500));
+        assert_eq!(r.expired, 1);
+        // The late fragment started a fresh partial.
+        assert_eq!(r.pending(), 1);
+        assert_eq!(r.completed, 0);
+    }
+
+    #[test]
+    fn partial_cap_evicts_oldest() {
+        let mut r = Reassembler::new(Duration::from_secs(3600), 2);
+        for i in 0..4u128 {
+            let frags = fragment_payload(Uuid::from_u128(i), &[1u8; 2000], 1000);
+            r.accept(frags[0].clone(), t(i as u64));
+        }
+        assert!(r.pending() <= 3, "cap enforced (got {})", r.pending());
+        assert!(r.expired >= 1);
+    }
+
+    #[test]
+    fn empty_payload_still_roundtrips() {
+        let frags = fragment_payload(Uuid::from_u128(4), &[], 1000);
+        assert_eq!(frags.len(), 1);
+        let mut r = Reassembler::new(Duration::from_secs(1), 4);
+        assert_eq!(r.accept(frags[0].clone(), t(0)).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn malformed_fragments_rejected() {
+        let mut r = Reassembler::new(Duration::from_secs(1), 4);
+        let bad = Fragment { message_id: Uuid::from_u128(5), index: 3, count: 2, chunk: vec![] };
+        assert!(r.accept(bad, t(0)).is_none());
+        assert_eq!(r.dropped, 1);
+        // Inconsistent count for the same message id.
+        let f1 = Fragment { message_id: Uuid::from_u128(6), index: 0, count: 3, chunk: vec![1] };
+        let f2 = Fragment { message_id: Uuid::from_u128(6), index: 1, count: 4, chunk: vec![2] };
+        r.accept(f1, t(0));
+        assert!(r.accept(f2, t(0)).is_none());
+        assert_eq!(r.dropped, 2);
+    }
+
+    #[test]
+    fn wire_roundtrip_and_validation() {
+        let f = Fragment { message_id: Uuid::from_u128(7), index: 1, count: 4, chunk: vec![1, 2] };
+        assert_eq!(Fragment::from_bytes(&f.to_bytes()).unwrap(), f);
+        let bad = Fragment { message_id: Uuid::from_u128(7), index: 4, count: 4, chunk: vec![] };
+        assert!(Fragment::from_bytes(&bad.to_bytes()).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Event replay: a bounded per-topic store serving reconnecting
+//! consumers.
+//!
+//! The substrate's "replays" service (§1). A [`ReplayStore`] remembers
+//! the most recent events per topic; the embeddable [`ReplayService`]
+//! answers [`nb_wire::Message::ReplayRequest`] datagrams by streaming the
+//! stored events matching the requested filter back to the requester as
+//! ordinary `Publish` datagrams (oldest first).
+
+use std::collections::BTreeMap;
+
+use nb_util::RingBuffer;
+use nb_wire::addr::well_known;
+use nb_wire::{Event, Message, Topic, TopicFilter};
+
+use nb_net::{Context, Incoming};
+
+/// A bounded per-topic event store.
+#[derive(Debug)]
+pub struct ReplayStore {
+    per_topic: usize,
+    topics: BTreeMap<Topic, RingBuffer<Event>>,
+    /// Events recorded.
+    pub recorded: u64,
+    /// Events evicted by the per-topic bound.
+    pub evicted: u64,
+}
+
+impl ReplayStore {
+    /// A store keeping the last `per_topic` events of each topic.
+    ///
+    /// # Panics
+    /// Panics if `per_topic` is zero.
+    pub fn new(per_topic: usize) -> ReplayStore {
+        assert!(per_topic > 0, "per-topic capacity must be positive");
+        ReplayStore { per_topic, topics: BTreeMap::new(), recorded: 0, evicted: 0 }
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, event: Event) {
+        let ring = self
+            .topics
+            .entry(event.topic.clone())
+            .or_insert_with(|| RingBuffer::new(self.per_topic));
+        if ring.push(event).is_some() {
+            self.evicted += 1;
+        }
+        self.recorded += 1;
+    }
+
+    /// Stored events matching `filter`, oldest first, capped at `limit`
+    /// (the *most recent* `limit` survive the cap).
+    pub fn replay(&self, filter: &TopicFilter, limit: usize) -> Vec<Event> {
+        let mut out: Vec<Event> = self
+            .topics
+            .iter()
+            .filter(|(topic, _)| filter.matches(topic))
+            .flat_map(|(_, ring)| ring.iter().cloned())
+            .collect();
+        // Interleave topics in a stable order: by event id is arbitrary,
+        // so order by topic then arrival (ring order) — already grouped;
+        // cross-topic ordering is not meaningful without global sequence
+        // numbers, so keep the grouped order deterministic.
+        if out.len() > limit {
+            out.drain(..out.len() - limit);
+        }
+        out
+    }
+
+    /// Number of topics with stored events.
+    pub fn topic_count(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Total stored events.
+    pub fn len(&self) -> usize {
+        self.topics.values().map(RingBuffer::len).sum()
+    }
+
+    /// Whether nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+}
+
+/// An embeddable service answering replay requests from a store.
+#[derive(Debug)]
+pub struct ReplayService {
+    /// The backing store (owners record into it directly).
+    pub store: ReplayStore,
+    /// Replay requests served.
+    pub requests_served: u64,
+    /// Events streamed back.
+    pub events_replayed: u64,
+}
+
+impl ReplayService {
+    /// A service with a fresh store of the given per-topic capacity.
+    pub fn new(per_topic: usize) -> ReplayService {
+        ReplayService { store: ReplayStore::new(per_topic), requests_served: 0, events_replayed: 0 }
+    }
+
+    /// Offers an incoming event; returns `true` when it was a replay
+    /// request this service answered.
+    pub fn handle(&mut self, event: &Incoming, ctx: &mut dyn Context) -> bool {
+        let (Incoming::Datagram { msg: Message::ReplayRequest { filter, limit, reply_to }, .. }
+        | Incoming::Stream { msg: Message::ReplayRequest { filter, limit, reply_to }, .. }) =
+            event
+        else {
+            return false;
+        };
+        self.requests_served += 1;
+        for ev in self.store.replay(filter, *limit as usize) {
+            ctx.send_udp(well_known::BROKER, *reply_to, &Message::Publish(ev));
+            self.events_replayed += 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_util::Uuid;
+    use nb_wire::NodeId;
+
+    fn ev(topic: &str, n: u128) -> Event {
+        Event {
+            id: Uuid::from_u128(n),
+            topic: Topic::parse(topic).unwrap(),
+            source: NodeId(1),
+            payload: vec![n as u8],
+        }
+    }
+
+    fn f(s: &str) -> TopicFilter {
+        TopicFilter::parse(s).unwrap()
+    }
+
+    #[test]
+    fn records_and_replays_matching_topics_in_order() {
+        let mut store = ReplayStore::new(10);
+        for i in 0..5 {
+            store.record(ev("sensors/temp", i));
+        }
+        store.record(ev("news/world", 100));
+        let got = store.replay(&f("sensors/*"), 100);
+        assert_eq!(got.len(), 5);
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(e.id, Uuid::from_u128(i as u128), "oldest first");
+        }
+        assert_eq!(store.replay(&f("**"), 100).len(), 6);
+        assert!(store.replay(&f("nothing/here"), 100).is_empty());
+    }
+
+    #[test]
+    fn per_topic_bound_keeps_the_newest() {
+        let mut store = ReplayStore::new(3);
+        for i in 0..10 {
+            store.record(ev("t", i));
+        }
+        let got = store.replay(&f("t"), 100);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].id, Uuid::from_u128(7));
+        assert_eq!(got[2].id, Uuid::from_u128(9));
+        assert_eq!(store.evicted, 7);
+    }
+
+    #[test]
+    fn limit_keeps_the_most_recent() {
+        let mut store = ReplayStore::new(10);
+        for i in 0..6 {
+            store.record(ev("t", i));
+        }
+        let got = store.replay(&f("t"), 2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id, Uuid::from_u128(4));
+        assert_eq!(got[1].id, Uuid::from_u128(5));
+    }
+
+    #[test]
+    fn counters_and_emptiness() {
+        let mut store = ReplayStore::new(4);
+        assert!(store.is_empty());
+        store.record(ev("a", 1));
+        store.record(ev("b/c", 2));
+        assert_eq!(store.topic_count(), 2);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.recorded, 2);
+        assert!(!store.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Bounded duplicate-suppression cache.
+//!
+//! Paper §4: *"Every broker keeps track of the last 1000 (this number can
+//! be configured through the broker configuration file) broker discovery
+//! requests so that additional CPU/network cycles are not expended on
+//! previously processed requests."*
+//!
+//! [`BoundedDedup`] remembers the most recent `capacity` distinct keys in
+//! insertion order; when full, the oldest key is evicted. All operations
+//! are O(1) expected.
+
+use std::collections::{HashSet, VecDeque};
+use std::hash::Hash;
+
+/// Remembers the last `capacity` distinct keys seen.
+///
+/// ```
+/// use nb_util::BoundedDedup;
+///
+/// let mut seen = BoundedDedup::new(1000); // the paper's last-1000 cache
+/// assert!(seen.check_and_insert("req-1"), "first sighting: process it");
+/// assert!(!seen.check_and_insert("req-1"), "retransmission: suppress it");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedDedup<K: Hash + Eq + Clone> {
+    capacity: usize,
+    seen: HashSet<K>,
+    order: VecDeque<K>,
+}
+
+impl<K: Hash + Eq + Clone> BoundedDedup<K> {
+    /// Creates a cache remembering at most `capacity` keys.
+    ///
+    /// A capacity of zero is allowed and makes every key "fresh"
+    /// (no suppression), which is useful for disabling the cache.
+    pub fn new(capacity: usize) -> Self {
+        BoundedDedup {
+            capacity,
+            seen: HashSet::with_capacity(capacity.min(4096)),
+            order: VecDeque::with_capacity(capacity.min(4096)),
+        }
+    }
+
+    /// Records `key`; returns `true` if it was *not* already remembered
+    /// (i.e. the caller should process it), `false` for a duplicate.
+    pub fn check_and_insert(&mut self, key: K) -> bool {
+        if self.capacity == 0 {
+            return true;
+        }
+        if self.seen.contains(&key) {
+            return false;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.seen.insert(key.clone());
+        self.order.push_back(key);
+        true
+    }
+
+    /// Whether `key` is currently remembered (no mutation).
+    pub fn contains(&self, key: &K) -> bool {
+        self.seen.contains(key)
+    }
+
+    /// Number of keys currently remembered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the cache currently remembers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Forgets everything.
+    pub fn clear(&mut self) {
+        self.seen.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sight_is_fresh_second_is_duplicate() {
+        let mut d = BoundedDedup::new(10);
+        assert!(d.check_and_insert("a"));
+        assert!(!d.check_and_insert("a"));
+        assert!(d.check_and_insert("b"));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut d = BoundedDedup::new(3);
+        for k in 0..3 {
+            assert!(d.check_and_insert(k));
+        }
+        assert!(d.check_and_insert(3)); // evicts 0
+        assert!(!d.contains(&0));
+        assert!(d.contains(&1));
+        assert!(d.check_and_insert(0)); // 0 is fresh again
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_never_suppresses() {
+        let mut d = BoundedDedup::new(0);
+        assert!(d.check_and_insert(1));
+        assert!(d.check_and_insert(1));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut d = BoundedDedup::new(4);
+        d.check_and_insert(1);
+        d.clear();
+        assert!(d.is_empty());
+        assert!(d.check_and_insert(1));
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity_under_churn() {
+        let mut d = BoundedDedup::new(100);
+        for k in 0..10_000u32 {
+            d.check_and_insert(k % 173);
+            assert!(d.len() <= 100);
+        }
+    }
+
+    #[test]
+    fn set_and_queue_stay_consistent() {
+        let mut d = BoundedDedup::new(5);
+        for k in 0..50u32 {
+            d.check_and_insert(k);
+            assert_eq!(d.order.len(), d.seen.len());
+            for key in &d.order {
+                assert!(d.seen.contains(key));
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # nb-util
+//!
+//! Utility substrate shared by every crate in the workspace:
+//!
+//! * [`uuid`] — 128-bit random unique identifiers (the paper tags every
+//!   discovery request with a UUID),
+//! * [`dedup`] — bounded duplicate-suppression caches (every broker keeps
+//!   the last *N* = 1000 discovery-request UUIDs),
+//! * [`stats`] — summary statistics with the paper's outlier-trimming
+//!   protocol (120 runs, outliers removed, first 100 kept),
+//! * [`config`] — the `key = value` configuration-file format used by
+//!   broker and client node configuration,
+//! * [`ring`] — fixed-capacity ring buffers for bounded histories,
+//! * [`rate`] — sliding-window rate meters (drives the simulated broker
+//!   CPU-load metric).
+//!
+//! Everything here is deliberately dependency-light and deterministic so
+//! that the discrete-event reproduction harness stays reproducible.
+
+pub mod config;
+pub mod dedup;
+pub mod rate;
+pub mod ring;
+pub mod stats;
+pub mod uuid;
+
+pub use config::{Config, ConfigError};
+pub use dedup::BoundedDedup;
+pub use rate::RateMeter;
+pub use ring::RingBuffer;
+pub use stats::{trim_outliers, Summary};
+pub use uuid::Uuid;

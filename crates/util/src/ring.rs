@@ -1,0 +1,177 @@
+//! Fixed-capacity ring buffer.
+//!
+//! Used for bounded histories: a broker's recent load samples, a client's
+//! remembered target sets, recent RTT measurements at a BDN. Pushing into
+//! a full buffer overwrites the oldest element.
+
+/// A fixed-capacity FIFO that overwrites its oldest element when full.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    slots: Vec<Option<T>>,
+    head: usize, // index of oldest element
+    len: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a buffer holding at most `capacity` elements.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingBuffer capacity must be positive");
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        RingBuffer { slots, head: 0, len: 0 }
+    }
+
+    /// Appends `value`, evicting and returning the oldest element if full.
+    pub fn push(&mut self, value: T) -> Option<T> {
+        let cap = self.slots.len();
+        if self.len < cap {
+            let idx = (self.head + self.len) % cap;
+            self.slots[idx] = Some(value);
+            self.len += 1;
+            None
+        } else {
+            let evicted = self.slots[self.head].replace(value);
+            self.head = (self.head + 1) % cap;
+            evicted
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The most recently pushed element.
+    pub fn latest(&self) -> Option<&T> {
+        if self.len == 0 {
+            return None;
+        }
+        let idx = (self.head + self.len - 1) % self.slots.len();
+        self.slots[idx].as_ref()
+    }
+
+    /// The oldest stored element.
+    pub fn oldest(&self) -> Option<&T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.slots[self.head].as_ref()
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let cap = self.slots.len();
+        (0..self.len).map(move |i| {
+            self.slots[(self.head + i) % cap]
+                .as_ref()
+                .expect("occupied slot within len")
+        })
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+impl RingBuffer<f64> {
+    /// Mean of the stored samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.iter().sum::<f64>() / self.len as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_until_full_then_evict_in_fifo_order() {
+        let mut r = RingBuffer::new(3);
+        assert_eq!(r.push(1), None);
+        assert_eq!(r.push(2), None);
+        assert_eq!(r.push(3), None);
+        assert!(r.is_full());
+        assert_eq!(r.push(4), Some(1));
+        assert_eq!(r.push(5), Some(2));
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn latest_and_oldest_track_contents() {
+        let mut r = RingBuffer::new(2);
+        assert!(r.latest().is_none());
+        assert!(r.oldest().is_none());
+        r.push(10);
+        assert_eq!(r.latest(), Some(&10));
+        assert_eq!(r.oldest(), Some(&10));
+        r.push(20);
+        r.push(30);
+        assert_eq!(r.latest(), Some(&30));
+        assert_eq!(r.oldest(), Some(&20));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = RingBuffer::new(2);
+        r.push(1);
+        r.push(2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.push(9), None);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn mean_over_window() {
+        let mut r = RingBuffer::new(4);
+        assert!(r.mean().is_none());
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            r.push(x);
+        }
+        // window now holds 2,3,4,5
+        assert!((r.mean().unwrap() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RingBuffer::<u8>::new(0);
+    }
+
+    #[test]
+    fn long_churn_keeps_last_capacity_elements() {
+        let mut r = RingBuffer::new(7);
+        for i in 0..1000u32 {
+            r.push(i);
+        }
+        let got: Vec<u32> = r.iter().copied().collect();
+        assert_eq!(got, (993..1000).collect::<Vec<_>>());
+    }
+}

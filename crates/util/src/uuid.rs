@@ -1,0 +1,181 @@
+//! 128-bit universally-unique identifiers.
+//!
+//! The discovery protocol tags every request with a UUID so that brokers
+//! can suppress duplicates and requesters can match responses to requests
+//! (paper §3–§4). This is a self-contained RFC-4122-v4-shaped identifier:
+//! 122 random bits plus the version/variant marker bits.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::Rng;
+
+/// A 128-bit unique identifier, formatted like an RFC 4122 version-4 UUID.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uuid(u128);
+
+impl Uuid {
+    /// The all-zero UUID, used as an explicit "absent" marker on the wire.
+    pub const NIL: Uuid = Uuid(0);
+
+    /// Draws a fresh version-4 UUID from `rng`.
+    ///
+    /// Taking the RNG as a parameter (instead of thread-local entropy)
+    /// keeps simulated runs deterministic under a fixed seed.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Uuid {
+        let raw: u128 = rng.gen();
+        Uuid::from_random_bits(raw)
+    }
+
+    /// Builds a v4-shaped UUID from arbitrary bits by stamping the
+    /// version (4) and variant (10) fields.
+    pub fn from_random_bits(raw: u128) -> Uuid {
+        let mut v = raw;
+        v &= !(0xF << 76); // clear version nibble
+        v |= 0x4 << 76; // version 4
+        v &= !(0x3 << 62); // clear variant bits
+        v |= 0x2 << 62; // RFC 4122 variant
+        Uuid(v)
+    }
+
+    /// Reconstructs a UUID from its raw 128-bit value (wire decoding).
+    pub const fn from_u128(v: u128) -> Uuid {
+        Uuid(v)
+    }
+
+    /// The raw 128-bit value (wire encoding).
+    pub const fn as_u128(&self) -> u128 {
+        self.0
+    }
+
+    /// Whether this is the nil (all-zero) UUID.
+    pub const fn is_nil(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(
+            f,
+            "{:02x}{:02x}{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11], b[12], b[13], b[14], b[15]
+        )
+    }
+}
+
+impl fmt::Debug for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Uuid({self})")
+    }
+}
+
+/// Error returned when parsing a textual UUID fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseUuidError;
+
+impl fmt::Display for ParseUuidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid UUID syntax")
+    }
+}
+
+impl std::error::Error for ParseUuidError {}
+
+impl FromStr for Uuid {
+    type Err = ParseUuidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Accept the canonical 8-4-4-4-12 form, with or without dashes.
+        let mut value: u128 = 0;
+        let mut nibbles = 0usize;
+        for (i, c) in s.chars().enumerate() {
+            if c == '-' {
+                // Dashes are only legal at the canonical positions.
+                if !matches!(i, 8 | 13 | 18 | 23) {
+                    return Err(ParseUuidError);
+                }
+                continue;
+            }
+            let d = c.to_digit(16).ok_or(ParseUuidError)?;
+            if nibbles == 32 {
+                return Err(ParseUuidError);
+            }
+            value = (value << 4) | u128::from(d);
+            nibbles += 1;
+        }
+        if nibbles != 32 {
+            return Err(ParseUuidError);
+        }
+        Ok(Uuid(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_uuids_are_unique() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(Uuid::random(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn version_and_variant_bits_are_stamped() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let u = Uuid::random(&mut rng);
+            let s = u.to_string();
+            let bytes: Vec<char> = s.chars().collect();
+            assert_eq!(bytes[14], '4', "version nibble in {s}");
+            assert!(matches!(bytes[19], '8' | '9' | 'a' | 'b'), "variant in {s}");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let u = Uuid::random(&mut rng);
+            let parsed: Uuid = u.to_string().parse().unwrap();
+            assert_eq!(u, parsed);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_undashed_form() {
+        let u = Uuid::from_u128(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+        let undashed: String = u.to_string().chars().filter(|c| *c != '-').collect();
+        assert_eq!(undashed.parse::<Uuid>().unwrap(), u);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("not-a-uuid".parse::<Uuid>().is_err());
+        assert!("".parse::<Uuid>().is_err());
+        assert!("0123456789abcdef0123456789abcde".parse::<Uuid>().is_err()); // 31 nibbles
+        assert!("0123456789abcdef0123456789abcdef0".parse::<Uuid>().is_err()); // 33 nibbles
+        // dash in a non-canonical position
+        assert!("012345678-9ab-cdef-0123-456789abcdef".parse::<Uuid>().is_err());
+    }
+
+    #[test]
+    fn nil_is_nil() {
+        assert!(Uuid::NIL.is_nil());
+        assert!(!Uuid::from_u128(1).is_nil());
+        assert_eq!(Uuid::NIL.to_string(), "00000000-0000-0000-0000-000000000000");
+    }
+
+    #[test]
+    fn roundtrips_raw_u128() {
+        let u = Uuid::from_u128(42);
+        assert_eq!(u.as_u128(), 42);
+    }
+}

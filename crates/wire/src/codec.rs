@@ -1,0 +1,400 @@
+//! Binary wire codec.
+//!
+//! A small, explicit, big-endian codec: fixed-width integers, `u32`
+//! length-prefixed byte strings, and a [`Wire`] trait implemented by every
+//! protocol type. No reflection, no schema evolution magic — decoding is
+//! strict and every failure is a typed [`WireError`].
+
+use bytes::{BufMut, Bytes, BytesMut};
+use nb_util::Uuid;
+
+/// Maximum length accepted for a length-prefixed field (16 MiB). Guards
+/// against hostile or corrupt length prefixes causing huge allocations.
+pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
+
+/// Errors raised while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// An enum discriminant byte had no defined meaning.
+    InvalidTag { context: &'static str, tag: u8 },
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// A length prefix exceeded [`MAX_FIELD_LEN`].
+    FieldTooLong(usize),
+    /// A decoded value violated a domain constraint (e.g. a bad topic).
+    Invalid(&'static str),
+    /// Trailing bytes remained after a complete top-level decode.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnexpectedEof => f.write_str("unexpected end of buffer"),
+            WireError::InvalidTag { context, tag } => {
+                write!(f, "invalid tag {tag} while decoding {context}")
+            }
+            WireError::InvalidUtf8 => f.write_str("invalid UTF-8 in string field"),
+            WireError::FieldTooLong(n) => write!(f, "field length {n} exceeds limit"),
+            WireError::Invalid(what) => write!(f, "invalid value: {what}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serialises values into a growable buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        WireWriter { buf: BytesMut::with_capacity(256) }
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64(v);
+    }
+
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.put_u128(v);
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64(v);
+    }
+
+    pub fn put_uuid(&mut self, v: Uuid) {
+        self.put_u128(v.as_u128());
+    }
+
+    /// Length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        debug_assert!(v.len() <= MAX_FIELD_LEN);
+        self.buf.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// `Option<T>` as a presence byte followed by the value.
+    pub fn put_option<T: Wire>(&mut self, v: &Option<T>) {
+        match v {
+            None => self.put_u8(0),
+            Some(inner) => {
+                self.put_u8(1);
+                inner.encode(self);
+            }
+        }
+    }
+
+    /// `Vec<T>` as a `u32` count followed by the elements.
+    pub fn put_vec<T: Wire>(&mut self, v: &[T]) {
+        self.put_u32(v.len() as u32);
+        for item in v {
+            item.encode(self);
+        }
+    }
+}
+
+/// Deserialises values from a byte slice, tracking a cursor.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Reads from `buf` starting at offset zero.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the whole buffer was consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::InvalidTag { context: "bool", tag }),
+        }
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_u128(&mut self) -> Result<u128, WireError> {
+        Ok(u128::from_be_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_uuid(&mut self) -> Result<Uuid, WireError> {
+        Ok(Uuid::from_u128(self.get_u128()?))
+    }
+
+    /// Length-prefixed byte string (owned).
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::FieldTooLong(len));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.get_bytes()?).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// `Option<T>` as written by [`WireWriter::put_option`].
+    pub fn get_option<T: Wire>(&mut self) -> Result<Option<T>, WireError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(self)?)),
+            tag => Err(WireError::InvalidTag { context: "option", tag }),
+        }
+    }
+
+    /// `Vec<T>` as written by [`WireWriter::put_vec`].
+    pub fn get_vec<T: Wire>(&mut self) -> Result<Vec<T>, WireError> {
+        let n = self.get_u32()? as usize;
+        if n > MAX_FIELD_LEN {
+            return Err(WireError::FieldTooLong(n));
+        }
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(T::decode(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Types that cross the wire.
+pub trait Wire: Sized {
+    /// Appends this value to `w`.
+    fn encode(&self, w: &mut WireWriter);
+    /// Reads one value from `r`.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Convenience: encode into a fresh byte buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Convenience: strict decode of a complete buffer (no trailing bytes).
+    fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.get_u32()
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.get_u64()
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.get_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u8(0xAB);
+        w.put_bool(true);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_u128(1 << 100);
+        w.put_f64(3.25);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_u128().unwrap(), 1 << 100);
+        assert_eq!(r.get_f64().unwrap(), 3.25);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn string_and_bytes_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_str("héllo/wörld");
+        w.put_bytes(&[0, 1, 2, 255]);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_str().unwrap(), "héllo/wörld");
+        assert_eq!(r.get_bytes().unwrap(), vec![0, 1, 2, 255]);
+    }
+
+    #[test]
+    fn truncated_buffer_is_eof() {
+        let mut w = WireWriter::new();
+        w.put_u64(7);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes[..5]);
+        assert_eq!(r.get_u64(), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bogus_length_prefix_is_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX); // absurd length
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.get_bytes(), Err(WireError::FieldTooLong(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut w = WireWriter::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_str(), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn option_and_vec_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_option::<u64>(&None);
+        w.put_option(&Some(9u64));
+        w.put_vec(&[1u32, 2, 3]);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_option::<u64>().unwrap(), None);
+        assert_eq!(r.get_option::<u64>().unwrap(), Some(9));
+        assert_eq!(r.get_vec::<u32>().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn strict_from_bytes_rejects_trailing() {
+        let mut w = WireWriter::new();
+        w.put_u32(5);
+        w.put_u8(0);
+        let bytes = w.finish();
+        assert!(matches!(u32::from_bytes(&bytes), Err(WireError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn bool_rejects_junk_tag() {
+        let mut r = WireReader::new(&[7]);
+        assert!(matches!(r.get_bool(), Err(WireError::InvalidTag { .. })));
+    }
+}

@@ -1,0 +1,33 @@
+//! # nb-wire
+//!
+//! The wire protocol spoken by every node in the messaging infrastructure:
+//!
+//! * [`codec`] — a compact, hand-rolled binary codec ([`WireWriter`],
+//!   [`WireReader`], the [`Wire`] trait),
+//! * [`addr`] — protocol-level identities: nodes, ports, endpoints,
+//!   transports, network realms and multicast groups,
+//! * [`topic`] — `/`-separated topic names and subscription filters with
+//!   single-segment (`*`) and multi-segment (`**`) wildcards,
+//! * [`message`] — the full protocol message set: pub/sub events and
+//!   subscriptions, broker link management, broker advertisements,
+//!   discovery requests/acks/responses, UDP pings, NTP exchanges and
+//!   secured envelopes,
+//! * [`frame`] — length-delimited framing for stream transports.
+//!
+//! Every message crosses the (simulated or real) network as bytes encoded
+//! by this crate, in both runtimes, so the codec is exercised on every hop.
+
+pub mod addr;
+pub mod codec;
+pub mod frame;
+pub mod message;
+pub mod topic;
+
+pub use addr::{Endpoint, GroupId, NodeId, Port, RealmId, TransportKind};
+pub use codec::{Wire, WireError, WireReader, WireWriter};
+pub use frame::{FrameDecoder, MAX_FRAME_LEN};
+pub use message::{
+    BrokerAdvertisement, Credential, DiscoveryRequest, DiscoveryResponse, Event, Message,
+    UsageMetrics,
+};
+pub use topic::{Topic, TopicError, TopicFilter};

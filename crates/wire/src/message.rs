@@ -1,0 +1,853 @@
+//! The protocol message set.
+//!
+//! One tagged union, [`Message`], covers every datagram and stream payload
+//! in the system: pub/sub traffic, broker link management, and the whole
+//! discovery plane (advertisements, requests, acks, responses, pings, NTP
+//! and secured envelopes). The discovery structures follow the paper's
+//! "anatomy" sections (§2.2 advertisements, §3 requests, §5.1 responses).
+
+use crate::addr::{Endpoint, NodeId, Port, RealmId, TransportKind};
+use crate::codec::{Wire, WireError, WireReader, WireWriter};
+use crate::topic::{Topic, TopicFilter};
+use nb_util::Uuid;
+
+/// One advertised transport: protocol kind plus its service port
+/// (paper §2.2: "transport protocols supported and communication ports").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransportEndpoint {
+    pub kind: TransportKind,
+    pub port: Port,
+}
+
+impl Wire for TransportEndpoint {
+    fn encode(&self, w: &mut WireWriter) {
+        self.kind.encode(w);
+        self.port.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(TransportEndpoint { kind: TransportKind::decode(r)?, port: Port::decode(r)? })
+    }
+}
+
+/// Authentication material presented with requests (paper §3/§5: "sometimes
+/// also includes credentials for authorized accesses").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    /// The principal this credential identifies.
+    pub principal: String,
+    /// An opaque token (in the secured configuration this is a signature
+    /// produced by `nb-security`).
+    pub token: Vec<u8>,
+}
+
+impl Wire for Credential {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(&self.principal);
+        w.put_bytes(&self.token);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Credential { principal: r.get_str()?, token: r.get_bytes()? })
+    }
+}
+
+/// A published event (paper §1: producers publish events on a topic and
+/// the substrate routes them to registered consumers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Unique event identifier (duplicate suppression during flooding).
+    pub id: Uuid,
+    /// The concrete topic published on.
+    pub topic: Topic,
+    /// The originating entity.
+    pub source: NodeId,
+    /// Opaque application payload.
+    pub payload: Vec<u8>,
+}
+
+impl Wire for Event {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_uuid(self.id);
+        self.topic.encode(w);
+        self.source.encode(w);
+        w.put_bytes(&self.payload);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Event {
+            id: r.get_uuid()?,
+            topic: Topic::decode(r)?,
+            source: NodeId::decode(r)?,
+            payload: r.get_bytes()?,
+        })
+    }
+}
+
+/// A broker advertisement (paper §2.2): registered with BDNs directly or
+/// published on the well-known advertisement topic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrokerAdvertisement {
+    /// The advertising broker.
+    pub broker: NodeId,
+    /// Hostname of the broker process.
+    pub hostname: String,
+    /// NaradaBrokering logical address within the overlay.
+    pub logical_address: String,
+    /// Network realm the broker lives in.
+    pub realm: RealmId,
+    /// Supported transports and their ports.
+    pub transports: Vec<TransportEndpoint>,
+    /// Optional geographical information ("a BDN in the US may be
+    /// interested only in broker additions in North America").
+    pub geography: Option<String>,
+    /// Optional institutional information.
+    pub institution: Option<String>,
+    /// UTC time (µs) the advertisement was issued, by the broker's clock.
+    pub issued_at_utc: u64,
+}
+
+impl BrokerAdvertisement {
+    /// The advertised port for `kind`, if any.
+    pub fn port_for(&self, kind: TransportKind) -> Option<Port> {
+        self.transports.iter().find(|t| t.kind == kind).map(|t| t.port)
+    }
+}
+
+impl Wire for BrokerAdvertisement {
+    fn encode(&self, w: &mut WireWriter) {
+        self.broker.encode(w);
+        w.put_str(&self.hostname);
+        w.put_str(&self.logical_address);
+        self.realm.encode(w);
+        w.put_vec(&self.transports);
+        w.put_option(&self.geography);
+        w.put_option(&self.institution);
+        w.put_u64(self.issued_at_utc);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(BrokerAdvertisement {
+            broker: NodeId::decode(r)?,
+            hostname: r.get_str()?,
+            logical_address: r.get_str()?,
+            realm: RealmId::decode(r)?,
+            transports: r.get_vec()?,
+            geography: r.get_option()?,
+            institution: r.get_option()?,
+            issued_at_utc: r.get_u64()?,
+        })
+    }
+}
+
+/// A broker discovery request (paper §3): "includes information regarding
+/// the requesting node process such as hostname, ports and transport
+/// protocols … also contains a UUID which uniquely identifies the
+/// request".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryRequest {
+    /// Unique request identifier (idempotency + dedup).
+    pub request_id: Uuid,
+    /// The requesting node.
+    pub requester: NodeId,
+    /// Hostname of the requesting process.
+    pub hostname: String,
+    /// Realm the requester originates from (response policies may filter
+    /// on this).
+    pub realm: RealmId,
+    /// Where UDP discovery responses should be sent.
+    pub reply_to: Endpoint,
+    /// Transports the requester can speak.
+    pub transports: Vec<TransportEndpoint>,
+    /// Optional credentials for authorized access.
+    pub credentials: Option<Credential>,
+    /// UTC time (µs) the request was issued, by the requester's clock.
+    pub issued_at_utc: u64,
+}
+
+impl Wire for DiscoveryRequest {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_uuid(self.request_id);
+        self.requester.encode(w);
+        w.put_str(&self.hostname);
+        self.realm.encode(w);
+        self.reply_to.encode(w);
+        w.put_vec(&self.transports);
+        w.put_option(&self.credentials);
+        w.put_u64(self.issued_at_utc);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DiscoveryRequest {
+            request_id: r.get_uuid()?,
+            requester: NodeId::decode(r)?,
+            hostname: r.get_str()?,
+            realm: RealmId::decode(r)?,
+            reply_to: Endpoint::decode(r)?,
+            transports: r.get_vec()?,
+            credentials: r.get_option()?,
+            issued_at_utc: r.get_u64()?,
+        })
+    }
+}
+
+/// The usage metric carried in every discovery response (paper §5.1(c)
+/// and §9: total memory, used memory, number of links, CPU load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsageMetrics {
+    /// Active concurrent client connections at the broker.
+    pub active_connections: u32,
+    /// Number of overlay links the broker maintains.
+    pub num_links: u32,
+    /// CPU load, in thousandths (0–1000).
+    pub cpu_load_permille: u16,
+    /// Total memory available to the broker process, bytes.
+    pub total_memory: u64,
+    /// Memory currently used, bytes.
+    pub used_memory: u64,
+}
+
+impl UsageMetrics {
+    /// Fraction of memory free, in `[0, 1]`.
+    pub fn free_memory_ratio(&self) -> f64 {
+        if self.total_memory == 0 {
+            return 0.0;
+        }
+        let used = self.used_memory.min(self.total_memory);
+        (self.total_memory - used) as f64 / self.total_memory as f64
+    }
+
+    /// CPU load in `[0, 1]`.
+    pub fn cpu_load(&self) -> f64 {
+        f64::from(self.cpu_load_permille.min(1000)) / 1000.0
+    }
+}
+
+impl Wire for UsageMetrics {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.active_connections);
+        w.put_u32(self.num_links);
+        w.put_u16(self.cpu_load_permille);
+        w.put_u64(self.total_memory);
+        w.put_u64(self.used_memory);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(UsageMetrics {
+            active_connections: r.get_u32()?,
+            num_links: r.get_u32()?,
+            cpu_load_permille: r.get_u16()?,
+            total_memory: r.get_u64()?,
+            used_memory: r.get_u64()?,
+        })
+    }
+}
+
+/// A broker discovery response (paper §5.1): the request UUID, the
+/// current NTP-based timestamp, broker process information and the usage
+/// metric. Always sent over UDP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryResponse {
+    /// UUID of the request being answered.
+    pub request_id: Uuid,
+    /// The responding broker.
+    pub broker: NodeId,
+    /// Hostname of the responding broker.
+    pub hostname: String,
+    /// Realm of the responding broker.
+    pub realm: RealmId,
+    /// Transports the broker supports (connect info + ping port).
+    pub transports: Vec<TransportEndpoint>,
+    /// NTP-based UTC timestamp (µs) when the response was issued.
+    pub issued_at_utc: u64,
+    /// Load at the broker.
+    pub metrics: UsageMetrics,
+}
+
+impl DiscoveryResponse {
+    /// The advertised port for `kind`, if any.
+    pub fn port_for(&self, kind: TransportKind) -> Option<Port> {
+        self.transports.iter().find(|t| t.kind == kind).map(|t| t.port)
+    }
+}
+
+impl Wire for DiscoveryResponse {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_uuid(self.request_id);
+        self.broker.encode(w);
+        w.put_str(&self.hostname);
+        self.realm.encode(w);
+        w.put_vec(&self.transports);
+        w.put_u64(self.issued_at_utc);
+        self.metrics.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DiscoveryResponse {
+            request_id: r.get_uuid()?,
+            broker: NodeId::decode(r)?,
+            hostname: r.get_str()?,
+            realm: RealmId::decode(r)?,
+            transports: r.get_vec()?,
+            issued_at_utc: r.get_u64()?,
+            metrics: UsageMetrics::decode(r)?,
+        })
+    }
+}
+
+/// A signed + encrypted payload (paper §9.1: "a discovery request and
+/// response may be secured by sending credentials verifying the
+/// authenticity of the clients and also encrypting the discovery request
+/// and response"). The cryptography lives in `nb-security`; the wire
+/// format only carries the opaque material.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecureEnvelope {
+    /// Principal name of the sender.
+    pub sender: String,
+    /// Encoded certificate chain, leaf first.
+    pub cert_chain: Vec<Vec<u8>>,
+    /// Ciphertext of the encoded inner [`Message`].
+    pub ciphertext: Vec<u8>,
+    /// Signature over the ciphertext.
+    pub signature: Vec<u8>,
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_bytes(self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.get_bytes()
+    }
+}
+
+impl Wire for SecureEnvelope {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(&self.sender);
+        w.put_vec(&self.cert_chain);
+        w.put_bytes(&self.ciphertext);
+        w.put_bytes(&self.signature);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(SecureEnvelope {
+            sender: r.get_str()?,
+            cert_chain: r.get_vec()?,
+            ciphertext: r.get_bytes()?,
+            signature: r.get_bytes()?,
+        })
+    }
+}
+
+/// Every payload that crosses the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    // ------------------------------------------------ broker overlay ----
+    /// Open an overlay link between two brokers.
+    LinkHello { from: NodeId, realm: RealmId },
+    /// Accept an overlay link.
+    LinkAccept { from: NodeId, realm: RealmId },
+    /// Tear down an overlay link.
+    LinkClose { from: NodeId },
+    /// Liveness probe on a link.
+    Heartbeat { from: NodeId, seq: u64 },
+    /// Propagated subscription state (origin + sequence for dedup).
+    Subscribe { filter: TopicFilter, origin: NodeId, seq: u64 },
+    /// Propagated unsubscription.
+    Unsubscribe { filter: TopicFilter, origin: NodeId, seq: u64 },
+    /// A routed event.
+    Publish(Event),
+
+    // ------------------------------------------------ client plane ------
+    /// A client asks a broker for a connection.
+    ClientConnect { client: NodeId, reply_port: Port },
+    /// Broker's verdict on a connection request.
+    ClientConnectAck { broker: NodeId, accepted: bool },
+    /// A client subscribes through its broker.
+    ClientSubscribe { filter: TopicFilter },
+    /// A client unsubscribes.
+    ClientUnsubscribe { filter: TopicFilter },
+    /// A client disconnects.
+    ClientDisconnect { client: NodeId },
+
+    // ------------------------------------------------ discovery plane ---
+    /// A broker registers itself (direct-to-BDN or via the well-known topic).
+    Advertisement(BrokerAdvertisement),
+    /// A (private) BDN advertises its own existence to brokers (paper §2.4).
+    BdnAdvertisement { bdn: NodeId, endpoint: Endpoint, requires_credentials: bool },
+    /// A node asks for the nearest available broker.
+    Discovery(DiscoveryRequest),
+    /// A BDN acknowledges receipt of a discovery request (paper §3:
+    /// "a BDN is expected to acknowledge the receipt of a discovery
+    /// request in a timely manner").
+    DiscoveryAck { request_id: Uuid, bdn: NodeId },
+    /// A broker answers a discovery request, over UDP.
+    Response(DiscoveryResponse),
+
+    // ------------------------------------------------ measurement -------
+    /// UDP ping carrying the sender's local send timestamp (paper §6).
+    Ping { nonce: u64, sent_at: u64, reply_to: Endpoint },
+    /// UDP pong echoing the ping's timestamp.
+    Pong { nonce: u64, echoed_sent_at: u64, responder: NodeId },
+    /// NTP time request carrying the client transmit timestamp.
+    NtpRequest { client_transmit: u64, reply_to: Endpoint },
+    /// NTP time response (t0 echoed, server receive t1, server transmit t2).
+    NtpResponse { client_transmit: u64, server_receive: u64, server_transmit: u64 },
+
+    // ------------------------------------------------ services ----------
+    /// Sequenced payload on a reliable channel (`nb-services`).
+    ReliableData { channel: Uuid, seq: u64, payload: Vec<u8> },
+    /// Cumulative acknowledgement for a reliable channel.
+    ReliableAck { channel: Uuid, cumulative: u64 },
+    /// Ask a replay service for stored events matching `filter`.
+    ReplayRequest { filter: TopicFilter, limit: u32, reply_to: Endpoint },
+
+    // ------------------------------------------------ security ----------
+    /// A signed + encrypted inner message.
+    Secure(SecureEnvelope),
+}
+
+impl Message {
+    /// Short human-readable kind label (logging, metrics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::LinkHello { .. } => "link-hello",
+            Message::LinkAccept { .. } => "link-accept",
+            Message::LinkClose { .. } => "link-close",
+            Message::Heartbeat { .. } => "heartbeat",
+            Message::Subscribe { .. } => "subscribe",
+            Message::Unsubscribe { .. } => "unsubscribe",
+            Message::Publish(_) => "publish",
+            Message::ClientConnect { .. } => "client-connect",
+            Message::ClientConnectAck { .. } => "client-connect-ack",
+            Message::ClientSubscribe { .. } => "client-subscribe",
+            Message::ClientUnsubscribe { .. } => "client-unsubscribe",
+            Message::ClientDisconnect { .. } => "client-disconnect",
+            Message::Advertisement(_) => "advertisement",
+            Message::BdnAdvertisement { .. } => "bdn-advertisement",
+            Message::Discovery(_) => "discovery-request",
+            Message::DiscoveryAck { .. } => "discovery-ack",
+            Message::Response(_) => "discovery-response",
+            Message::Ping { .. } => "ping",
+            Message::Pong { .. } => "pong",
+            Message::NtpRequest { .. } => "ntp-request",
+            Message::NtpResponse { .. } => "ntp-response",
+            Message::ReliableData { .. } => "reliable-data",
+            Message::ReliableAck { .. } => "reliable-ack",
+            Message::ReplayRequest { .. } => "replay-request",
+            Message::Secure(_) => "secure",
+        }
+    }
+}
+
+const TAG_LINK_HELLO: u8 = 1;
+const TAG_LINK_ACCEPT: u8 = 2;
+const TAG_LINK_CLOSE: u8 = 3;
+const TAG_HEARTBEAT: u8 = 4;
+const TAG_SUBSCRIBE: u8 = 5;
+const TAG_UNSUBSCRIBE: u8 = 6;
+const TAG_PUBLISH: u8 = 7;
+const TAG_CLIENT_CONNECT: u8 = 8;
+const TAG_CLIENT_CONNECT_ACK: u8 = 9;
+const TAG_CLIENT_SUBSCRIBE: u8 = 10;
+const TAG_CLIENT_UNSUBSCRIBE: u8 = 11;
+const TAG_CLIENT_DISCONNECT: u8 = 12;
+const TAG_ADVERTISEMENT: u8 = 13;
+const TAG_BDN_ADVERTISEMENT: u8 = 14;
+const TAG_DISCOVERY: u8 = 15;
+const TAG_DISCOVERY_ACK: u8 = 16;
+const TAG_RESPONSE: u8 = 17;
+const TAG_PING: u8 = 18;
+const TAG_PONG: u8 = 19;
+const TAG_NTP_REQUEST: u8 = 20;
+const TAG_NTP_RESPONSE: u8 = 21;
+const TAG_SECURE: u8 = 22;
+const TAG_RELIABLE_DATA: u8 = 23;
+const TAG_RELIABLE_ACK: u8 = 24;
+const TAG_REPLAY_REQUEST: u8 = 25;
+
+impl Wire for Message {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Message::LinkHello { from, realm } => {
+                w.put_u8(TAG_LINK_HELLO);
+                from.encode(w);
+                realm.encode(w);
+            }
+            Message::LinkAccept { from, realm } => {
+                w.put_u8(TAG_LINK_ACCEPT);
+                from.encode(w);
+                realm.encode(w);
+            }
+            Message::LinkClose { from } => {
+                w.put_u8(TAG_LINK_CLOSE);
+                from.encode(w);
+            }
+            Message::Heartbeat { from, seq } => {
+                w.put_u8(TAG_HEARTBEAT);
+                from.encode(w);
+                w.put_u64(*seq);
+            }
+            Message::Subscribe { filter, origin, seq } => {
+                w.put_u8(TAG_SUBSCRIBE);
+                filter.encode(w);
+                origin.encode(w);
+                w.put_u64(*seq);
+            }
+            Message::Unsubscribe { filter, origin, seq } => {
+                w.put_u8(TAG_UNSUBSCRIBE);
+                filter.encode(w);
+                origin.encode(w);
+                w.put_u64(*seq);
+            }
+            Message::Publish(ev) => {
+                w.put_u8(TAG_PUBLISH);
+                ev.encode(w);
+            }
+            Message::ClientConnect { client, reply_port } => {
+                w.put_u8(TAG_CLIENT_CONNECT);
+                client.encode(w);
+                reply_port.encode(w);
+            }
+            Message::ClientConnectAck { broker, accepted } => {
+                w.put_u8(TAG_CLIENT_CONNECT_ACK);
+                broker.encode(w);
+                w.put_bool(*accepted);
+            }
+            Message::ClientSubscribe { filter } => {
+                w.put_u8(TAG_CLIENT_SUBSCRIBE);
+                filter.encode(w);
+            }
+            Message::ClientUnsubscribe { filter } => {
+                w.put_u8(TAG_CLIENT_UNSUBSCRIBE);
+                filter.encode(w);
+            }
+            Message::ClientDisconnect { client } => {
+                w.put_u8(TAG_CLIENT_DISCONNECT);
+                client.encode(w);
+            }
+            Message::Advertisement(ad) => {
+                w.put_u8(TAG_ADVERTISEMENT);
+                ad.encode(w);
+            }
+            Message::BdnAdvertisement { bdn, endpoint, requires_credentials } => {
+                w.put_u8(TAG_BDN_ADVERTISEMENT);
+                bdn.encode(w);
+                endpoint.encode(w);
+                w.put_bool(*requires_credentials);
+            }
+            Message::Discovery(req) => {
+                w.put_u8(TAG_DISCOVERY);
+                req.encode(w);
+            }
+            Message::DiscoveryAck { request_id, bdn } => {
+                w.put_u8(TAG_DISCOVERY_ACK);
+                w.put_uuid(*request_id);
+                bdn.encode(w);
+            }
+            Message::Response(resp) => {
+                w.put_u8(TAG_RESPONSE);
+                resp.encode(w);
+            }
+            Message::Ping { nonce, sent_at, reply_to } => {
+                w.put_u8(TAG_PING);
+                w.put_u64(*nonce);
+                w.put_u64(*sent_at);
+                reply_to.encode(w);
+            }
+            Message::Pong { nonce, echoed_sent_at, responder } => {
+                w.put_u8(TAG_PONG);
+                w.put_u64(*nonce);
+                w.put_u64(*echoed_sent_at);
+                responder.encode(w);
+            }
+            Message::NtpRequest { client_transmit, reply_to } => {
+                w.put_u8(TAG_NTP_REQUEST);
+                w.put_u64(*client_transmit);
+                reply_to.encode(w);
+            }
+            Message::NtpResponse { client_transmit, server_receive, server_transmit } => {
+                w.put_u8(TAG_NTP_RESPONSE);
+                w.put_u64(*client_transmit);
+                w.put_u64(*server_receive);
+                w.put_u64(*server_transmit);
+            }
+            Message::Secure(env) => {
+                w.put_u8(TAG_SECURE);
+                env.encode(w);
+            }
+            Message::ReliableData { channel, seq, payload } => {
+                w.put_u8(TAG_RELIABLE_DATA);
+                w.put_uuid(*channel);
+                w.put_u64(*seq);
+                w.put_bytes(payload);
+            }
+            Message::ReliableAck { channel, cumulative } => {
+                w.put_u8(TAG_RELIABLE_ACK);
+                w.put_uuid(*channel);
+                w.put_u64(*cumulative);
+            }
+            Message::ReplayRequest { filter, limit, reply_to } => {
+                w.put_u8(TAG_REPLAY_REQUEST);
+                filter.encode(w);
+                w.put_u32(*limit);
+                reply_to.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            TAG_LINK_HELLO => {
+                Message::LinkHello { from: NodeId::decode(r)?, realm: RealmId::decode(r)? }
+            }
+            TAG_LINK_ACCEPT => {
+                Message::LinkAccept { from: NodeId::decode(r)?, realm: RealmId::decode(r)? }
+            }
+            TAG_LINK_CLOSE => Message::LinkClose { from: NodeId::decode(r)? },
+            TAG_HEARTBEAT => Message::Heartbeat { from: NodeId::decode(r)?, seq: r.get_u64()? },
+            TAG_SUBSCRIBE => Message::Subscribe {
+                filter: TopicFilter::decode(r)?,
+                origin: NodeId::decode(r)?,
+                seq: r.get_u64()?,
+            },
+            TAG_UNSUBSCRIBE => Message::Unsubscribe {
+                filter: TopicFilter::decode(r)?,
+                origin: NodeId::decode(r)?,
+                seq: r.get_u64()?,
+            },
+            TAG_PUBLISH => Message::Publish(Event::decode(r)?),
+            TAG_CLIENT_CONNECT => Message::ClientConnect {
+                client: NodeId::decode(r)?,
+                reply_port: Port::decode(r)?,
+            },
+            TAG_CLIENT_CONNECT_ACK => Message::ClientConnectAck {
+                broker: NodeId::decode(r)?,
+                accepted: r.get_bool()?,
+            },
+            TAG_CLIENT_SUBSCRIBE => Message::ClientSubscribe { filter: TopicFilter::decode(r)? },
+            TAG_CLIENT_UNSUBSCRIBE => {
+                Message::ClientUnsubscribe { filter: TopicFilter::decode(r)? }
+            }
+            TAG_CLIENT_DISCONNECT => Message::ClientDisconnect { client: NodeId::decode(r)? },
+            TAG_ADVERTISEMENT => Message::Advertisement(BrokerAdvertisement::decode(r)?),
+            TAG_BDN_ADVERTISEMENT => Message::BdnAdvertisement {
+                bdn: NodeId::decode(r)?,
+                endpoint: Endpoint::decode(r)?,
+                requires_credentials: r.get_bool()?,
+            },
+            TAG_DISCOVERY => Message::Discovery(DiscoveryRequest::decode(r)?),
+            TAG_DISCOVERY_ACK => {
+                Message::DiscoveryAck { request_id: r.get_uuid()?, bdn: NodeId::decode(r)? }
+            }
+            TAG_RESPONSE => Message::Response(DiscoveryResponse::decode(r)?),
+            TAG_PING => Message::Ping {
+                nonce: r.get_u64()?,
+                sent_at: r.get_u64()?,
+                reply_to: Endpoint::decode(r)?,
+            },
+            TAG_PONG => Message::Pong {
+                nonce: r.get_u64()?,
+                echoed_sent_at: r.get_u64()?,
+                responder: NodeId::decode(r)?,
+            },
+            TAG_NTP_REQUEST => Message::NtpRequest {
+                client_transmit: r.get_u64()?,
+                reply_to: Endpoint::decode(r)?,
+            },
+            TAG_NTP_RESPONSE => Message::NtpResponse {
+                client_transmit: r.get_u64()?,
+                server_receive: r.get_u64()?,
+                server_transmit: r.get_u64()?,
+            },
+            TAG_SECURE => Message::Secure(SecureEnvelope::decode(r)?),
+            TAG_RELIABLE_DATA => Message::ReliableData {
+                channel: r.get_uuid()?,
+                seq: r.get_u64()?,
+                payload: r.get_bytes()?,
+            },
+            TAG_RELIABLE_ACK => {
+                Message::ReliableAck { channel: r.get_uuid()?, cumulative: r.get_u64()? }
+            }
+            TAG_REPLAY_REQUEST => Message::ReplayRequest {
+                filter: TopicFilter::decode(r)?,
+                limit: r.get_u32()?,
+                reply_to: Endpoint::decode(r)?,
+            },
+            other => return Err(WireError::InvalidTag { context: "Message", tag: other }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> UsageMetrics {
+        UsageMetrics {
+            active_connections: 12,
+            num_links: 3,
+            cpu_load_permille: 250,
+            total_memory: 512 * 1024 * 1024,
+            used_memory: 128 * 1024 * 1024,
+        }
+    }
+
+    fn sample_ad() -> BrokerAdvertisement {
+        BrokerAdvertisement {
+            broker: NodeId(5),
+            hostname: "complexity.ucs.indiana.edu".into(),
+            logical_address: "nb://cluster-1/broker-5".into(),
+            realm: RealmId(1),
+            transports: vec![
+                TransportEndpoint { kind: TransportKind::Tcp, port: Port(5045) },
+                TransportEndpoint { kind: TransportKind::Udp, port: Port(5061) },
+            ],
+            geography: Some("Indianapolis, IN, USA".into()),
+            institution: Some("Indiana University".into()),
+            issued_at_utc: 1_234_567,
+        }
+    }
+
+    fn sample_request() -> DiscoveryRequest {
+        DiscoveryRequest {
+            request_id: Uuid::from_u128(77),
+            requester: NodeId(9),
+            hostname: "client.bloomington.in".into(),
+            realm: RealmId(1),
+            reply_to: Endpoint::new(NodeId(9), Port(5060)),
+            transports: vec![TransportEndpoint { kind: TransportKind::Udp, port: Port(5060) }],
+            credentials: Some(Credential { principal: "alice".into(), token: vec![1, 2, 3] }),
+            issued_at_utc: 42,
+        }
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::LinkHello { from: NodeId(1), realm: RealmId(0) },
+            Message::LinkAccept { from: NodeId(2), realm: RealmId(0) },
+            Message::LinkClose { from: NodeId(3) },
+            Message::Heartbeat { from: NodeId(1), seq: 99 },
+            Message::Subscribe {
+                filter: TopicFilter::parse("a/*/c").unwrap(),
+                origin: NodeId(4),
+                seq: 7,
+            },
+            Message::Unsubscribe {
+                filter: TopicFilter::parse("a/**").unwrap(),
+                origin: NodeId(4),
+                seq: 8,
+            },
+            Message::Publish(Event {
+                id: Uuid::from_u128(1),
+                topic: Topic::parse("sports/scores").unwrap(),
+                source: NodeId(6),
+                payload: b"3-1".to_vec(),
+            }),
+            Message::ClientConnect { client: NodeId(9), reply_port: Port(4000) },
+            Message::ClientConnectAck { broker: NodeId(5), accepted: true },
+            Message::ClientSubscribe { filter: TopicFilter::parse("x/y").unwrap() },
+            Message::ClientUnsubscribe { filter: TopicFilter::parse("x/y").unwrap() },
+            Message::ClientDisconnect { client: NodeId(9) },
+            Message::Advertisement(sample_ad()),
+            Message::BdnAdvertisement {
+                bdn: NodeId(100),
+                endpoint: Endpoint::new(NodeId(100), Port(5050)),
+                requires_credentials: true,
+            },
+            Message::Discovery(sample_request()),
+            Message::DiscoveryAck { request_id: Uuid::from_u128(77), bdn: NodeId(100) },
+            Message::Response(DiscoveryResponse {
+                request_id: Uuid::from_u128(77),
+                broker: NodeId(5),
+                hostname: "webis.msi.umn.edu".into(),
+                realm: RealmId(2),
+                transports: vec![TransportEndpoint {
+                    kind: TransportKind::Tcp,
+                    port: Port(5045),
+                }],
+                issued_at_utc: 1_000_000,
+                metrics: sample_metrics(),
+            }),
+            Message::Ping {
+                nonce: 5,
+                sent_at: 123,
+                reply_to: Endpoint::new(NodeId(9), Port(5061)),
+            },
+            Message::Pong { nonce: 5, echoed_sent_at: 123, responder: NodeId(5) },
+            Message::NtpRequest {
+                client_transmit: 1,
+                reply_to: Endpoint::new(NodeId(9), Port(123)),
+            },
+            Message::NtpResponse { client_transmit: 1, server_receive: 2, server_transmit: 3 },
+            Message::Secure(SecureEnvelope {
+                sender: "alice".into(),
+                cert_chain: vec![vec![1, 2], vec![3]],
+                ciphertext: vec![9; 64],
+                signature: vec![7; 32],
+            }),
+            Message::ReliableData { channel: Uuid::from_u128(3), seq: 9, payload: vec![1, 2, 3] },
+            Message::ReliableAck { channel: Uuid::from_u128(3), cumulative: 9 },
+            Message::ReplayRequest {
+                filter: TopicFilter::parse("a/**").unwrap(),
+                limit: 50,
+                reply_to: Endpoint::new(NodeId(9), Port(5080)),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for msg in all_messages() {
+            let bytes = msg.to_bytes();
+            let back = Message::from_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("decode {} failed: {e}", msg.kind()));
+            assert_eq!(back, msg, "{}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let msgs = all_messages();
+        let kinds: std::collections::HashSet<_> = msgs.iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(matches!(
+            Message::from_bytes(&[200]),
+            Err(WireError::InvalidTag { context: "Message", tag: 200 })
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_fails_cleanly() {
+        for msg in all_messages() {
+            let bytes = msg.to_bytes();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Message::from_bytes(&bytes[..cut]).is_err(),
+                    "truncated {} at {cut} decoded successfully",
+                    msg.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_derived_quantities() {
+        let m = sample_metrics();
+        assert!((m.free_memory_ratio() - 0.75).abs() < 1e-12);
+        assert!((m.cpu_load() - 0.25).abs() < 1e-12);
+        let zero = UsageMetrics {
+            active_connections: 0,
+            num_links: 0,
+            cpu_load_permille: 2000, // out of range, clamped
+            total_memory: 0,
+            used_memory: 10,
+        };
+        assert_eq!(zero.free_memory_ratio(), 0.0);
+        assert_eq!(zero.cpu_load(), 1.0);
+    }
+
+    #[test]
+    fn port_lookup_helpers() {
+        let ad = sample_ad();
+        assert_eq!(ad.port_for(TransportKind::Tcp), Some(Port(5045)));
+        assert_eq!(ad.port_for(TransportKind::Multicast), None);
+    }
+}

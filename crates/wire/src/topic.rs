@@ -1,0 +1,338 @@
+//! Topics and subscription filters.
+//!
+//! Paper §1: *"In its simplest form these topics are typically `/`
+//! separated Strings"*. A [`Topic`] is a concrete, wildcard-free topic an
+//! event is published on; a [`TopicFilter`] is what a subscriber
+//! registers and may contain wildcards:
+//!
+//! * `*`  — matches exactly one segment,
+//! * `**` — matches zero or more trailing segments (only legal as the
+//!   final segment).
+//!
+//! The well-known discovery topics of the paper are exported as
+//! constants.
+
+use crate::codec::{Wire, WireError, WireReader, WireWriter};
+use std::fmt;
+
+/// The public topic every BDN subscribes to for broker advertisements
+/// (paper §2.3).
+pub const BROKER_ADVERTISEMENT_TOPIC: &str = "Services/BrokerDiscoveryNodes/BrokerAdvertisement";
+
+/// The predefined topic brokers use to propagate discovery requests
+/// through the overlay (paper §10: "brokers also propagate discovery
+/// requests on a predefined topic").
+pub const DISCOVERY_REQUEST_TOPIC: &str = "Services/BrokerDiscoveryNodes/DiscoveryRequest";
+
+/// Topic used by private BDNs to advertise their own services to brokers
+/// (paper §2.4).
+pub const BDN_ADVERTISEMENT_TOPIC: &str = "Services/BrokerDiscoveryNodes/BdnAdvertisement";
+
+/// Errors raised by topic/filter validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopicError {
+    /// Empty topic string, or an empty segment (`a//b`).
+    EmptySegment,
+    /// A concrete topic contained a wildcard character.
+    WildcardInTopic,
+    /// `**` appeared somewhere other than the final segment.
+    MultiWildcardNotLast,
+}
+
+impl fmt::Display for TopicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicError::EmptySegment => f.write_str("topic has an empty segment"),
+            TopicError::WildcardInTopic => f.write_str("concrete topic may not contain wildcards"),
+            TopicError::MultiWildcardNotLast => f.write_str("`**` is only legal as the final segment"),
+        }
+    }
+}
+
+impl std::error::Error for TopicError {}
+
+/// A concrete (wildcard-free) `/`-separated topic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Topic {
+    raw: String,
+}
+
+impl Topic {
+    /// Parses and validates a concrete topic.
+    pub fn parse(s: &str) -> Result<Topic, TopicError> {
+        validate_segments(s)?;
+        for seg in s.split('/') {
+            if seg == "*" || seg == "**" {
+                return Err(TopicError::WildcardInTopic);
+            }
+        }
+        Ok(Topic { raw: s.to_string() })
+    }
+
+    /// The raw topic string.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// Iterates over the `/`-separated segments.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.raw.split('/')
+    }
+
+    /// Number of segments.
+    pub fn depth(&self) -> usize {
+        self.segments().count()
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+/// A subscription filter, possibly containing wildcards.
+///
+/// ```
+/// use nb_wire::{Topic, TopicFilter};
+///
+/// let topic = Topic::parse("Services/BrokerDiscoveryNodes/BrokerAdvertisement").unwrap();
+/// let all_services = TopicFilter::parse("Services/**").unwrap();
+/// let one_level = TopicFilter::parse("Services/*").unwrap();
+/// assert!(all_services.matches(&topic));
+/// assert!(!one_level.matches(&topic)); // `*` spans exactly one segment
+/// assert!(all_services.subsumes(&one_level));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicFilter {
+    raw: String,
+}
+
+impl TopicFilter {
+    /// Parses and validates a filter.
+    pub fn parse(s: &str) -> Result<TopicFilter, TopicError> {
+        validate_segments(s)?;
+        let segs: Vec<&str> = s.split('/').collect();
+        for (i, seg) in segs.iter().enumerate() {
+            if *seg == "**" && i + 1 != segs.len() {
+                return Err(TopicError::MultiWildcardNotLast);
+            }
+        }
+        Ok(TopicFilter { raw: s.to_string() })
+    }
+
+    /// A filter that matches exactly one concrete topic.
+    pub fn exact(topic: &Topic) -> TopicFilter {
+        TopicFilter { raw: topic.as_str().to_string() }
+    }
+
+    /// The raw filter string.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// Whether this filter matches `topic`.
+    pub fn matches(&self, topic: &Topic) -> bool {
+        let mut fsegs = self.raw.split('/');
+        let mut tsegs = topic.segments();
+        loop {
+            match (fsegs.next(), tsegs.next()) {
+                (None, None) => return true,
+                (Some("**"), _) => return true, // `**` swallows the rest (incl. zero)
+                (Some(_), None) | (None, Some(_)) => return false,
+                (Some(f), Some(t)) => {
+                    if f != "*" && f != t {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether this filter contains any wildcard.
+    pub fn is_wildcard(&self) -> bool {
+        self.raw.split('/').any(|s| s == "*" || s == "**")
+    }
+
+    /// Whether every topic matched by `other` is also matched by `self`
+    /// (filter covering). Brokers can use this to skip propagating a
+    /// subscription already covered by a broader one.
+    pub fn subsumes(&self, other: &TopicFilter) -> bool {
+        fn go(f: &[&str], g: &[&str]) -> bool {
+            match (f.first(), g.first()) {
+                (None, None) => true,
+                // `**` swallows anything g may still produce.
+                (Some(&"**"), _) => true,
+                // f is exhausted but g still requires segments (g == "**"
+                // could also match zero further segments only if f is
+                // also done — handled above by (None, None)).
+                (None, Some(&"**")) => false,
+                (None, Some(_)) => false,
+                (Some(_), None) => false,
+                (Some(&fs), Some(&gs)) => {
+                    if gs == "**" {
+                        // g matches arbitrarily long suffixes; only `**`
+                        // on f's side can cover that (handled above).
+                        false
+                    } else if fs == "*" || fs == gs {
+                        go(&f[1..], &g[1..])
+                    } else {
+                        false
+                    }
+                }
+            }
+        }
+        let f: Vec<&str> = self.raw.split('/').collect();
+        let g: Vec<&str> = other.raw.split('/').collect();
+        go(&f, &g)
+    }
+}
+
+impl fmt::Display for TopicFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+fn validate_segments(s: &str) -> Result<(), TopicError> {
+    if s.is_empty() {
+        return Err(TopicError::EmptySegment);
+    }
+    if s.split('/').any(str::is_empty) {
+        return Err(TopicError::EmptySegment);
+    }
+    Ok(())
+}
+
+impl Wire for Topic {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(&self.raw);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Topic::parse(&r.get_str()?).map_err(|_| WireError::Invalid("topic"))
+    }
+}
+
+impl Wire for TopicFilter {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(&self.raw);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        TopicFilter::parse(&r.get_str()?).map_err(|_| WireError::Invalid("topic filter"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+    fn f(s: &str) -> TopicFilter {
+        TopicFilter::parse(s).unwrap()
+    }
+
+    #[test]
+    fn exact_match() {
+        assert!(f("a/b/c").matches(&t("a/b/c")));
+        assert!(!f("a/b/c").matches(&t("a/b")));
+        assert!(!f("a/b").matches(&t("a/b/c")));
+        assert!(!f("a/b/c").matches(&t("a/b/d")));
+    }
+
+    #[test]
+    fn single_segment_wildcard() {
+        assert!(f("a/*/c").matches(&t("a/b/c")));
+        assert!(f("a/*/c").matches(&t("a/x/c")));
+        assert!(!f("a/*/c").matches(&t("a/b/b/c")));
+        assert!(!f("*").matches(&t("a/b")));
+        assert!(f("*").matches(&t("a")));
+    }
+
+    #[test]
+    fn multi_segment_wildcard() {
+        assert!(f("a/**").matches(&t("a")));
+        assert!(f("a/**").matches(&t("a/b")));
+        assert!(f("a/**").matches(&t("a/b/c/d")));
+        assert!(!f("a/**").matches(&t("b/a")));
+        assert!(f("**").matches(&t("anything/at/all")));
+    }
+
+    #[test]
+    fn multi_wildcard_must_be_last() {
+        assert_eq!(TopicFilter::parse("a/**/b"), Err(TopicError::MultiWildcardNotLast));
+        assert!(TopicFilter::parse("a/b/**").is_ok());
+    }
+
+    #[test]
+    fn empty_segments_rejected() {
+        assert_eq!(Topic::parse(""), Err(TopicError::EmptySegment));
+        assert_eq!(Topic::parse("a//b"), Err(TopicError::EmptySegment));
+        assert_eq!(Topic::parse("/a"), Err(TopicError::EmptySegment));
+        assert_eq!(Topic::parse("a/"), Err(TopicError::EmptySegment));
+        assert_eq!(TopicFilter::parse(""), Err(TopicError::EmptySegment));
+    }
+
+    #[test]
+    fn wildcards_rejected_in_concrete_topics() {
+        assert_eq!(Topic::parse("a/*/c"), Err(TopicError::WildcardInTopic));
+        assert_eq!(Topic::parse("a/**"), Err(TopicError::WildcardInTopic));
+    }
+
+    #[test]
+    fn exact_filter_matches_only_its_topic() {
+        let topic = t("Services/BrokerDiscoveryNodes/BrokerAdvertisement");
+        let filter = TopicFilter::exact(&topic);
+        assert!(!filter.is_wildcard());
+        assert!(filter.matches(&topic));
+        assert!(!filter.matches(&t("Services/BrokerDiscoveryNodes/DiscoveryRequest")));
+    }
+
+    #[test]
+    fn well_known_topics_are_valid() {
+        for s in [BROKER_ADVERTISEMENT_TOPIC, DISCOVERY_REQUEST_TOPIC, BDN_ADVERTISEMENT_TOPIC] {
+            Topic::parse(s).unwrap();
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let topic = t("a/b/c");
+        assert_eq!(Topic::from_bytes(&topic.to_bytes()).unwrap(), topic);
+        let filter = f("a/*/c/**");
+        assert_eq!(TopicFilter::from_bytes(&filter.to_bytes()).unwrap(), filter);
+    }
+
+    #[test]
+    fn wire_decode_validates() {
+        use crate::codec::WireWriter;
+        let mut w = WireWriter::new();
+        w.put_str("a//b");
+        assert!(matches!(Topic::from_bytes(&w.finish()), Err(WireError::Invalid("topic"))));
+    }
+
+    #[test]
+    fn subsumption_basics() {
+        assert!(f("a/**").subsumes(&f("a/b")));
+        assert!(f("a/**").subsumes(&f("a/*/c")));
+        assert!(f("a/**").subsumes(&f("a/**")));
+        assert!(f("**").subsumes(&f("x/y/z")));
+        assert!(f("a/*").subsumes(&f("a/b")));
+        assert!(f("a/*").subsumes(&f("a/*")));
+        assert!(!f("a/b").subsumes(&f("a/*")));
+        assert!(!f("a/*").subsumes(&f("a/**")), "`a/**` also matches deeper topics");
+        assert!(!f("a/*").subsumes(&f("b/c")));
+        assert!(!f("a").subsumes(&f("a/b")));
+        assert!(f("a/b").subsumes(&f("a/b")));
+    }
+
+    #[test]
+    fn is_wildcard_detection() {
+        assert!(f("a/*").is_wildcard());
+        assert!(f("**").is_wildcard());
+        assert!(!f("a/b").is_wildcard());
+        // a segment merely *containing* an asterisk is not a wildcard
+        assert!(!f("a*b/c").is_wildcard());
+    }
+}

@@ -1,0 +1,278 @@
+//! Property-based tests for the wire layer: arbitrary messages round-trip
+//! through the codec, arbitrary topic/filter pairs obey matching laws, and
+//! the frame decoder is chunking-invariant.
+
+use proptest::prelude::*;
+
+use nb_util::Uuid;
+use nb_wire::frame::{encode_frame, FrameDecoder};
+use nb_wire::message::{SecureEnvelope, TransportEndpoint};
+use nb_wire::{
+    BrokerAdvertisement, Credential, DiscoveryRequest, DiscoveryResponse, Endpoint, Event,
+    Message, NodeId, Port, RealmId, Topic, TopicFilter, TransportKind, UsageMetrics, Wire,
+};
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    any::<u32>().prop_map(NodeId)
+}
+
+fn arb_port() -> impl Strategy<Value = Port> {
+    any::<u16>().prop_map(Port)
+}
+
+fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
+    (arb_node(), arb_port()).prop_map(|(n, p)| Endpoint::new(n, p))
+}
+
+fn arb_realm() -> impl Strategy<Value = RealmId> {
+    any::<u16>().prop_map(RealmId)
+}
+
+fn arb_transport_kind() -> impl Strategy<Value = TransportKind> {
+    prop_oneof![
+        Just(TransportKind::Udp),
+        Just(TransportKind::Tcp),
+        Just(TransportKind::Multicast)
+    ]
+}
+
+fn arb_transport() -> impl Strategy<Value = TransportEndpoint> {
+    (arb_transport_kind(), arb_port()).prop_map(|(kind, port)| TransportEndpoint { kind, port })
+}
+
+fn arb_uuid() -> impl Strategy<Value = Uuid> {
+    any::<u128>().prop_map(Uuid::from_u128)
+}
+
+/// A topic segment: 1–8 alphanumeric chars (never a wildcard).
+fn arb_segment() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,8}"
+}
+
+fn arb_topic() -> impl Strategy<Value = Topic> {
+    prop::collection::vec(arb_segment(), 1..5)
+        .prop_map(|segs| Topic::parse(&segs.join("/")).unwrap())
+}
+
+fn arb_filter() -> impl Strategy<Value = TopicFilter> {
+    let seg = prop_oneof![arb_segment(), Just("*".to_string())];
+    (prop::collection::vec(seg, 1..5), any::<bool>()).prop_map(|(mut segs, tail)| {
+        if tail {
+            segs.push("**".to_string());
+        }
+        TopicFilter::parse(&segs.join("/")).unwrap()
+    })
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    "[ -~]{0,40}" // printable ASCII
+}
+
+fn arb_credential() -> impl Strategy<Value = Credential> {
+    (arb_string(), prop::collection::vec(any::<u8>(), 0..64))
+        .prop_map(|(principal, token)| Credential { principal, token })
+}
+
+fn arb_metrics() -> impl Strategy<Value = UsageMetrics> {
+    (any::<u32>(), any::<u32>(), 0u16..=1000, any::<u64>(), any::<u64>()).prop_map(
+        |(active_connections, num_links, cpu_load_permille, total_memory, used_memory)| {
+            UsageMetrics {
+                active_connections,
+                num_links,
+                cpu_load_permille,
+                total_memory,
+                used_memory,
+            }
+        },
+    )
+}
+
+fn arb_advertisement() -> impl Strategy<Value = BrokerAdvertisement> {
+    (
+        arb_node(),
+        arb_string(),
+        arb_string(),
+        arb_realm(),
+        prop::collection::vec(arb_transport(), 0..4),
+        prop::option::of(arb_string()),
+        prop::option::of(arb_string()),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(broker, hostname, logical_address, realm, transports, geography, institution, t)| {
+                BrokerAdvertisement {
+                    broker,
+                    hostname,
+                    logical_address,
+                    realm,
+                    transports,
+                    geography,
+                    institution,
+                    issued_at_utc: t,
+                }
+            },
+        )
+}
+
+fn arb_request() -> impl Strategy<Value = DiscoveryRequest> {
+    (
+        arb_uuid(),
+        arb_node(),
+        arb_string(),
+        arb_realm(),
+        arb_endpoint(),
+        prop::collection::vec(arb_transport(), 0..4),
+        prop::option::of(arb_credential()),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(request_id, requester, hostname, realm, reply_to, transports, credentials, t)| {
+                DiscoveryRequest {
+                    request_id,
+                    requester,
+                    hostname,
+                    realm,
+                    reply_to,
+                    transports,
+                    credentials,
+                    issued_at_utc: t,
+                }
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = DiscoveryResponse> {
+    (
+        arb_uuid(),
+        arb_node(),
+        arb_string(),
+        arb_realm(),
+        prop::collection::vec(arb_transport(), 0..4),
+        any::<u64>(),
+        arb_metrics(),
+    )
+        .prop_map(|(request_id, broker, hostname, realm, transports, issued_at_utc, metrics)| {
+            DiscoveryResponse {
+                request_id,
+                broker,
+                hostname,
+                realm,
+                transports,
+                issued_at_utc,
+                metrics,
+            }
+        })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (arb_uuid(), arb_topic(), arb_node(), prop::collection::vec(any::<u8>(), 0..128))
+        .prop_map(|(id, topic, source, payload)| Event { id, topic, source, payload })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (arb_node(), arb_realm()).prop_map(|(from, realm)| Message::LinkHello { from, realm }),
+        (arb_node(), any::<u64>()).prop_map(|(from, seq)| Message::Heartbeat { from, seq }),
+        (arb_filter(), arb_node(), any::<u64>())
+            .prop_map(|(filter, origin, seq)| Message::Subscribe { filter, origin, seq }),
+        arb_event().prop_map(Message::Publish),
+        arb_advertisement().prop_map(Message::Advertisement),
+        arb_request().prop_map(Message::Discovery),
+        (arb_uuid(), arb_node())
+            .prop_map(|(request_id, bdn)| Message::DiscoveryAck { request_id, bdn }),
+        arb_response().prop_map(Message::Response),
+        (any::<u64>(), any::<u64>(), arb_endpoint())
+            .prop_map(|(nonce, sent_at, reply_to)| Message::Ping { nonce, sent_at, reply_to }),
+        (any::<u64>(), any::<u64>(), arb_node()).prop_map(
+            |(nonce, echoed_sent_at, responder)| Message::Pong {
+                nonce,
+                echoed_sent_at,
+                responder
+            }
+        ),
+        (
+            arb_string(),
+            prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 0..3),
+            prop::collection::vec(any::<u8>(), 0..64),
+            prop::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(sender, cert_chain, ciphertext, signature)| Message::Secure(
+                SecureEnvelope { sender, cert_chain, ciphertext, signature }
+            )),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn message_roundtrip(msg in arb_message()) {
+        let bytes = msg.to_bytes();
+        let back = Message::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn message_decode_never_panics_on_junk(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::from_bytes(&bytes); // must not panic
+    }
+
+    #[test]
+    fn exact_filter_matches_its_topic(topic in arb_topic()) {
+        prop_assert!(TopicFilter::exact(&topic).matches(&topic));
+    }
+
+    #[test]
+    fn star_matches_any_same_depth(topic in arb_topic()) {
+        let stars = vec!["*"; topic.depth()].join("/");
+        let f = TopicFilter::parse(&stars).unwrap();
+        prop_assert!(f.matches(&topic));
+    }
+
+    #[test]
+    fn doublestar_prefix_matching(topic in arb_topic()) {
+        // "<first>/**" matches iff first segment agrees.
+        let first = topic.segments().next().unwrap().to_string();
+        let f = TopicFilter::parse(&format!("{first}/**")).unwrap();
+        prop_assert!(f.matches(&topic));
+        let g = TopicFilter::parse("zzzzzzzzz/**").unwrap();
+        prop_assert!(!g.matches(&topic) || first == "zzzzzzzzz");
+    }
+
+    #[test]
+    fn filter_matching_is_deterministic(f in arb_filter(), t in arb_topic()) {
+        prop_assert_eq!(f.matches(&t), f.matches(&t));
+    }
+
+    #[test]
+    fn subsumption_implies_matching(f in arb_filter(), g in arb_filter(), t in arb_topic()) {
+        // Soundness: if f subsumes g, every topic g matches, f matches.
+        if f.subsumes(&g) && g.matches(&t) {
+            prop_assert!(
+                f.matches(&t),
+                "{} subsumes {} but missed topic {}", f, g, t
+            );
+        }
+        // Reflexivity.
+        prop_assert!(f.subsumes(&f));
+    }
+
+    #[test]
+    fn frames_survive_random_chunking(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..6),
+        cuts in prop::collection::vec(1usize..16, 0..32),
+    ) {
+        let stream: Vec<u8> = payloads.iter().flat_map(|p| encode_frame(p).to_vec()).collect();
+        let mut decoder = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut pos = 0;
+        let mut cut_iter = cuts.iter().copied().cycle();
+        while pos < stream.len() {
+            let step = cut_iter.next().unwrap_or(7).min(stream.len() - pos);
+            decoder.feed(&stream[pos..pos + step]);
+            pos += step;
+            while let Some(f) = decoder.next_frame().unwrap() {
+                out.push(f.to_vec());
+            }
+        }
+        prop_assert_eq!(out, payloads);
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end discovery over the simulated WAN testbed: nearest-broker
+//! selection, flood dissemination, dedup behaviour and idempotent
+//! retransmission — the paper's core claims, §4–§6 and §8.
+
+use std::time::Duration;
+
+use nb::broker::TopologyKind;
+use nb::discovery::bdn::Bdn;
+use nb::discovery::scenario::ScenarioBuilder;
+use nb::discovery::DiscoveryBrokerActor;
+use nb::net::wan::{BLOOMINGTON, CARDIFF, FSU, INDIANAPOLIS, NCSA, UMN};
+
+#[test]
+fn every_client_site_finds_a_nearby_broker() {
+    // Advantage #1 (§8): "the broker will be connected to one of the
+    // closest available brokers". With default weights the chosen broker
+    // must be among the two nearest sites to the client.
+    let wan = nb::net::wan::WanModel::paper();
+    for (seed, client_site) in
+        [(1u64, BLOOMINGTON), (2, FSU), (3, CARDIFF), (4, UMN), (5, NCSA)]
+    {
+        let mut s = ScenarioBuilder::new(TopologyKind::Star, client_site, seed).build();
+        let outcome = s.run_discovery_once();
+        let chosen_site = s.site_of_broker(outcome.chosen.expect("success")).unwrap();
+        // Rank broker sites by distance from the client.
+        let mut by_distance: Vec<usize> = vec![INDIANAPOLIS, UMN, NCSA, FSU, CARDIFF];
+        by_distance.sort_by_key(|&b| wan.one_way(client_site, b));
+        let rank = by_distance.iter().position(|&b| b == chosen_site).unwrap();
+        assert!(
+            rank <= 1,
+            "client at {} chose {} (distance rank {rank})",
+            wan.site(client_site).name,
+            wan.site(chosen_site).name
+        );
+    }
+}
+
+#[test]
+fn star_flood_reaches_every_spoke_exactly_once() {
+    let mut s = ScenarioBuilder::new(TopologyKind::Star, BLOOMINGTON, 10).build();
+    let outcome = s.run_discovery_once();
+    assert_eq!(outcome.responses_received, 5, "all five brokers respond");
+    for (i, &broker) in s.brokers.clone().iter().enumerate() {
+        let actor = s.sim.actor::<DiscoveryBrokerActor>(broker).unwrap();
+        assert_eq!(
+            actor.responder.responses_sent, 1,
+            "broker {i} must answer exactly once"
+        );
+        assert_eq!(actor.responder.duplicates_suppressed, 0, "no duplicate requests in a tree");
+    }
+}
+
+#[test]
+fn linear_chain_propagates_to_the_far_end() {
+    let mut s = ScenarioBuilder::new(TopologyKind::Linear, BLOOMINGTON, 11).build();
+    let outcome = s.run_discovery_once();
+    // The last broker in the chain (Cardiff) is 4 hops from the injection
+    // point; it must still have been reached.
+    let last = *s.brokers.last().unwrap();
+    let actor = s.sim.actor::<DiscoveryBrokerActor>(last).unwrap();
+    assert_eq!(actor.responder.responses_sent, 1, "chain end answered");
+    assert!(outcome.responses_received >= 4);
+}
+
+#[test]
+fn repeated_runs_are_deduplicated_not_reanswered() {
+    // Each run uses a fresh UUID, so brokers answer each run once; the
+    // dedup cache only suppresses *within* a run (multi-point injection).
+    let mut s = ScenarioBuilder::new(TopologyKind::Unconnected, BLOOMINGTON, 12).build();
+    let runs = s.run_discovery(3);
+    assert!(runs.iter().all(|o| o.chosen.is_some()));
+    for &broker in &s.brokers.clone() {
+        let actor = s.sim.actor::<DiscoveryBrokerActor>(broker).unwrap();
+        assert_eq!(actor.responder.responses_sent, 3, "one response per run");
+    }
+}
+
+#[test]
+fn lossy_bdn_path_is_survived_by_retransmission() {
+    // §7: "the scheme outlined sustains loss of both the discovery
+    // requests (retransmission after predefined period of inactivity)
+    // and discovery responses".
+    let mut builder = ScenarioBuilder::new(TopologyKind::Star, BLOOMINGTON, 13);
+    builder.discovery.retransmits_per_bdn = 10;
+    builder.discovery.ack_timeout = Duration::from_millis(300);
+    let mut s = builder.build();
+    let bdn = s.bdn.unwrap();
+    let client = s.client;
+    // Half of all datagrams between client and BDN vanish.
+    let mut spec = s.sim.network().spec_between(client, bdn).unwrap();
+    spec.loss = 0.5;
+    s.sim.network_mut().set_link(client, bdn, spec);
+
+    let outcome = s.run_discovery_once();
+    assert!(outcome.chosen.is_some(), "discovery succeeds despite 50% loss to the BDN");
+    let bdn_actor = s.sim.actor::<Bdn>(bdn).unwrap();
+    assert!(
+        bdn_actor.duplicate_requests > 0 || bdn_actor.requests_handled == 1,
+        "retransmissions must be idempotent at the BDN \
+         (handled {}, duplicates {})",
+        bdn_actor.requests_handled,
+        bdn_actor.duplicate_requests
+    );
+}
+
+#[test]
+fn bdn_registry_learns_all_advertisers_and_measures_rtt() {
+    let mut s = ScenarioBuilder::new(TopologyKind::Unconnected, BLOOMINGTON, 14).build();
+    // Warmup already ran; give the BDN another ping round.
+    s.sim.run_for(Duration::from_secs(10));
+    let bdn = s.bdn.unwrap();
+    let bdn_actor = s.sim.actor::<Bdn>(bdn).unwrap();
+    assert_eq!(bdn_actor.registry_len(), 5, "all brokers registered");
+    for &broker in &s.brokers {
+        let reg = bdn_actor.registered(broker).expect("registered");
+        let rtt = reg.rtt_us.expect("RTT measured by the BDN's ping loop");
+        assert!(rtt > 0);
+    }
+}
+
+#[test]
+fn outcome_reports_consistent_target_set_and_rtts() {
+    let mut s = ScenarioBuilder::new(TopologyKind::Star, FSU, 15).build();
+    let outcome = s.run_discovery_once();
+    let chosen = outcome.chosen.unwrap();
+    assert!(
+        outcome.target_set.contains(&chosen),
+        "the connected broker must come from the target set"
+    );
+    assert!(
+        outcome.rtts_us.iter().any(|(b, _)| *b == chosen),
+        "the chosen broker must have answered pings"
+    );
+    // RTTs only from target-set members.
+    for (b, _) in &outcome.rtts_us {
+        assert!(outcome.target_set.contains(b));
+    }
+}
+
+#[test]
+fn deterministic_reproduction_under_a_seed() {
+    let run = |seed| {
+        let mut s = ScenarioBuilder::new(TopologyKind::Linear, BLOOMINGTON, seed).build();
+        let o = s.run_discovery_once();
+        (o.chosen, o.phases.total(), o.responses_received)
+    };
+    assert_eq!(run(77), run(77), "same seed, same outcome");
+}
+
+#[test]
+fn refused_connection_walks_down_the_target_set() {
+    // The ping winner refuses connections (at capacity); the client must
+    // walk down the target set instead of failing (§6's "arrive at the
+    // target broker" made robust).
+    use nb::discovery::DiscoveryBrokerActor;
+    let mut builder = ScenarioBuilder::new(TopologyKind::Star, BLOOMINGTON, 16);
+    let mut s = builder_build_with_full_hub(&mut builder);
+    let outcome = s.run_discovery_once();
+    let chosen = outcome.chosen.expect("an alternative broker accepted");
+    assert_ne!(
+        s.site_of_broker(chosen),
+        Some(INDIANAPOLIS),
+        "the saturated nearest broker was skipped"
+    );
+    let hub = s.brokers[0];
+    let hub_actor = s.sim.actor::<DiscoveryBrokerActor>(hub).unwrap();
+    assert!(
+        !hub_actor.broker.has_client(s.client),
+        "the saturated hub must not hold the discovery client"
+    );
+}
+
+/// Builds the scenario, then drops the hub broker's client capacity to
+/// its current occupancy (the attached BDN) so new connects are refused.
+fn builder_build_with_full_hub(
+    builder: &mut ScenarioBuilder,
+) -> nb::discovery::scenario::Scenario {
+    let mut s = builder.clone().build();
+    let hub = s.brokers[0];
+    let occupancy = {
+        let actor = s.sim.actor::<nb::discovery::DiscoveryBrokerActor>(hub).unwrap();
+        actor.broker.num_clients()
+    };
+    let actor = s.sim.actor_mut::<nb::discovery::DiscoveryBrokerActor>(hub).unwrap();
+    actor.broker.set_max_clients_for_test(Some(occupancy));
+    s
+}

@@ -1,0 +1,157 @@
+//! The same protocol stack on real threads: proves the actors are
+//! runtime-agnostic. These tests use short windows and LAN-scale
+//! latencies so the suite stays fast.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use nb::broker::{BrokerConfig, MachineProfile};
+use nb::discovery::bdn::{Bdn, BdnConfig};
+use nb::discovery::client::TIMER_START;
+use nb::discovery::{DiscoveryBrokerActor, DiscoveryClient, DiscoveryConfig, ResponsePolicy};
+use nb::net::ntp::{NtpClientActor, NtpPhase, NtpServer};
+use nb::net::{ClockProfile, Incoming, LinkSpec, ThreadedNet};
+use nb::wire::{NodeId, RealmId};
+
+fn fast_clocks() -> ClockProfile {
+    ClockProfile {
+        max_true_offset: Duration::from_millis(100),
+        min_residual: Duration::from_millis(1),
+        max_residual: Duration::from_millis(5),
+        min_sync_delay: Duration::from_millis(40),
+        max_sync_delay: Duration::from_millis(90),
+    }
+}
+
+fn lan_net(seed: u64) -> ThreadedNet {
+    let net = ThreadedNet::new(seed);
+    net.configure_network(|n| {
+        n.intra_realm_spec = LinkSpec::lan().with_loss(0.0);
+        n.inter_realm_spec = LinkSpec::wan(Duration::from_millis(8)).with_loss(0.0);
+    });
+    net
+}
+
+fn discovery_cfg(bdn: NodeId, max_responses: usize) -> DiscoveryConfig {
+    DiscoveryConfig {
+        bdns: vec![bdn],
+        collection_window: Duration::from_millis(1200),
+        max_responses,
+        ping_window: Duration::from_millis(400),
+        ack_timeout: Duration::from_millis(600),
+        ..DiscoveryConfig::default()
+    }
+}
+
+fn broker_actor(name: &str, bdn: NodeId, neighbors: Vec<NodeId>) -> Box<DiscoveryBrokerActor> {
+    Box::new(DiscoveryBrokerActor::new(
+        BrokerConfig {
+            hostname: name.to_string(),
+            machine: MachineProfile::default_2005(),
+            neighbors,
+            ..BrokerConfig::default()
+        },
+        vec![bdn],
+        ResponsePolicy::open(),
+    ))
+}
+
+fn take_client(
+    actors: &mut HashMap<NodeId, Box<dyn nb::net::Actor>>,
+    id: NodeId,
+) -> (Vec<nb::discovery::DiscoveryOutcome>, nb::discovery::Phase) {
+    let actor = actors.remove(&id).expect("client actor present");
+    let client = actor.as_any().downcast_ref::<DiscoveryClient>().expect("is a DiscoveryClient");
+    (client.completed.clone(), client.phase())
+}
+
+#[test]
+fn full_discovery_over_threads() {
+    let mut net = lan_net(41);
+    let realm = RealmId(0);
+    let bdn = net.add_node("bdn", realm, fast_clocks(), Box::new(Bdn::new(BdnConfig::default())));
+    let b0 = net.add_node("b0", realm, fast_clocks(), broker_actor("b0.local", bdn, vec![]));
+    let _b1 = net.add_node("b1", realm, fast_clocks(), broker_actor("b1.local", bdn, vec![b0]));
+    let client = net.add_node(
+        "client",
+        realm,
+        fast_clocks(),
+        Box::new(DiscoveryClient::with_auto_start(discovery_cfg(bdn, 2), false)),
+    );
+    // Clocks sync within ~100ms; brokers advertise on start and on sync.
+    std::thread::sleep(Duration::from_millis(400));
+    net.inject(client, Incoming::Timer { token: TIMER_START });
+    std::thread::sleep(Duration::from_secs(3));
+    let stats = net.stats();
+    assert!(stats.datagrams_delivered > 0, "discovery traffic crossed the wire thread");
+    assert!(stats.by_kind.contains_key("discovery-request"));
+    assert!(stats.by_kind.contains_key("discovery-response"));
+    assert!(stats.bytes_delivered > 0);
+    let mut actors = net.shutdown();
+    let (completed, phase) = take_client(&mut actors, client);
+    assert_eq!(completed.len(), 1, "one discovery completed (phase {phase:?})");
+    let outcome = &completed[0];
+    assert!(outcome.chosen.is_some(), "threaded discovery succeeds");
+    assert_eq!(outcome.responses_received, 2, "both brokers answered");
+    assert!(!outcome.used_multicast);
+}
+
+#[test]
+fn multicast_fallback_over_threads() {
+    let mut net = lan_net(42);
+    let realm = RealmId(0);
+    // The configured BDN simply does not exist as a reachable service:
+    // use an unregistered node id so every send is dropped.
+    let ghost_bdn = NodeId(999);
+    let bdn_for_brokers =
+        net.add_node("bdn", realm, fast_clocks(), Box::new(Bdn::new(BdnConfig::default())));
+    let _b0 =
+        net.add_node("b0", realm, fast_clocks(), broker_actor("b0.local", bdn_for_brokers, vec![]));
+    let mut cfg = discovery_cfg(ghost_bdn, 1);
+    cfg.retransmits_per_bdn = 1;
+    cfg.ack_timeout = Duration::from_millis(250);
+    let client = net.add_node(
+        "client",
+        realm,
+        fast_clocks(),
+        Box::new(DiscoveryClient::with_auto_start(cfg, false)),
+    );
+    std::thread::sleep(Duration::from_millis(300));
+    net.inject(client, Incoming::Timer { token: TIMER_START });
+    std::thread::sleep(Duration::from_secs(4));
+    let mut actors = net.shutdown();
+    let (completed, _) = take_client(&mut actors, client);
+    assert_eq!(completed.len(), 1);
+    assert!(completed[0].used_multicast, "fallback must engage");
+    assert!(completed[0].chosen.is_some(), "the lab broker answers via multicast");
+}
+
+#[test]
+fn ntp_protocol_over_threads() {
+    // Unsynced-by-model clocks (huge modeled sync delay) with a real NTP
+    // exchange doing the work instead.
+    let profile = ClockProfile {
+        max_true_offset: Duration::from_millis(500),
+        min_residual: Duration::ZERO,
+        max_residual: Duration::ZERO,
+        min_sync_delay: Duration::from_secs(3600),
+        max_sync_delay: Duration::from_secs(3600),
+    };
+    let mut net = ThreadedNet::new(43);
+    net.configure_network(|n| {
+        n.inter_realm_spec = LinkSpec::wan(Duration::from_millis(5)).with_loss(0.0);
+    });
+    let server =
+        net.add_node("time", RealmId(0), ClockProfile::perfect(), Box::new(NtpServer::default()));
+    let client = net.add_node("c", RealmId(1), profile, Box::new(NtpClientActor::new(server)));
+    std::thread::sleep(Duration::from_secs(2));
+    let true_now = net.now();
+    let utc = net.utc_of(client).expect("client clock");
+    let mut actors = net.shutdown();
+    let actor = actors.remove(&client).unwrap();
+    let ntp = actor.as_any().downcast_ref::<NtpClientActor>().unwrap();
+    assert_eq!(ntp.client.phase, NtpPhase::Done, "protocol completed");
+    let err_us =
+        (utc as i64 - nb::net::time::true_utc_micros(true_now) as i64).unsigned_abs();
+    assert!(err_us <= 20_000, "residual {err_us}µs within the paper's band");
+}
