@@ -230,6 +230,40 @@ fn bench_sim_engine(c: &mut Criterion) {
         nb_net::impl_actor_any!();
     }
 
+    // Event queue under pure timer load: one actor schedules N timer
+    // events up front (schedule) and the engine drains them all (pop).
+    // Sized at 10^5 and 10^6 to expose any superlinear queue behavior.
+    // Tokens cycle through a small set — the per-node timer slab is
+    // designed for a handful of live tokens, so distinct-token floods
+    // would measure the slab scan, not the queue.
+    struct TimerFlood {
+        timers: u64,
+    }
+    impl Actor for TimerFlood {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            for t in 0..self.timers {
+                ctx.set_timer(Duration::from_micros(t + 1), t % 16);
+            }
+        }
+        fn on_incoming(&mut self, _event: Incoming, _ctx: &mut dyn Context) {}
+        nb_net::impl_actor_any!();
+    }
+
+    let mut g = c.benchmark_group("event_queue");
+    for timers in [100_000u64, 1_000_000] {
+        g.throughput(Throughput::Elements(timers));
+        g.bench_function(&format!("schedule_pop_{timers}"), |b| {
+            b.iter(|| {
+                let mut sim = Sim::with_clock_profile(1, ClockProfile::perfect());
+                sim.add_node("t", RealmId(0), Box::new(TimerFlood { timers }));
+                let processed = sim.run_until_idle(timers + 16);
+                assert!(processed >= timers);
+                processed
+            })
+        });
+    }
+    g.finish();
+
     c.bench_function("sim_engine_10k_events", |b| {
         b.iter(|| {
             let mut sim = Sim::with_clock_profile(1, ClockProfile::perfect());

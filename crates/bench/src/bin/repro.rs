@@ -12,6 +12,8 @@
 //! repro ablation-scale | ablation-loss | ablation-clock
 //! repro check               # self-verify every qualitative claim (exit 1 on failure)
 //! repro trace               # message-flow trace of one discovery
+//! repro bench               # perf baseline: figure suite serial vs parallel,
+//!                           # writes BENCH_discovery.json (see --bench-json/--threads)
 //! repro all --runs 30 --seed 7    # faster smoke reproduction
 //! repro all --csv out/            # also write machine-readable CSVs
 //! ```
@@ -24,10 +26,19 @@ struct Args {
     runs: usize,
     seed: u64,
     csv: Option<std::path::PathBuf>,
+    bench_json: std::path::PathBuf,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { cmd: "all".to_string(), runs: PAPER_RUNS, seed: 2005, csv: None };
+    let mut args = Args {
+        cmd: "all".to_string(),
+        runs: PAPER_RUNS,
+        seed: 2005,
+        csv: None,
+        bench_json: std::path::PathBuf::from("BENCH_discovery.json"),
+        threads: None,
+    };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -53,6 +64,21 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
                 args.csv = Some(std::path::PathBuf::from(dir));
+            }
+            "--bench-json" => {
+                i += 1;
+                let path = argv.get(i).unwrap_or_else(|| {
+                    eprintln!("--bench-json needs a path");
+                    std::process::exit(2);
+                });
+                args.bench_json = std::path::PathBuf::from(path);
+            }
+            "--threads" => {
+                i += 1;
+                args.threads = argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
             }
             other if !other.starts_with("--") => args.cmd = other.to_string(),
             other => {
@@ -406,7 +432,62 @@ fn run(cmd: &str, runs: usize, seed: u64, csv: &Option<std::path::PathBuf>) {
     }
 }
 
+/// `repro bench`: times the figure suite serial vs parallel and writes
+/// the machine-readable perf baseline.
+fn run_bench_cmd(args: &Args) {
+    let report = nb_bench::report::run_bench(args.seed, args.runs, args.threads);
+    println!(
+        "=== Perf baseline: figure suite, {} runs per figure, seed {}, {} workers ===",
+        report.runs, report.seed, report.workers
+    );
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>8}",
+        "figure", "events", "serial ms", "parallel ms", "speedup"
+    );
+    for f in &report.figures {
+        println!(
+            "{:<28} {:>10} {:>12.1} {:>12.1} {:>7.2}x",
+            f.name,
+            f.events,
+            f.serial_ms,
+            f.parallel_ms,
+            f.speedup()
+        );
+    }
+    println!(
+        "{:<28} {:>10} {:>12.1} {:>12.1} {:>7.2}x",
+        "TOTAL",
+        report.events(),
+        report.serial_ms(),
+        report.parallel_ms(),
+        report.speedup()
+    );
+    println!(
+        "events/sec: {:.0} serial, {:.0} parallel ({} cores visible)",
+        report.events_per_sec_serial(),
+        report.events_per_sec_parallel(),
+        report.cores
+    );
+    println!(
+        "hot path ({} events): legacy layout {:.0} ns/event, slab layout {:.0} ns/event \
+         — {:.2}x",
+        report.hot_path.events,
+        report.hot_path.legacy_ns_per_event,
+        report.hot_path.slab_ns_per_event,
+        report.hot_path.speedup()
+    );
+    if let Err(e) = std::fs::write(&args.bench_json, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.bench_json.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", args.bench_json.display());
+}
+
 fn main() {
     let args = parse_args();
+    if args.cmd == "bench" {
+        run_bench_cmd(&args);
+        return;
+    }
     run(&args.cmd, args.runs, args.seed, &args.csv);
 }

@@ -1,0 +1,270 @@
+//! A/B harness for the simulator's event hot path.
+//!
+//! The engine rework replaced three per-event costs:
+//!
+//! | old layout                         | new layout                        |
+//! |------------------------------------|-----------------------------------|
+//! | `HashMap<u64, NodeState>` lookup   | dense `Vec<NodeState>` index      |
+//! | `HashMap<u64, u64>` timer epochs   | generation slab `Vec<(u64, u64)>` |
+//! | encode→`Vec<u8>`→decode per hop    | `Arc<Message>` move, cached len   |
+//!
+//! Both loops here process the *same* logical event schedule (same
+//! message type, same fan-out, same timer cadence) and differ only in
+//! those three mechanisms, so the ratio isolates the layout change from
+//! everything else the simulator does. `repro bench` runs both and
+//! publishes the per-event costs in `BENCH_discovery.json`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+use nb_wire::{Message, NodeId, Wire};
+
+const NODES: usize = 64;
+/// Every `TIMER_EVERY`-th delivery also re-arms a timer, roughly the
+/// cadence the discovery scenarios produce (collection + ping timers).
+const TIMER_EVERY: u64 = 8;
+
+/// Measured per-event costs of the two layouts.
+#[derive(Debug, Clone, Copy)]
+pub struct HotPathBench {
+    /// Events processed per loop.
+    pub events: u64,
+    /// Old layout: nanoseconds per event.
+    pub legacy_ns_per_event: f64,
+    /// New layout: nanoseconds per event.
+    pub slab_ns_per_event: f64,
+}
+
+impl HotPathBench {
+    /// Old-over-new per-event cost ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.slab_ns_per_event > 0.0 {
+            self.legacy_ns_per_event / self.slab_ns_per_event
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs both loops over `events` events (after a small warmup) and
+/// returns the measured per-event costs.
+pub fn run_hotpath_bench(events: u64) -> HotPathBench {
+    // Warm caches and the allocator so neither loop pays first-touch costs.
+    legacy_loop(events / 10 + 1);
+    slab_loop(events / 10 + 1);
+
+    let t = Instant::now();
+    let legacy_sink = legacy_loop(events);
+    let legacy_ns = t.elapsed().as_nanos() as f64 / events as f64;
+
+    let t = Instant::now();
+    let slab_sink = slab_loop(events);
+    let slab_ns = t.elapsed().as_nanos() as f64 / events as f64;
+
+    // The two schedules are identical, so the blackbox sums must agree;
+    // this also keeps the optimizer from discarding either loop.
+    assert_eq!(legacy_sink, slab_sink, "hot-path loops diverged");
+    HotPathBench { events, legacy_ns_per_event: legacy_ns, slab_ns_per_event: slab_ns }
+}
+
+/// Min-heap item ordered by `(at, seq)`, payload excluded from the order
+/// — the queue discipline both engines share.
+struct QItem<E> {
+    at: u64,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for QItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<E> Eq for QItem<E> {}
+impl<E> PartialOrd for QItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for QItem<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        (Reverse(self.at), Reverse(self.seq)).cmp(&(Reverse(other.at), Reverse(other.seq)))
+    }
+}
+
+fn ping_reply(seq: u64, now: u64, node: u64) -> Message {
+    Message::Pong { nonce: seq, echoed_sent_at: now, responder: NodeId(node as u32) }
+}
+
+/// The pre-rework layout: nodes and timer epochs behind hashes, every
+/// delivery round-trips the payload through the wire codec.
+fn legacy_loop(events: u64) -> u64 {
+    enum Ev {
+        Deliver { to: u64, bytes: Vec<u8> },
+        Timer { node: u64, token: u64, epoch: u64 },
+    }
+    struct Node {
+        up: bool,
+        clock: u64,
+        timer_epochs: HashMap<u64, u64>,
+    }
+
+    let mut nodes: HashMap<u64, Node> = (0..NODES as u64)
+        .map(|i| (i, Node { up: true, clock: i, timer_epochs: HashMap::new() }))
+        .collect();
+    let mut queue: BinaryHeap<QItem<Ev>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for i in 0..NODES as u64 {
+        let msg = ping_reply(i, 0, i);
+        queue.push(QItem { at: i, seq, ev: Ev::Deliver { to: i, bytes: msg.to_bytes().to_vec() } });
+        seq += 1;
+    }
+
+    let mut processed = 0u64;
+    let mut sink = 0u64;
+    while processed < events {
+        let QItem { at: now, ev, .. } = queue.pop().expect("schedule never drains");
+        processed += 1;
+        match ev {
+            Ev::Deliver { to, bytes } => {
+                let node = nodes.get_mut(&to).expect("known node");
+                if !node.up {
+                    continue;
+                }
+                let msg = Message::from_bytes(&bytes).expect("self-encoded");
+                if let Message::Pong { nonce, echoed_sent_at, .. } = &msg {
+                    node.clock = node.clock.wrapping_add(nonce ^ echoed_sent_at);
+                    sink = sink.wrapping_add(node.clock);
+                }
+                let next = (to + 1) % NODES as u64;
+                let reply = ping_reply(seq, now, next);
+                queue.push(QItem {
+                    at: now + 1,
+                    seq,
+                    ev: Ev::Deliver { to: next, bytes: reply.to_bytes().to_vec() },
+                });
+                seq += 1;
+                if processed % TIMER_EVERY == 0 {
+                    let token = to % 4;
+                    let epoch = node.timer_epochs.entry(token).and_modify(|e| *e += 1).or_insert(1);
+                    queue.push(QItem { at: now + 5, seq, ev: Ev::Timer { node: to, token, epoch: *epoch } });
+                    seq += 1;
+                }
+            }
+            Ev::Timer { node, token, epoch } => {
+                let n = nodes.get(&node).expect("known node");
+                if n.up && n.timer_epochs.get(&token) == Some(&epoch) {
+                    sink = sink.wrapping_add(epoch);
+                }
+            }
+        }
+    }
+    sink
+}
+
+/// The reworked layout: dense vectors, generation-counted timers, and
+/// payloads moved through the queue behind an `Arc`.
+fn slab_loop(events: u64) -> u64 {
+    enum Ev {
+        Deliver { to: u32, msg: Arc<Message>, len: usize },
+        Timer { node: u32, token: u64, generation: u64 },
+    }
+    struct Node {
+        up: bool,
+        clock: u64,
+        timers: Vec<(u64, u64)>,
+    }
+    impl Node {
+        fn arm(&mut self, token: u64) -> u64 {
+            for t in &mut self.timers {
+                if t.0 == token {
+                    t.1 += 1;
+                    return t.1;
+                }
+            }
+            self.timers.push((token, 1));
+            1
+        }
+        fn live(&self, token: u64, generation: u64) -> bool {
+            self.timers.iter().any(|&(t, g)| t == token && g == generation)
+        }
+    }
+
+    let mut nodes: Vec<Node> = (0..NODES as u64)
+        .map(|i| Node { up: true, clock: i, timers: Vec::new() })
+        .collect();
+    let mut queue: BinaryHeap<QItem<Ev>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for i in 0..NODES as u64 {
+        let msg = ping_reply(i, 0, i);
+        let len = msg.to_bytes().len();
+        queue.push(QItem { at: i, seq, ev: Ev::Deliver { to: i as u32, msg: Arc::new(msg), len } });
+        seq += 1;
+    }
+
+    let mut processed = 0u64;
+    let mut sink = 0u64;
+    while processed < events {
+        let QItem { at: now, ev, .. } = queue.pop().expect("schedule never drains");
+        processed += 1;
+        match ev {
+            Ev::Deliver { to, msg, len } => {
+                let node = &mut nodes[to as usize];
+                if !node.up {
+                    continue;
+                }
+                let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
+                if let Message::Pong { nonce, echoed_sent_at, .. } = &msg {
+                    node.clock = node.clock.wrapping_add(nonce ^ echoed_sent_at);
+                    sink = sink.wrapping_add(node.clock);
+                }
+                let next = (u64::from(to) + 1) % NODES as u64;
+                let reply = ping_reply(seq, now, next);
+                queue.push(QItem {
+                    at: now + 1,
+                    seq,
+                    ev: Ev::Deliver { to: next as u32, msg: Arc::new(reply), len },
+                });
+                seq += 1;
+                if processed % TIMER_EVERY == 0 {
+                    let token = u64::from(to) % 4;
+                    let generation = node.arm(token);
+                    queue.push(QItem {
+                        at: now + 5,
+                        seq,
+                        ev: Ev::Timer { node: to, token, generation },
+                    });
+                    seq += 1;
+                }
+            }
+            Ev::Timer { node, token, generation } => {
+                let n = &nodes[node as usize];
+                if n.up && n.live(token, generation) {
+                    sink = sink.wrapping_add(generation);
+                }
+            }
+        }
+    }
+    sink
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_loops_run_the_same_schedule() {
+        assert_eq!(legacy_loop(10_000), slab_loop(10_000));
+    }
+
+    #[test]
+    fn bench_reports_positive_costs() {
+        let b = run_hotpath_bench(20_000);
+        assert!(b.legacy_ns_per_event > 0.0);
+        assert!(b.slab_ns_per_event > 0.0);
+        assert!(b.speedup() > 0.0);
+    }
+}

@@ -7,8 +7,13 @@
 //! removing outliers" (§9) — and reports the same five metrics (mean,
 //! standard deviation, maximum, minimum, error).
 
+pub mod hotpath;
+pub mod parallel;
+pub mod report;
+
 use std::time::{Duration, Instant};
 
+use crate::parallel::{seeded, ParallelExecutor};
 use nb_broker::TopologyKind;
 use nb_discovery::scenario::ScenarioBuilder;
 use nb_discovery::{DiscoveryOutcome, SelectionWeights};
@@ -44,14 +49,18 @@ pub fn topology_figure(kind: TopologyKind) -> String {
 
 /// Runs `runs` discoveries in the given topology with the client at
 /// `client_site`, returning the raw outcomes.
+///
+/// Run `i` is an independent deployment seeded `seed.wrapping_add(i)`,
+/// sharded across worker threads; the output is identical to a serial
+/// loop over the same seeds (see [`parallel::ParallelExecutor`]).
 pub fn run_topology(
     kind: TopologyKind,
     client_site: SiteIdx,
     seed: u64,
     runs: usize,
 ) -> Vec<DiscoveryOutcome> {
-    let mut scenario = ScenarioBuilder::new(kind, client_site, seed).build();
-    scenario.run_discovery(runs)
+    let builder = ScenarioBuilder::new(kind, client_site, seed);
+    ParallelExecutor::new().run_discoveries(seed, runs, seeded(&builder))
 }
 
 /// The sub-activity percentage breakdown (Figures 2, 9, 11): average
@@ -91,8 +100,8 @@ pub fn figure_site_times(client_site: SiteIdx, seed: u64, runs: usize) -> Summar
 /// Multicast-only discovery time statistics (Figure 12): no BDN, only
 /// the brokers inside the client's lab realm are reachable.
 pub fn figure_multicast(seed: u64, runs: usize, local_brokers: usize) -> Summary {
-    let mut scenario = ScenarioBuilder::multicast(seed, local_brokers).build();
-    let outcomes = scenario.run_discovery(runs);
+    let builder = ScenarioBuilder::multicast(seed, local_brokers);
+    let outcomes = ParallelExecutor::new().run_discoveries(seed, runs, seeded(&builder));
     assert!(
         outcomes.iter().all(|o| o.used_multicast),
         "figure 12 must exercise the multicast path"
@@ -228,8 +237,7 @@ pub fn ablation_timeout(seed: u64, runs: usize) -> Vec<(u64, f64, f64)> {
         let mut builder = ScenarioBuilder::new(TopologyKind::Star, BLOOMINGTON, seed);
         builder.discovery.collection_window = Duration::from_millis(timeout_ms);
         builder.discovery.max_responses = 100; // window-bound
-        let mut scenario = builder.build();
-        let outcomes = scenario.run_discovery(runs);
+        let outcomes = ParallelExecutor::new().run_discoveries(seed, runs, seeded(&builder));
         let mean_total = mean(outcomes.iter().map(|o| o.phases.total().as_secs_f64() * 1e3));
         let mean_resp = mean(outcomes.iter().map(|o| o.responses_received as f64));
         rows.push((timeout_ms, mean_total, mean_resp));
@@ -243,8 +251,7 @@ pub fn ablation_max_responses(seed: u64, runs: usize) -> Vec<(usize, f64, f64)> 
     for cap in [1usize, 2, 3, 5, 100] {
         let mut builder = ScenarioBuilder::new(TopologyKind::Star, BLOOMINGTON, seed);
         builder.discovery.max_responses = cap;
-        let mut scenario = builder.build();
-        let outcomes = scenario.run_discovery(runs);
+        let outcomes = ParallelExecutor::new().run_discoveries(seed, runs, seeded(&builder));
         let mean_total = mean(outcomes.iter().map(|o| o.phases.total().as_secs_f64() * 1e3));
         let mean_resp = mean(outcomes.iter().map(|o| o.responses_received as f64));
         rows.push((cap, mean_total, mean_resp));
@@ -265,8 +272,10 @@ pub fn ablation_weights(seed: u64, runs: usize) -> Vec<(&'static str, Vec<(Strin
     for (name, weights) in presets {
         let mut builder = ScenarioBuilder::new(TopologyKind::Star, BLOOMINGTON, seed);
         builder.discovery.weights = weights;
-        let mut scenario = builder.build();
-        let outcomes = scenario.run_discovery(runs);
+        let outcomes = ParallelExecutor::new().run_discoveries(seed, runs, seeded(&builder));
+        // Broker ids and sites are fixed by the builder config, not the
+        // seed, so one reference deployment maps winners to sites.
+        let scenario = builder.build();
         let mut wins: Vec<(String, usize)> = Vec::new();
         for o in &outcomes {
             if let Some(chosen) = o.chosen {
@@ -295,8 +304,7 @@ pub fn ablation_scale(seed: u64, runs: usize) -> Vec<(usize, &'static str, f64)>
             let mut builder = ScenarioBuilder::new(kind, BLOOMINGTON, seed);
             builder.broker_sites = (0..n).map(|i| site_cycle[i % site_cycle.len()]).collect();
             builder.discovery.max_responses = n;
-            let mut scenario = builder.build();
-            let outcomes = scenario.run_discovery(runs);
+            let outcomes = ParallelExecutor::new().run_discoveries(seed, runs, seeded(&builder));
             let mean_total =
                 mean(outcomes.iter().map(|o| o.phases.total().as_secs_f64() * 1e3));
             rows.push((n, kind.label(), mean_total));
@@ -319,8 +327,7 @@ pub fn ablation_loss(seed: u64, runs: usize) -> Vec<(f64, f64, f64, f64)> {
         builder.discovery.ping_window = Duration::from_millis(500);
         builder.discovery.ack_timeout = Duration::from_millis(400);
         builder.discovery.retransmits_per_bdn = 3;
-        let mut scenario = builder.build();
-        let outcomes = scenario.run_discovery(runs);
+        let outcomes = ParallelExecutor::new().run_discoveries(seed, runs, seeded(&builder));
         let successes = outcomes.iter().filter(|o| o.chosen.is_some()).count();
         let mean_resp = mean(outcomes.iter().map(|o| o.responses_received as f64));
         let mean_total = mean(
@@ -369,28 +376,28 @@ pub fn ablation_clock(base_seed: u64, seeds: u64) -> Vec<(&'static str, f64, f64
     let wan = WanModel::paper();
     let mut rows = Vec::new();
     for (label, clock) in profiles {
-        let mut hits = 0u64;
-        let mut est_err_ms = Vec::new();
-        for s in 0..seeds {
-            let mut builder = ScenarioBuilder::new(TopologyKind::Star, BLOOMINGTON, base_seed + s);
+        // One independent deployment per seed, sharded across workers.
+        let samples = ParallelExecutor::new().run(seeds as usize, |i| {
+            let mut builder =
+                ScenarioBuilder::new(TopologyKind::Star, BLOOMINGTON, base_seed + i as u64);
             builder.clock = clock;
             builder.discovery.weights = SelectionWeights::proximity_only();
             builder.discovery.target_set_size = 1; // no ping disambiguation
             let mut scenario = builder.build();
             let outcome = scenario.run_discovery_once();
-            if let Some(chosen) = outcome.chosen {
-                if scenario.site_of_broker(chosen) == Some(1) {
-                    hits += 1; // Indianapolis, the true nearest
-                }
+            outcome.chosen.map(|chosen| {
                 // Estimate error: measured ping RTT/2 is ground truth-ish;
                 // compare against the true one-way latency of the chosen
                 // site instead (exact in the model).
                 let site = scenario.site_of_broker(chosen).unwrap();
                 let true_one_way = wan.one_way(BLOOMINGTON, site).as_secs_f64() * 1e3;
                 let nearest_one_way = wan.one_way(BLOOMINGTON, 1).as_secs_f64() * 1e3;
-                est_err_ms.push(true_one_way - nearest_one_way);
-            }
-        }
+                // Indianapolis (site 1) is the true nearest.
+                (site == 1, true_one_way - nearest_one_way)
+            })
+        });
+        let hits = samples.iter().flatten().filter(|(nearest, _)| *nearest).count();
+        let est_err_ms: Vec<f64> = samples.iter().flatten().map(|(_, e)| *e).collect();
         rows.push((label, hits as f64 / seeds as f64, mean(est_err_ms.into_iter())));
     }
     rows

@@ -1,0 +1,233 @@
+//! Machine-readable perf baseline for the discovery engine.
+//!
+//! `repro bench` times the multi-run figure suite twice — once on the
+//! serial reference executor, once sharded — and emits the result as
+//! `BENCH_discovery.json`: engine events/sec, wall time per figure, and
+//! the parallel speedup. The serial and parallel outcome vectors are
+//! compared while timing, so a baseline is only ever produced from a
+//! run that also witnessed the determinism contract.
+
+use std::time::Instant;
+
+use nb_broker::TopologyKind;
+use nb_discovery::scenario::ScenarioBuilder;
+use nb_net::wan::{BLOOMINGTON, CARDIFF, FSU, NCSA, UMN};
+
+use crate::hotpath::{run_hotpath_bench, HotPathBench};
+use crate::parallel::{seeded, ParallelExecutor};
+
+/// Events each hot-path loop processes when `repro bench` runs.
+pub const HOTPATH_EVENTS: u64 = 400_000;
+
+/// One figure workload timed serial vs parallel.
+#[derive(Debug, Clone)]
+pub struct FigureBench {
+    /// Workload name (`fig3_fsu`, `fig12_multicast`, …).
+    pub name: &'static str,
+    /// Discovery runs performed (per executor).
+    pub runs: usize,
+    /// Engine events processed across all runs (identical serial and
+    /// parallel — checked).
+    pub events: u64,
+    /// Serial wall time, milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall time, milliseconds.
+    pub parallel_ms: f64,
+}
+
+impl FigureBench {
+    /// Serial-over-parallel wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 { self.serial_ms / self.parallel_ms } else { 0.0 }
+    }
+}
+
+/// The full baseline: every figure workload plus suite totals.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Root seed the suite ran under.
+    pub seed: u64,
+    /// Runs per figure.
+    pub runs: usize,
+    /// Worker threads used by the parallel executor.
+    pub workers: usize,
+    /// CPU cores visible to this process (parallel speedup is bounded
+    /// by this — on a 1-core box the sharded path cannot beat serial).
+    pub cores: usize,
+    /// Per-figure timings.
+    pub figures: Vec<FigureBench>,
+    /// Isolated old-vs-new event-loop layout comparison.
+    pub hot_path: HotPathBench,
+}
+
+impl BenchReport {
+    /// Total serial wall time (ms).
+    pub fn serial_ms(&self) -> f64 {
+        self.figures.iter().map(|f| f.serial_ms).sum()
+    }
+
+    /// Total parallel wall time (ms).
+    pub fn parallel_ms(&self) -> f64 {
+        self.figures.iter().map(|f| f.parallel_ms).sum()
+    }
+
+    /// Total engine events across the suite (one executor's worth).
+    pub fn events(&self) -> u64 {
+        self.figures.iter().map(|f| f.events).sum()
+    }
+
+    /// Suite-level speedup of parallel over serial.
+    pub fn speedup(&self) -> f64 {
+        let p = self.parallel_ms();
+        if p > 0.0 { self.serial_ms() / p } else { 0.0 }
+    }
+
+    /// Engine events per second under the serial executor.
+    pub fn events_per_sec_serial(&self) -> f64 {
+        rate(self.events(), self.serial_ms())
+    }
+
+    /// Engine events per second under the parallel executor.
+    pub fn events_per_sec_parallel(&self) -> f64 {
+        rate(self.events(), self.parallel_ms())
+    }
+
+    /// Renders the report as JSON (hand-rolled; the tree is flat enough
+    /// that a serializer would be overkill).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"suite\": \"discovery-figures\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"runs_per_figure\": {},\n", self.runs));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"events\": {},\n", self.events()));
+        out.push_str(&format!("  \"serial_wall_ms\": {:.1},\n", self.serial_ms()));
+        out.push_str(&format!("  \"parallel_wall_ms\": {:.1},\n", self.parallel_ms()));
+        out.push_str(&format!("  \"speedup\": {:.2},\n", self.speedup()));
+        out.push_str(&format!(
+            "  \"events_per_sec_serial\": {:.0},\n",
+            self.events_per_sec_serial()
+        ));
+        out.push_str(&format!(
+            "  \"events_per_sec_parallel\": {:.0},\n",
+            self.events_per_sec_parallel()
+        ));
+        out.push_str("  \"figures\": [\n");
+        for (i, f) in self.figures.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"runs\": {}, \"events\": {}, \
+                 \"serial_wall_ms\": {:.1}, \"parallel_wall_ms\": {:.1}, \
+                 \"speedup\": {:.2}}}{}\n",
+                f.name,
+                f.runs,
+                f.events,
+                f.serial_ms,
+                f.parallel_ms,
+                f.speedup(),
+                if i + 1 < self.figures.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"hot_path\": {{\"events\": {}, \"legacy_ns_per_event\": {:.1}, \
+             \"slab_ns_per_event\": {:.1}, \"speedup\": {:.2}}}\n",
+            self.hot_path.events,
+            self.hot_path.legacy_ns_per_event,
+            self.hot_path.slab_ns_per_event,
+            self.hot_path.speedup(),
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn rate(events: u64, wall_ms: f64) -> f64 {
+    if wall_ms > 0.0 { events as f64 / (wall_ms / 1e3) } else { 0.0 }
+}
+
+/// The multi-run figure workloads, paper order. Figures 1/8/10 (static
+/// diagrams) and 13/14 (crypto microcosts) involve no event-loop runs
+/// and are excluded.
+pub fn bench_workloads() -> Vec<(&'static str, ScenarioBuilder)> {
+    let topo =
+        |kind, site, seed| ScenarioBuilder::new(kind, site, seed);
+    vec![
+        ("fig2_unconnected_breakdown", topo(TopologyKind::Unconnected, BLOOMINGTON, 0)),
+        ("fig3_fsu", topo(TopologyKind::Unconnected, FSU, 0)),
+        ("fig4_cardiff", topo(TopologyKind::Unconnected, CARDIFF, 0)),
+        ("fig5_umn", topo(TopologyKind::Unconnected, UMN, 0)),
+        ("fig6_ncsa", topo(TopologyKind::Unconnected, NCSA, 0)),
+        ("fig7_bloomington", topo(TopologyKind::Unconnected, BLOOMINGTON, 0)),
+        ("fig9_star_breakdown", topo(TopologyKind::Star, BLOOMINGTON, 0)),
+        ("fig11_linear_breakdown", topo(TopologyKind::Linear, BLOOMINGTON, 0)),
+        ("fig12_multicast", ScenarioBuilder::multicast(0, 2)),
+    ]
+}
+
+/// Times the figure suite serial vs parallel and assembles the report.
+///
+/// Panics if any workload's parallel outcomes diverge from serial —
+/// a baseline must never be published off a non-deterministic run.
+pub fn run_bench(seed: u64, runs: usize, workers: Option<usize>) -> BenchReport {
+    let parallel = match workers {
+        Some(w) => ParallelExecutor::with_workers(w),
+        None => ParallelExecutor::new(),
+    };
+    let serial = ParallelExecutor::serial();
+    // Best-of-3 per executor: the workloads are short enough that a
+    // single sample is scheduler-noise-dominated.
+    let time_best = |ex: &ParallelExecutor, builder: &ScenarioBuilder| {
+        let mut best_ms = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let r = ex.run_discoveries_counted(seed, runs, seeded(builder));
+            best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            last = Some(r);
+        }
+        let (outcomes, events) = last.expect("three samples taken");
+        (outcomes, events, best_ms)
+    };
+    let mut figures = Vec::new();
+    for (name, builder) in bench_workloads() {
+        let (outcomes_s, events_s, serial_ms) = time_best(&serial, &builder);
+        let (outcomes_p, events_p, parallel_ms) = time_best(&parallel, &builder);
+        assert_eq!(outcomes_s, outcomes_p, "{name}: parallel diverged from serial");
+        assert_eq!(events_s, events_p, "{name}: event counts diverged");
+        figures.push(FigureBench { name, runs, events: events_s, serial_ms, parallel_ms });
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let hot_path = run_hotpath_bench(HOTPATH_EVENTS);
+    BenchReport { seed, runs, workers: parallel.workers(), cores, figures, hot_path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_cover_every_multirun_figure() {
+        let names: Vec<_> = bench_workloads().iter().map(|(n, _)| *n).collect();
+        for fig in ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig11", "fig12"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(fig)),
+                "figure suite missing {fig}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_bench_produces_consistent_report() {
+        let report = run_bench(2005, 3, Some(2));
+        assert_eq!(report.figures.len(), bench_workloads().len());
+        assert!(report.events() > 0);
+        assert!(report.serial_ms() > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"suite\": \"discovery-figures\""));
+        assert!(json.contains("fig12_multicast"));
+        // Balanced braces — cheap structural sanity for the hand-rolled JSON.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

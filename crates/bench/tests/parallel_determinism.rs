@@ -1,0 +1,98 @@
+//! Determinism contract of the parallel executor.
+//!
+//! Sharding the figure suite across threads is only acceptable if the
+//! output is a pure function of `(seed_root, runs)` — otherwise the
+//! checked-in figures would drift with the core count of the machine
+//! that produced them. These properties pin the contract: for every
+//! topology, client site, seed root and worker count, the parallel
+//! executor must reproduce the serial executor's outcome vector
+//! *exactly*, ordering included.
+
+use nb_bench::parallel::{seeded, ParallelExecutor};
+use nb_broker::TopologyKind;
+use nb_net::wan::{BLOOMINGTON, CARDIFF, FSU, NCSA, UMN};
+use proptest::prelude::*;
+
+fn topologies() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::Unconnected),
+        Just(TopologyKind::Star),
+        Just(TopologyKind::Linear),
+        Just(TopologyKind::Ring),
+        Just(TopologyKind::Tree),
+    ]
+}
+
+fn client_sites() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(BLOOMINGTON),
+        Just(UMN),
+        Just(NCSA),
+        Just(FSU),
+        Just(CARDIFF),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Parallel outcomes equal serial outcomes element-for-element, in
+    /// the same order, for arbitrary topology/site/seed/worker-count.
+    #[test]
+    fn parallel_matches_serial(
+        kind in topologies(),
+        site in client_sites(),
+        seed_root in any::<u64>(),
+        runs in 2usize..7,
+        workers in 2usize..6,
+    ) {
+        let builder = nb_discovery::scenario::ScenarioBuilder::new(kind, site, 0);
+        let serial = ParallelExecutor::serial().run_discoveries(seed_root, runs, seeded(&builder));
+        let parallel =
+            ParallelExecutor::with_workers(workers).run_discoveries(seed_root, runs, seeded(&builder));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Worker count never leaks into the result: any two parallel
+    /// executors agree with each other, not just with serial.
+    #[test]
+    fn worker_count_is_invisible(
+        seed_root in any::<u64>(),
+        wa in 2usize..5,
+        wb in 5usize..9,
+    ) {
+        let builder =
+            nb_discovery::scenario::ScenarioBuilder::new(TopologyKind::Star, BLOOMINGTON, 0);
+        let a = ParallelExecutor::with_workers(wa).run_discoveries(seed_root, 5, seeded(&builder));
+        let b = ParallelExecutor::with_workers(wb).run_discoveries(seed_root, 5, seeded(&builder));
+        prop_assert_eq!(a, b);
+    }
+
+    /// The counted variant returns the same outcomes as the plain one
+    /// and a run-count-independent event total.
+    #[test]
+    fn counted_runs_agree(seed_root in any::<u64>(), workers in 2usize..6) {
+        let builder =
+            nb_discovery::scenario::ScenarioBuilder::new(TopologyKind::Ring, UMN, 0);
+        let plain = ParallelExecutor::serial().run_discoveries(seed_root, 4, seeded(&builder));
+        let (counted, events_par) = ParallelExecutor::with_workers(workers)
+            .run_discoveries_counted(seed_root, 4, seeded(&builder));
+        let (_, events_ser) =
+            ParallelExecutor::serial().run_discoveries_counted(seed_root, 4, seeded(&builder));
+        prop_assert_eq!(plain, counted);
+        prop_assert_eq!(events_ser, events_par);
+        prop_assert!(events_ser > 0);
+    }
+}
+
+/// A repeated identical invocation is also stable run-to-run (no hidden
+/// global state in the executor itself).
+#[test]
+fn repeat_invocations_are_stable() {
+    let builder =
+        nb_discovery::scenario::ScenarioBuilder::new(TopologyKind::Tree, NCSA, 0);
+    let ex = ParallelExecutor::with_workers(4);
+    let first = ex.run_discoveries(7, 6, seeded(&builder));
+    let second = ex.run_discoveries(7, 6, seeded(&builder));
+    assert_eq!(first, second);
+}

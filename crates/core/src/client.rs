@@ -67,7 +67,7 @@ pub enum Phase {
 }
 
 /// Wall-clock (virtual) time spent in each sub-activity of one run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseTimes {
     /// Issuing the request until the BDN ack (or first response).
     pub issue: Duration,
@@ -105,7 +105,7 @@ impl PhaseTimes {
 }
 
 /// The result of one discovery run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiscoveryOutcome {
     /// The broker connected to (`None` on failure).
     pub chosen: Option<NodeId>,

@@ -1,0 +1,293 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel`: unbounded MPMC channels with cloneable
+//! senders *and* receivers, blocking/timeout receives, and disconnect
+//! detection — implemented over `Mutex` + `Condvar`. Throughput is lower
+//! than real crossbeam but the semantics match what this workspace uses
+//! (the threaded runtime's wire thread and the parallel bench executor).
+
+pub mod channel {
+    //! MPMC channels.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<ChannelState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChannelState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half; clone freely.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone freely (MPMC: each item goes to exactly
+    /// one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(ChannelState { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders += 1;
+            drop(state);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            let last = state.senders == 0;
+            drop(state);
+            if last {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = state.items.pop_front() {
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Like [`Receiver::recv`] but gives up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = state.items.pop_front() {
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (s, result) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = s;
+                if result.timed_out() && state.items.is_empty() {
+                    if state.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = state.items.pop_front() {
+                Ok(v)
+            } else if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).items.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// A blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers += 1;
+            drop(state);
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers -= 1;
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn send_recv_in_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        }
+
+        #[test]
+        fn disconnect_detected() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+            let (tx2, rx2) = unbounded::<u32>();
+            drop(rx2);
+            assert_eq!(tx2.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn mpmc_work_sharing_delivers_every_item_once() {
+            let (tx, rx) = unbounded::<u64>();
+            let n = 1000u64;
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let rx = rx.clone();
+                handles.push(thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                }));
+            }
+            drop(rx);
+            let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn cross_thread_wakeup() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = thread::spawn(move || rx.recv().unwrap());
+            thread::sleep(Duration::from_millis(20));
+            tx.send(42).unwrap();
+            assert_eq!(h.join().unwrap(), 42);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates the perf baseline: builds the workspace in release mode,
+# runs the figure suite serial vs parallel plus the hot-path A/B, and
+# writes BENCH_discovery.json at the repo root.
+#
+# Usage:
+#   tools/bench.sh                  # paper protocol (120 runs/figure)
+#   tools/bench.sh --runs 30        # faster smoke baseline
+#   tools/bench.sh --threads 8      # pin the parallel worker count
+#
+# All flags are forwarded to `repro bench`. The parallel speedup is
+# bounded by visible cores (recorded in the JSON as "cores"); regenerate
+# on multi-core hardware before reading anything into that number.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p nb-bench
+./target/release/repro bench --bench-json BENCH_discovery.json "$@"
