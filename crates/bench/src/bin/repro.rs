@@ -14,6 +14,9 @@
 //! repro trace               # message-flow trace of one discovery
 //! repro bench               # perf baseline: figure suite serial vs parallel,
 //!                           # writes BENCH_discovery.json (see --bench-json/--threads)
+//! repro chaos               # seeded fault-injection campaign (scripted BDN state-loss
+//!                           # restart + randomized scenarios), writes CHAOS_campaign.json
+//!                           # (see --scenarios/--chaos-json); exit 1 if any invariant fails
 //! repro all --runs 30 --seed 7    # faster smoke reproduction
 //! repro all --csv out/            # also write machine-readable CSVs
 //! ```
@@ -28,6 +31,8 @@ struct Args {
     csv: Option<std::path::PathBuf>,
     bench_json: std::path::PathBuf,
     threads: Option<usize>,
+    scenarios: usize,
+    chaos_json: std::path::PathBuf,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +43,8 @@ fn parse_args() -> Args {
         csv: None,
         bench_json: std::path::PathBuf::from("BENCH_discovery.json"),
         threads: None,
+        scenarios: 10,
+        chaos_json: std::path::PathBuf::from("CHAOS_campaign.json"),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -72,6 +79,21 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
                 args.bench_json = std::path::PathBuf::from(path);
+            }
+            "--scenarios" => {
+                i += 1;
+                args.scenarios = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scenarios needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--chaos-json" => {
+                i += 1;
+                let path = argv.get(i).unwrap_or_else(|| {
+                    eprintln!("--chaos-json needs a path");
+                    std::process::exit(2);
+                });
+                args.chaos_json = std::path::PathBuf::from(path);
             }
             "--threads" => {
                 i += 1;
@@ -483,10 +505,54 @@ fn run_bench_cmd(args: &Args) {
     println!("wrote {}", args.bench_json.display());
 }
 
+/// `repro chaos`: runs the seeded fault-injection campaign and writes
+/// the deterministic JSON report. Exits 1 when an invariant fails.
+fn run_chaos_cmd(args: &Args) {
+    let report = nb_bench::chaos::run_campaign(args.seed, args.scenarios.max(1));
+    println!(
+        "=== Chaos campaign: {} scenarios from base seed {} ===",
+        report.scenarios.len(),
+        report.base_seed
+    );
+    println!(
+        "{:<20} {:>6} {:>8} {:>18} {:>10} {:>8} {:>7}",
+        "scenario", "seed", "faults", "plan digest", "failovers", "stale", "verdict"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<20} {:>6} {:>8} {:>18} {:>10} {:>8} {:>7}",
+            s.name,
+            s.seed,
+            s.faults,
+            format!("{:016x}", s.plan_digest),
+            s.failovers,
+            s.stale_targets_skipped,
+            if s.passed() { "PASS" } else { "FAIL" }
+        );
+        for inv in s.invariants.iter().filter(|i| !i.passed) {
+            println!("    [FAIL] {}: {}", inv.name, inv.detail);
+        }
+    }
+    if let Err(e) = std::fs::write(&args.chaos_json, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.chaos_json.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", args.chaos_json.display());
+    if !report.passed() {
+        eprintln!("chaos campaign FAILED");
+        std::process::exit(1);
+    }
+    println!("all scenarios passed all invariants");
+}
+
 fn main() {
     let args = parse_args();
     if args.cmd == "bench" {
         run_bench_cmd(&args);
+        return;
+    }
+    if args.cmd == "chaos" {
+        run_chaos_cmd(&args);
         return;
     }
     run(&args.cmd, args.runs, args.seed, &args.csv);

@@ -7,6 +7,7 @@
 //! removing outliers" (§9) — and reports the same five metrics (mean,
 //! standard deviation, maximum, minimum, error).
 
+pub mod chaos;
 pub mod hotpath;
 pub mod parallel;
 pub mod report;

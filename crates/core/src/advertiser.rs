@@ -55,6 +55,20 @@ impl Advertiser {
         }
     }
 
+    /// Changes the re-advertisement heartbeat period. The new period
+    /// takes effect when the current timer fires; existing timers are
+    /// not rescheduled. Leases at the BDN expire after its `ad_ttl`, so
+    /// this must stay comfortably below that TTL for the broker to
+    /// remain discoverable.
+    pub fn set_readvertise(&mut self, period: Duration) {
+        self.readvertise = period;
+    }
+
+    /// The current re-advertisement heartbeat period.
+    pub fn readvertise(&self) -> Duration {
+        self.readvertise
+    }
+
     /// The BDNs currently advertised to (configured + discovered).
     pub fn all_bdns(&self) -> Vec<NodeId> {
         let mut out = self.bdns.clone();

@@ -71,8 +71,17 @@ pub struct BdnConfig {
     /// Registry entries not refreshed by a new advertisement within this
     /// period are dropped (§1.2: "broker processes may join and leave the
     /// broker network at arbitrary times" — the registry must not serve
-    /// ghosts). Brokers re-advertise every 120 s by default.
+    /// ghosts). Brokers re-advertise every 120 s by default. Each
+    /// advertisement is a **lease**: refreshing extends
+    /// [`Registered::expires_at`] by this TTL, and expired leases are
+    /// never injection targets even before the ping timer prunes them.
     pub ad_ttl: Duration,
+    /// Strict lease mode: injection targets must hold a *live* lease in
+    /// the registry. Pinned attachments without one are skipped (and
+    /// counted in [`Bdn::stale_targets_skipped`]) instead of trusted.
+    /// Off by default so scenario-pinned attachments keep working before
+    /// the first advertisement lands.
+    pub require_lease: bool,
 }
 
 impl Default for BdnConfig {
@@ -88,6 +97,7 @@ impl Default for BdnConfig {
             auto_attach: true,
             security: None,
             ad_ttl: Duration::from_secs(300),
+            require_lease: false,
         }
     }
 }
@@ -101,6 +111,9 @@ pub struct Registered {
     pub rtt_us: Option<u64>,
     /// When the advertisement was last refreshed (BDN-local time).
     pub last_seen: SimTime,
+    /// When the lease lapses (`last_seen + ad_ttl` at refresh time). A
+    /// broker past this instant is never chosen for injection.
+    pub expires_at: SimTime,
 }
 
 /// Orders injection targets: closest first, farthest second, the rest by
@@ -151,6 +164,9 @@ pub struct Bdn {
     pub ads_filtered: u64,
     /// Registry entries expired for lack of re-advertisement.
     pub ads_expired: u64,
+    /// Injection targets skipped because their lease was expired (or, in
+    /// strict mode, absent).
+    pub stale_targets_skipped: u64,
     /// Secured requests successfully opened.
     pub secured_requests: u64,
     /// Envelopes that failed validation or decryption.
@@ -176,6 +192,7 @@ impl Bdn {
             ads_registered: 0,
             ads_filtered: 0,
             ads_expired: 0,
+            stale_targets_skipped: 0,
             secured_requests: 0,
             rejected_envelopes: 0,
         }
@@ -191,6 +208,11 @@ impl Bdn {
         self.registry.get(&broker)
     }
 
+    /// Whether `broker` holds a live advertisement lease at `now`.
+    pub fn lease_valid(&self, broker: NodeId, now: SimTime) -> bool {
+        self.registry.get(&broker).is_some_and(|r| now <= r.expires_at)
+    }
+
     fn register_ad(&mut self, ad: BrokerAdvertisement, ctx: &mut dyn Context) {
         if let Some(filter) = &self.cfg.accept_geography {
             let matches = ad.geography.as_deref().is_some_and(|g| g.contains(filter.as_str()));
@@ -201,13 +223,16 @@ impl Bdn {
         }
         let now = ctx.now();
         let broker = ad.broker;
+        let expires_at = now + self.cfg.ad_ttl;
         let entry = self.registry.entry(broker).or_insert(Registered {
             ad: ad.clone(),
             rtt_us: None,
             last_seen: now,
+            expires_at,
         });
         entry.ad = ad;
         entry.last_seen = now;
+        entry.expires_at = expires_at;
         self.ads_registered += 1;
         if self.cfg.auto_attach && !self.cfg.attached_brokers.contains(&broker) {
             self.cfg.attached_brokers.push(broker);
@@ -218,11 +243,10 @@ impl Bdn {
     }
 
     fn ping_registered(&mut self, ctx: &mut dyn Context) {
-        // Expire stale advertisements first.
-        let cutoff = self.cfg.ad_ttl;
+        // Expire lapsed leases first.
         let now = ctx.now();
         let before = self.registry.len();
-        self.registry.retain(|_, reg| now - reg.last_seen <= cutoff);
+        self.registry.retain(|_, reg| now <= reg.expires_at);
         let expired = before - self.registry.len();
         if expired > 0 {
             self.ads_expired += expired as u64;
@@ -271,12 +295,21 @@ impl Bdn {
         }
         self.requests_handled += 1;
         // Injection order over attached brokers, closest/farthest first.
-        let targets: Vec<(NodeId, Option<u64>)> = self
-            .cfg
-            .attached_brokers
-            .iter()
-            .map(|&b| (b, self.registry.get(&b).and_then(|r| r.rtt_us)))
-            .collect();
+        // Lease gate: a broker whose lease has lapsed is known-stale and
+        // is never injected at, even before the ping timer prunes it; in
+        // strict mode a missing lease disqualifies a pinned attachment
+        // too.
+        let now = ctx.now();
+        let mut targets: Vec<(NodeId, Option<u64>)> =
+            Vec::with_capacity(self.cfg.attached_brokers.len());
+        for &b in &self.cfg.attached_brokers {
+            match self.registry.get(&b) {
+                Some(reg) if now > reg.expires_at => self.stale_targets_skipped += 1,
+                Some(reg) => targets.push((b, reg.rtt_us)),
+                None if self.cfg.require_lease => self.stale_targets_skipped += 1,
+                None => targets.push((b, None)),
+            }
+        }
         for target in injection_order(&targets) {
             self.inject_queue.push_back((target, req.clone()));
         }

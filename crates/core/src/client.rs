@@ -139,6 +139,9 @@ pub struct DiscoveryClient {
     request: Option<DiscoveryRequest>,
     bdn_idx: usize,
     retransmits: u32,
+    /// Total request sends this run (drives the backoff schedule and the
+    /// rotation budget when `cfg.backoff` is set).
+    attempts: u32,
     candidates: Vec<Candidate>,
     targets: Vec<Candidate>,
     used_multicast: bool,
@@ -180,6 +183,7 @@ impl DiscoveryClient {
             request: None,
             bdn_idx: 0,
             retransmits: 0,
+            attempts: 0,
             candidates: Vec::new(),
             targets: Vec::new(),
             used_multicast: false,
@@ -213,6 +217,17 @@ impl DiscoveryClient {
         &self.cfg
     }
 
+    /// Mutable discovery configuration, for harness or entity tuning
+    /// between runs (e.g. enabling backoff, toggling multicast).
+    pub fn config_mut(&mut self) -> &mut DiscoveryConfig {
+        &mut self.cfg
+    }
+
+    /// Whether this client may use multicast at all.
+    fn multicast_available(&self) -> bool {
+        self.cfg.multicast_enabled
+    }
+
     fn mark_phase(&mut self, ctx: &dyn Context) -> Duration {
         let now = ctx.now();
         let spent = now - self.phase_started;
@@ -238,12 +253,21 @@ impl DiscoveryClient {
         self.responses_count = 0;
         self.bdn_idx = 0;
         self.retransmits = 0;
+        self.attempts = 0;
         self.used_multicast = false;
         self.used_cache = false;
         self.bdn_used = None;
         self.request = Some(self.build_request(ctx));
-        if self.cfg.multicast_only || self.cfg.bdns.is_empty() {
-            self.go_multicast(ctx);
+        if (self.cfg.multicast_only && self.multicast_available()) || self.cfg.bdns.is_empty() {
+            if self.multicast_available() {
+                self.go_multicast(ctx);
+            } else if !self.last_target_set.is_empty() {
+                // No BDNs and no multicast: straight to §7's cached set.
+                self.ping_cached_targets(ctx);
+            } else {
+                self.phase = Phase::AwaitingAck;
+                self.finish(None, ctx);
+            }
         } else {
             self.phase = Phase::AwaitingAck;
             self.send_to_bdn(ctx);
@@ -283,7 +307,15 @@ impl DiscoveryClient {
             )),
         };
         ctx.send_udp(well_known::DISCOVERY_REPLY, Endpoint::new(bdn, well_known::BDN), &msg);
-        ctx.set_timer(self.cfg.ack_timeout, TIMER_ACK);
+        // Legacy: fixed ack timeout. With a backoff policy, each attempt
+        // waits the jittered capped-exponential delay instead, so a herd
+        // of clients losing the same BDN desynchronises its retries.
+        let delay = match self.cfg.backoff {
+            None => self.cfg.ack_timeout,
+            Some(policy) => policy.delay(self.attempts, ctx.rng()),
+        };
+        self.attempts += 1;
+        ctx.set_timer(delay, TIMER_ACK);
     }
 
     fn go_multicast(&mut self, ctx: &mut dyn Context) {
@@ -354,7 +386,11 @@ impl DiscoveryClient {
         { let spent = self.mark_phase(ctx); self.times.select += spent; }
         if self.targets.is_empty() {
             // No broker answered (§7 fallbacks).
-            if self.cfg.multicast_fallback && !self.used_multicast && n == 0 {
+            if self.cfg.multicast_fallback
+                && self.multicast_available()
+                && !self.used_multicast
+                && n == 0
+            {
                 self.phase = Phase::AwaitingAck;
                 self.go_multicast(ctx);
             } else if !self.last_target_set.is_empty() && !self.used_cache {
@@ -546,21 +582,38 @@ impl DiscoveryClient {
         if self.phase != Phase::AwaitingAck {
             return;
         }
-        self.retransmits += 1;
-        if self.retransmits <= self.cfg.retransmits_per_bdn {
-            // Idempotent retransmission to the same BDN (§3).
-            self.send_to_bdn(ctx);
-            return;
-        }
-        // Fail over to the next configured BDN.
-        self.retransmits = 0;
-        self.bdn_idx += 1;
-        if self.bdn_idx < self.cfg.bdns.len() {
-            self.send_to_bdn(ctx);
-            return;
+        match self.cfg.backoff {
+            Some(_) => {
+                // Backoff mode rotates round-robin across the BDN list on
+                // every timeout — a down BDN costs one backoff step, not
+                // a full retransmit budget — with the same total send
+                // budget as the legacy path.
+                let budget =
+                    (self.cfg.retransmits_per_bdn + 1) * self.cfg.bdns.len().max(1) as u32;
+                if self.attempts < budget {
+                    self.bdn_idx = (self.bdn_idx + 1) % self.cfg.bdns.len();
+                    self.send_to_bdn(ctx);
+                    return;
+                }
+            }
+            None => {
+                self.retransmits += 1;
+                if self.retransmits <= self.cfg.retransmits_per_bdn {
+                    // Idempotent retransmission to the same BDN (§3).
+                    self.send_to_bdn(ctx);
+                    return;
+                }
+                // Fail over to the next configured BDN.
+                self.retransmits = 0;
+                self.bdn_idx += 1;
+                if self.bdn_idx < self.cfg.bdns.len() {
+                    self.send_to_bdn(ctx);
+                    return;
+                }
+            }
         }
         // Every BDN is unreachable (§7).
-        if self.cfg.multicast_fallback && !self.used_multicast {
+        if self.cfg.multicast_fallback && self.multicast_available() && !self.used_multicast {
             self.go_multicast(ctx);
         } else if !self.last_target_set.is_empty() && !self.used_cache {
             { let spent = self.mark_phase(ctx); self.times.issue += spent; }
@@ -858,6 +911,93 @@ mod state_machine_tests {
         assert_eq!(ctx.last_kind(), "discovery-request");
         // The window timer is armed.
         assert!(ctx.timers.iter().any(|(_, t)| *t == TIMER_WINDOW));
+    }
+
+    #[test]
+    fn backoff_rotates_bdns_with_exponential_delays() {
+        use crate::config::RetryPolicy;
+        let mut ctx = FakeCtx::new();
+        let mut c = DiscoveryClient::with_auto_start(
+            DiscoveryConfig {
+                bdns: vec![NodeId(100), NodeId(200)],
+                retransmits_per_bdn: 1, // budget: 2 sends per BDN = 4 total
+                // jitter 0 so the schedule is exact
+                backoff: Some(RetryPolicy::new(
+                    Duration::from_millis(100),
+                    2.0,
+                    Duration::from_millis(800),
+                    0.0,
+                )),
+                ..DiscoveryConfig::default()
+            },
+            false,
+        );
+        c.begin(&mut ctx);
+        for _ in 0..4 {
+            c.on_incoming(Incoming::Timer { token: TIMER_ACK }, &mut ctx);
+        }
+        // Requests alternate across the BDN list instead of exhausting
+        // one BDN first.
+        let reqs: Vec<NodeId> = ctx
+            .sent
+            .iter()
+            .filter(|(_, to, m)| m.kind() == "discovery-request" && to.node != NodeId(u32::MAX))
+            .map(|(_, to, _)| to.node)
+            .collect();
+        assert_eq!(reqs, vec![NodeId(100), NodeId(200), NodeId(100), NodeId(200)]);
+        // Ack timers follow the capped exponential schedule.
+        let acks: Vec<Duration> =
+            ctx.timers.iter().filter(|(_, t)| *t == TIMER_ACK).map(|(d, _)| *d).collect();
+        assert_eq!(
+            acks,
+            vec![
+                Duration::from_millis(100),
+                Duration::from_millis(200),
+                Duration::from_millis(400),
+                Duration::from_millis(800),
+            ]
+        );
+        // Budget exhausted: the 5th timeout fell back to multicast.
+        assert!(c.used_multicast);
+        assert_eq!(c.phase(), Phase::Collecting);
+    }
+
+    #[test]
+    fn jittered_backoff_delays_stay_within_bounds() {
+        use crate::config::RetryPolicy;
+        let p = RetryPolicy::new(Duration::from_millis(100), 2.0, Duration::from_secs(2), 0.25);
+        let mut ctx = FakeCtx::new();
+        for attempt in 0..12 {
+            let nominal = p.nominal(attempt);
+            for _ in 0..50 {
+                let d = p.delay(attempt, &mut ctx.rng);
+                assert!(d >= nominal.mul_f64(0.75), "delay {d:?} under bound at {attempt}");
+                assert!(d <= nominal.mul_f64(1.25), "delay {d:?} over bound at {attempt}");
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_disabled_skips_fallback_and_uses_cached_targets() {
+        let mut ctx = FakeCtx::new();
+        let mut c = DiscoveryClient::with_auto_start(
+            DiscoveryConfig {
+                bdns: vec![NodeId(100)],
+                retransmits_per_bdn: 0,
+                multicast_enabled: false,
+                cached_targets: vec![NodeId(7)],
+                ..DiscoveryConfig::default()
+            },
+            false,
+        );
+        c.begin(&mut ctx);
+        // The only BDN times out; multicast is disabled, so the client
+        // goes straight to pinging its cached target set.
+        c.on_incoming(Incoming::Timer { token: TIMER_ACK }, &mut ctx);
+        assert_eq!(c.phase(), Phase::Pinging);
+        assert!(!c.used_multicast);
+        assert!(ctx.sent.iter().all(|(_, to, _)| to.node != NodeId(u32::MAX)), "no multicast sent");
+        assert!(ctx.sent.iter().any(|(_, to, m)| m.kind() == "ping" && to.node == NodeId(7)));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::time::Duration;
 use nb_security::{Certificate, Identity, PublicKey};
 use nb_util::{Config, ConfigError};
 use nb_wire::{Credential, NodeId};
+use rand::Rng;
 
 /// Weighting factors for broker selection — the paper's §9 snippet:
 ///
@@ -72,6 +73,64 @@ impl SelectionWeights {
     }
 }
 
+/// Capped exponential backoff with bounded jitter, used by retry paths
+/// (BDN request retransmission, stranded-entity re-discovery). The
+/// nominal schedule is `base * multiplier^attempt` capped at `cap`; a
+/// concrete delay jitters the nominal uniformly within `±jitter_frac`
+/// so synchronized failures don't produce synchronized retry storms —
+/// the retry-storm failure mode the network-utilization literature
+/// flags for discovery protocols.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// First-attempt nominal delay.
+    pub base: Duration,
+    /// Growth factor per attempt (>= 1).
+    pub multiplier: f64,
+    /// Nominal delays never exceed this.
+    pub cap: Duration,
+    /// Jitter half-width as a fraction of nominal, in `[0, 1)`.
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// A policy with sanitised parameters (`multiplier` floored at 1,
+    /// `jitter_frac` clamped into `[0, 1)`).
+    pub fn new(base: Duration, multiplier: f64, cap: Duration, jitter_frac: f64) -> RetryPolicy {
+        RetryPolicy {
+            base,
+            multiplier: multiplier.max(1.0),
+            cap: cap.max(base),
+            jitter_frac: jitter_frac.clamp(0.0, 0.999),
+        }
+    }
+
+    /// The default discovery retry policy: 1 s base, doubling, 30 s cap,
+    /// ±25% jitter.
+    pub fn discovery_default() -> RetryPolicy {
+        RetryPolicy::new(Duration::from_secs(1), 2.0, Duration::from_secs(30), 0.25)
+    }
+
+    /// The nominal (un-jittered) delay for the 0-based `attempt`:
+    /// monotone non-decreasing in `attempt` and capped at `cap`.
+    pub fn nominal(&self, attempt: u32) -> Duration {
+        let base = self.base.as_secs_f64();
+        let cap = self.cap.as_secs_f64();
+        let exp = self.multiplier.powi(attempt.min(63) as i32);
+        Duration::from_secs_f64((base * exp).min(cap))
+    }
+
+    /// A concrete jittered delay for `attempt`, uniform in
+    /// `[nominal * (1 - jitter_frac), nominal * (1 + jitter_frac)]`.
+    pub fn delay<R: Rng + ?Sized>(&self, attempt: u32, rng: &mut R) -> Duration {
+        let nominal = self.nominal(attempt);
+        if self.jitter_frac <= 0.0 {
+            return nominal;
+        }
+        let f = 1.0 - self.jitter_frac + 2.0 * self.jitter_frac * rng.gen::<f64>();
+        nominal.mul_f64(f)
+    }
+}
+
 /// Credentials for the secured request path (paper §9.1): the client
 /// signs + encrypts its discovery request to the BDN's public key; the
 /// BDN validates the certificate chain against the shared trust root.
@@ -112,6 +171,17 @@ pub struct DiscoveryConfig {
     pub multicast_fallback: bool,
     /// Skip BDNs entirely and discover via multicast only (Figure 12).
     pub multicast_only: bool,
+    /// Master multicast switch: when false the node behaves as if the
+    /// network had no multicast routing — `multicast_fallback` and
+    /// `multicast_only` are ignored and the client goes straight to its
+    /// cached-target fallback when BDNs fail.
+    pub multicast_enabled: bool,
+    /// Retry schedule for BDN request retransmission. `None` keeps the
+    /// legacy fixed-interval behaviour (every retry waits `ack_timeout`);
+    /// `Some` applies capped exponential backoff with jitter *and*
+    /// rotates across the configured BDNs round-robin instead of
+    /// exhausting each in turn.
+    pub backoff: Option<RetryPolicy>,
     /// Selection weights.
     pub weights: SelectionWeights,
     /// Credentials presented with requests (§3).
@@ -141,6 +211,8 @@ impl Default for DiscoveryConfig {
             retransmits_per_bdn: 2,
             multicast_fallback: true,
             multicast_only: false,
+            multicast_enabled: true,
+            backoff: None,
             weights: SelectionWeights::default(),
             credentials: None,
             cached_targets: Vec::new(),
@@ -156,8 +228,10 @@ impl DiscoveryConfig {
     /// `discovery.target_set_size`, `discovery.ping.count`,
     /// `discovery.ping.window.ms`, `discovery.ack.timeout.ms`,
     /// `discovery.retransmits`, `discovery.multicast.fallback`,
-    /// `discovery.multicast.only`, and the five
-    /// `selection.weight.*` factors.
+    /// `discovery.multicast.only`, `discovery.multicast.enabled`,
+    /// the `discovery.backoff.{base.ms,multiplier,cap.ms,jitter}`
+    /// group (presence of `base.ms` enables exponential backoff), and
+    /// the `selection.weight.*` factors.
     pub fn apply_config(mut self, cfg: &Config) -> Result<Self, ConfigError> {
         self.collection_window = Duration::from_millis(
             cfg.get_u64("discovery.timeout.ms", self.collection_window.as_millis() as u64)?,
@@ -178,6 +252,21 @@ impl DiscoveryConfig {
         self.multicast_fallback =
             cfg.get_bool("discovery.multicast.fallback", self.multicast_fallback)?;
         self.multicast_only = cfg.get_bool("discovery.multicast.only", self.multicast_only)?;
+        self.multicast_enabled =
+            cfg.get_bool("discovery.multicast.enabled", self.multicast_enabled)?;
+        if cfg.get("discovery.backoff.base.ms").is_some() {
+            let seed = self.backoff.unwrap_or_else(RetryPolicy::discovery_default);
+            self.backoff = Some(RetryPolicy::new(
+                Duration::from_millis(
+                    cfg.get_u64("discovery.backoff.base.ms", seed.base.as_millis() as u64)?,
+                ),
+                cfg.get_f64("discovery.backoff.multiplier", seed.multiplier)?,
+                Duration::from_millis(
+                    cfg.get_u64("discovery.backoff.cap.ms", seed.cap.as_millis() as u64)?,
+                ),
+                cfg.get_f64("discovery.backoff.jitter", seed.jitter_frac)?,
+            ));
+        }
         let w = &mut self.weights;
         w.free_to_total_memory =
             cfg.get_f64("selection.weight.free_to_total_memory", w.free_to_total_memory)?;
@@ -224,6 +313,43 @@ selection.weight.num_links = 3.5
         assert!((c.weights.num_links - 3.5).abs() < 1e-12);
         // untouched keys keep defaults
         assert_eq!(c.retransmits_per_bdn, 2);
+    }
+
+    #[test]
+    fn retry_policy_nominal_is_monotone_and_capped() {
+        let p = RetryPolicy::new(Duration::from_millis(500), 2.0, Duration::from_secs(8), 0.2);
+        let mut prev = Duration::ZERO;
+        for attempt in 0..40 {
+            let n = p.nominal(attempt);
+            assert!(n >= prev, "nominal must not shrink");
+            assert!(n <= Duration::from_secs(8), "nominal must respect cap");
+            prev = n;
+        }
+        assert_eq!(p.nominal(0), Duration::from_millis(500));
+        assert_eq!(p.nominal(63), Duration::from_secs(8));
+    }
+
+    #[test]
+    fn backoff_and_multicast_config_keys() {
+        let text = "\
+discovery.multicast.enabled = false
+discovery.backoff.base.ms = 500
+discovery.backoff.multiplier = 3.0
+discovery.backoff.cap.ms = 4000
+discovery.backoff.jitter = 0.1
+";
+        let parsed = Config::parse(text).unwrap();
+        let c = DiscoveryConfig::default().apply_config(&parsed).unwrap();
+        assert!(!c.multicast_enabled);
+        let b = c.backoff.expect("backoff enabled by base.ms key");
+        assert_eq!(b.base, Duration::from_millis(500));
+        assert!((b.multiplier - 3.0).abs() < 1e-12);
+        assert_eq!(b.cap, Duration::from_millis(4000));
+        assert!((b.jitter_frac - 0.1).abs() < 1e-12);
+        // absent keys leave backoff disabled
+        let c2 = DiscoveryConfig::default().apply_config(&Config::parse("").unwrap()).unwrap();
+        assert!(c2.backoff.is_none());
+        assert!(c2.multicast_enabled);
     }
 
     #[test]

@@ -15,14 +15,14 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
-use nb_util::Uuid;
+use nb_util::{BoundedDedup, Uuid};
 use nb_wire::addr::well_known;
 use nb_wire::{Endpoint, Event, Message, NodeId, Topic, TopicFilter};
 
 use nb_net::{impl_actor_any, Actor, Context, Incoming, SimTime};
 
 use crate::client::{DiscoveryClient, Phase};
-use crate::config::DiscoveryConfig;
+use crate::config::{DiscoveryConfig, RetryPolicy};
 
 const TIMER_KEEPALIVE: u64 = 0xE171_0000_0000_0001;
 const TIMER_FLUSH: u64 = 0xE171_0000_0000_0002;
@@ -48,7 +48,17 @@ pub struct Entity {
     outbox: VecDeque<(Topic, Vec<u8>)>,
     keepalive_interval: Duration,
     keepalive_misses: u32,
-    retry_backoff: Duration,
+    /// Stranded-retry schedule: capped exponential with jitter, so a
+    /// fleet of entities stranded by the same outage desynchronises its
+    /// re-discovery attempts instead of producing a retry storm.
+    retry_policy: RetryPolicy,
+    /// Consecutive failed discovery runs since the last attachment.
+    retry_attempt: u32,
+    /// Suppresses re-deliveries of events already seen: a broker that
+    /// survives a restart with its subscription table intact keeps
+    /// forwarding to an entity that has since failed over elsewhere, so
+    /// the entity can briefly be subscribed at two brokers at once.
+    dedup: BoundedDedup<Uuid>,
     last_heard: SimTime,
     ping_nonces: HashMap<u64, SimTime>,
     next_nonce: u64,
@@ -61,6 +71,8 @@ pub struct Entity {
     pub attachments: Vec<NodeId>,
     /// Failovers performed (keepalive losses leading to rediscovery).
     pub failovers: u64,
+    /// Duplicate event deliveries suppressed by the dedup cache.
+    pub duplicates_dropped: u64,
 }
 
 impl Entity {
@@ -74,7 +86,16 @@ impl Entity {
             outbox: VecDeque::new(),
             keepalive_interval: Duration::from_secs(2),
             keepalive_misses: 3,
-            retry_backoff: Duration::from_secs(5),
+            // First retry ~5 s (the historical fixed backoff), doubling
+            // to a 60 s cap with ±10% jitter.
+            retry_policy: RetryPolicy::new(
+                Duration::from_secs(5),
+                2.0,
+                Duration::from_secs(60),
+                0.1,
+            ),
+            retry_attempt: 0,
+            dedup: BoundedDedup::new(1000),
             last_heard: SimTime::ZERO,
             ping_nonces: HashMap::new(),
             next_nonce: 1,
@@ -83,6 +104,7 @@ impl Entity {
             published: 0,
             attachments: Vec::new(),
             failovers: 0,
+            duplicates_dropped: 0,
         }
     }
 
@@ -104,6 +126,17 @@ impl Entity {
         &self.discovery
     }
 
+    /// Mutable discovery configuration (harness tuning before traffic
+    /// flows, e.g. enabling request backoff or disabling multicast).
+    pub fn discovery_config_mut(&mut self) -> &mut DiscoveryConfig {
+        self.discovery.config_mut()
+    }
+
+    /// Replaces the stranded-retry backoff policy.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
     /// Queues an event for publication (flushed while attached).
     pub fn queue_publish(&mut self, topic: Topic, payload: Vec<u8>) {
         self.outbox.push_back((topic, payload));
@@ -114,10 +147,27 @@ impl Entity {
     }
 
     fn on_attached(&mut self, broker: NodeId, ctx: &mut dyn Context) {
+        // Best-effort unsubscribe at the previous broker: it may have
+        // survived (or been revived) with our subscription intact and
+        // would otherwise keep forwarding. The dedup cache below covers
+        // the cases where this message cannot land.
+        if let Some(&old) = self.attachments.last() {
+            if old != broker {
+                let ep = Endpoint::new(old, well_known::BROKER);
+                for filter in self.filters.clone() {
+                    ctx.send_stream(
+                        well_known::BROKER,
+                        ep,
+                        &Message::ClientUnsubscribe { filter },
+                    );
+                }
+            }
+        }
         self.state = EntityState::Attached(broker);
         self.attachments.push(broker);
         self.last_heard = ctx.now();
         self.missed = 0;
+        self.retry_attempt = 0;
         self.ping_nonces.clear();
         let ep = Endpoint::new(broker, well_known::BROKER);
         for filter in self.filters.clone() {
@@ -184,8 +234,11 @@ impl Entity {
                 if self.state != EntityState::Stranded => {
                     self.state = EntityState::Stranded;
                     // Retry after a backoff (the environment is fluid;
-                    // brokers may return).
-                    ctx.set_timer(self.retry_backoff, TIMER_KEEPALIVE);
+                    // brokers may return). Each consecutive failure
+                    // lengthens the wait up to the cap.
+                    let delay = self.retry_policy.delay(self.retry_attempt, ctx.rng());
+                    self.retry_attempt = self.retry_attempt.saturating_add(1);
+                    ctx.set_timer(delay, TIMER_KEEPALIVE);
                 }
             _ => {}
         }
@@ -225,7 +278,11 @@ impl Actor for Entity {
                 return;
             }
             Incoming::Stream { msg: Message::Publish(ev), .. } => {
-                self.received.push(ev.clone());
+                if self.dedup.check_and_insert(ev.id) {
+                    self.received.push(ev.clone());
+                } else {
+                    self.duplicates_dropped += 1;
+                }
                 self.last_heard = ctx.now();
                 self.missed = 0;
                 return;

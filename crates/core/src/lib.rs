@@ -48,7 +48,7 @@ pub use advertiser::Advertiser;
 pub use bdn::{Bdn, BdnConfig};
 pub use broker_actor::DiscoveryBrokerActor;
 pub use client::{DiscoveryClient, DiscoveryOutcome, Phase, PhaseTimes};
-pub use config::{DiscoveryConfig, SelectionWeights};
+pub use config::{DiscoveryConfig, RetryPolicy, SelectionWeights};
 pub use entity::{Entity, EntityState};
 pub use joining::JoiningBroker;
 pub use policy::ResponsePolicy;

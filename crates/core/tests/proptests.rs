@@ -1,13 +1,19 @@
-//! Property-based tests for the selection algorithm and BDN injection
-//! ordering — the paper's decision logic under arbitrary inputs.
+//! Property-based tests for the selection algorithm, BDN injection
+//! ordering, retry backoff and duplicate suppression — the paper's
+//! decision logic under arbitrary inputs.
+
+use std::time::Duration;
 
 use proptest::prelude::*;
 
 use nb_discovery::bdn::injection_order;
-use nb_discovery::{shortlist, weigh, Candidate, SelectionWeights};
-use nb_util::Uuid;
+use nb_discovery::{shortlist, weigh, Candidate, RetryPolicy, SelectionWeights};
+use nb_util::{BoundedDedup, Uuid};
 use nb_wire::message::TransportEndpoint;
 use nb_wire::{DiscoveryResponse, NodeId, Port, RealmId, TransportKind, UsageMetrics};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn arb_metrics() -> impl Strategy<Value = UsageMetrics> {
     (any::<u16>(), 0u32..64, 0u16..=1000, 1u64..=(64 << 30), any::<u64>()).prop_map(
@@ -165,5 +171,79 @@ proptest! {
         prop_assert_eq!(order[0], min, "closest first");
         let second_rtt = targets.iter().find(|(n, _)| *n == order[1]).unwrap().1.unwrap();
         prop_assert_eq!(second_rtt, max_rtt, "farthest second");
+    }
+
+    #[test]
+    fn backoff_nominal_schedule_is_monotone_and_capped(
+        base_ms in 1u64..10_000,
+        multiplier in 1.0f64..4.0,
+        cap_ms in 1u64..120_000,
+        attempts in 1u32..80,
+    ) {
+        let policy = RetryPolicy::new(
+            Duration::from_millis(base_ms),
+            multiplier,
+            Duration::from_millis(cap_ms),
+            0.0,
+        );
+        let mut prev = Duration::ZERO;
+        for attempt in 0..attempts {
+            let nominal = policy.nominal(attempt);
+            prop_assert!(nominal >= prev, "schedule shrank at attempt {attempt}");
+            prop_assert!(nominal <= policy.cap, "attempt {attempt} exceeded the cap");
+            prop_assert!(nominal >= policy.base.min(policy.cap));
+            prev = nominal;
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_bounds(
+        base_ms in 1u64..5_000,
+        multiplier in 1.0f64..3.0,
+        cap_ms in 1u64..60_000,
+        jitter in 0.0f64..0.9,
+        attempt in 0u32..40,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy::new(
+            Duration::from_millis(base_ms),
+            multiplier,
+            Duration::from_millis(cap_ms),
+            jitter,
+        );
+        let nominal = policy.nominal(attempt).as_secs_f64();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let d = policy.delay(attempt, &mut rng).as_secs_f64();
+            prop_assert!(d >= nominal * (1.0 - jitter) - 1e-9, "{d} under the jitter floor");
+            prop_assert!(d <= nominal * (1.0 + jitter) + 1e-9, "{d} over the jitter ceiling");
+        }
+    }
+
+    #[test]
+    fn dedup_cache_rejects_every_duplicate_under_packet_duplication(
+        keys in prop::collection::vec(0u64..500, 1..200),
+        copies in prop::collection::vec(1usize..4, 1..200),
+    ) {
+        // Model the duplication fault: every key arrives 1..=3 times,
+        // interleaved in arrival order. A cache at least as large as
+        // the distinct key count must accept each key exactly once.
+        let mut distinct: Vec<u64> = keys.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut cache = BoundedDedup::new(distinct.len().max(1));
+        let mut accepted = 0usize;
+        let mut seen: Vec<u64> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let n = copies[i % copies.len()];
+            for _ in 0..n {
+                if cache.check_and_insert(k) {
+                    prop_assert!(!seen.contains(&k), "key {k} accepted twice");
+                    seen.push(k);
+                    accepted += 1;
+                }
+            }
+        }
+        prop_assert_eq!(accepted, distinct.len(), "each distinct key accepted exactly once");
     }
 }

@@ -166,6 +166,13 @@ impl ClockState {
         self.synced_estimate_ns = est;
         self.synced = true;
     }
+
+    /// Steps the raw hardware clock by `delta_ns` (chaos fault). The NTP
+    /// estimate is left as-is, so the node's UTC estimate degrades by
+    /// exactly `delta_ns` until the next estimate override.
+    pub fn step_ns(&mut self, delta_ns: i64) {
+        self.true_offset_ns += delta_ns;
+    }
 }
 
 #[cfg(test)]

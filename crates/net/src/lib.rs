@@ -21,6 +21,7 @@
 //!   nodes that estimate their clock offset on the wire instead of by
 //!   model fiat.
 
+pub mod chaos;
 pub mod clock;
 pub mod link;
 pub mod ntp;
@@ -30,10 +31,11 @@ pub mod threaded;
 pub mod time;
 pub mod wan;
 
+pub use chaos::{ChaosProfile, ChaosScheduler, ChaosTargets, Fault, FaultPlan, PacketFaults, TimedFault};
 pub use clock::{ClockProfile, ClockState};
 pub use link::{LinkSpec, NetworkModel};
 pub use runtime::{Actor, Context, Incoming};
-pub use sim::{NetStats, Sim, TraceRecord};
+pub use sim::{NetStats, RespawnFn, Sim, TraceRecord};
 pub use threaded::ThreadedNet;
 pub use time::SimTime;
 pub use wan::{Site, WanModel};

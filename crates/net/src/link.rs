@@ -127,6 +127,9 @@ pub struct NetworkModel {
     realms: HashMap<NodeId, RealmId>,
     overrides: HashMap<(NodeId, NodeId), LinkSpec>,
     partitions: HashSet<(NodeId, NodeId)>,
+    /// Directed severed paths `(from, to)` — asymmetric partitions where
+    /// traffic one way is black-holed while replies still flow.
+    directed_partitions: HashSet<(NodeId, NodeId)>,
     groups: HashMap<GroupId, HashSet<NodeId>>,
     /// Path used within a node (loopback).
     pub local_spec: LinkSpec,
@@ -134,6 +137,10 @@ pub struct NetworkModel {
     pub intra_realm_spec: LinkSpec,
     /// Default path between realms (overridden per pair for WAN scenarios).
     pub inter_realm_spec: LinkSpec,
+    /// Whether multicast delivery works at all. Networks without
+    /// multicast routing (the common WAN case in the paper) set this
+    /// false: sends succeed but reach nobody.
+    pub multicast_enabled: bool,
 }
 
 impl Default for NetworkModel {
@@ -149,10 +156,12 @@ impl NetworkModel {
             realms: HashMap::new(),
             overrides: HashMap::new(),
             partitions: HashSet::new(),
+            directed_partitions: HashSet::new(),
             groups: HashMap::new(),
             local_spec: LinkSpec::local(),
             intra_realm_spec: LinkSpec::lan(),
             inter_realm_spec: LinkSpec::wan(Duration::from_millis(40)),
+            multicast_enabled: true,
         }
     }
 
@@ -194,10 +203,27 @@ impl NetworkModel {
         self.partitions.contains(&Self::key(a, b))
     }
 
-    /// The effective path spec between two nodes, or `None` when
+    /// Severs only the directed path `from -> to` (asymmetric fault:
+    /// `to` can still send back to `from`).
+    pub fn partition_one_way(&mut self, from: NodeId, to: NodeId) {
+        self.directed_partitions.insert((from, to));
+    }
+
+    /// Restores the directed path `from -> to`.
+    pub fn heal_one_way(&mut self, from: NodeId, to: NodeId) {
+        self.directed_partitions.remove(&(from, to));
+    }
+
+    /// Whether traffic `from -> to` is blocked by any partition,
+    /// symmetric or directed.
+    pub fn path_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.is_partitioned(from, to) || self.directed_partitions.contains(&(from, to))
+    }
+
+    /// The effective path spec for traffic `a -> b`, or `None` when
     /// unreachable (partitioned or unregistered).
     pub fn spec_between(&self, a: NodeId, b: NodeId) -> Option<LinkSpec> {
-        if self.is_partitioned(a, b) {
+        if self.path_blocked(a, b) {
             return None;
         }
         if let Some(s) = self.overrides.get(&Self::key(a, b)) {
@@ -225,13 +251,18 @@ impl NetworkModel {
     }
 
     /// Samples a one-way latency for a reliable stream message (no loss;
-    /// retransmission cost is folded into jitter).
+    /// retransmission cost is folded into jitter). Streams need both
+    /// directions — ACKs must flow — so a directed partition either way
+    /// stalls them.
     pub fn stream_latency<R: Rng + ?Sized>(
         &self,
         a: NodeId,
         b: NodeId,
         rng: &mut R,
     ) -> Option<Duration> {
+        if self.directed_partitions.contains(&(b, a)) {
+            return None;
+        }
         self.spec_between(a, b).map(|spec| spec.sample_latency(rng))
     }
 
@@ -264,6 +295,9 @@ impl NetworkModel {
     /// sender's realm, excluding the sender itself. Multicast never
     /// crosses realms.
     pub fn multicast_recipients(&self, group: GroupId, sender: NodeId) -> Vec<NodeId> {
+        if !self.multicast_enabled {
+            return Vec::new();
+        }
         let Some(sender_realm) = self.realm_of(sender) else {
             return Vec::new();
         };

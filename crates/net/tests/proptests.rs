@@ -8,6 +8,7 @@ use proptest::prelude::*;
 
 use nb_net::clock::ClockProfile;
 use nb_net::link::{DatagramFate, LinkSpec, NetworkModel, StreamBook};
+use nb_net::{ChaosProfile, ChaosTargets, FaultPlan};
 use nb_net::time::{true_utc_micros, SimTime};
 use nb_wire::{Endpoint, GroupId, NodeId, Port, RealmId};
 
@@ -134,6 +135,51 @@ proptest! {
         prop_assert_eq!(net.datagram_fate(NodeId(b), NodeId(a), &mut rng), DatagramFate::Unreachable);
         net.heal(NodeId(a), NodeId(b));
         prop_assert!(net.spec_between(NodeId(a), NodeId(b)).is_some());
+    }
+
+    #[test]
+    fn one_way_partition_blocks_exactly_one_direction(
+        a in 0u32..10, b in 0u32..10, seed in any::<u64>(),
+    ) {
+        prop_assume!(a != b);
+        let mut net = NetworkModel::new();
+        for i in 0..10 {
+            net.register_node(NodeId(i), RealmId(0));
+        }
+        net.partition_one_way(NodeId(a), NodeId(b));
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(
+            net.datagram_fate(NodeId(a), NodeId(b), &mut rng),
+            DatagramFate::Unreachable
+        );
+        prop_assert!(net.spec_between(NodeId(b), NodeId(a)).is_some(), "reverse stays open");
+        prop_assert!(net.path_blocked(NodeId(a), NodeId(b)));
+        prop_assert!(!net.path_blocked(NodeId(b), NodeId(a)));
+        net.heal_one_way(NodeId(a), NodeId(b));
+        prop_assert!(net.spec_between(NodeId(a), NodeId(b)).is_some());
+    }
+
+    #[test]
+    fn fault_plans_are_pure_functions_of_their_seed(
+        seed in any::<u64>(),
+        horizon_s in 20u64..300,
+        heavy in any::<bool>(),
+    ) {
+        let profile = if heavy { ChaosProfile::heavy() } else { ChaosProfile::light() };
+        let targets = ChaosTargets {
+            bdns: vec![NodeId(0)],
+            brokers: (1..5).map(NodeId).collect(),
+            clients: vec![NodeId(5), NodeId(6)],
+        };
+        let horizon = Duration::from_secs(horizon_s);
+        let p1 = FaultPlan::generate(seed, &profile, &targets, horizon);
+        let p2 = FaultPlan::generate(seed, &profile, &targets, horizon);
+        prop_assert_eq!(p1.describe(), p2.describe(), "same seed must reproduce the plan");
+        prop_assert!(!p1.is_empty());
+        let times: Vec<_> = p1.events().iter().map(|e| e.at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        prop_assert_eq!(times, sorted, "plans are time-sorted");
     }
 
     #[test]

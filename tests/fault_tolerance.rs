@@ -45,21 +45,18 @@ fn dead_bdn_and_no_multicast_uses_cached_targets() {
     assert!(first.chosen.is_some());
     assert!(!first.target_set.is_empty());
 
-    // Now the BDN dies and multicast is unavailable (remote brokers
-    // cannot hear the lab's multicast anyway, but disable it outright to
-    // force the cached path).
+    // Now the BDN dies and multicast is disabled outright — at the
+    // network model (no group delivery) and in the client's runtime
+    // config (it will not even try) — forcing the cached path.
     s.sim.crash(s.bdn.unwrap());
+    s.sim.set_multicast_enabled(false);
     {
         let client = s.sim.actor_mut::<DiscoveryClient>(s.client).unwrap();
         assert_eq!(client.last_target_set, first.target_set, "target set remembered");
+        client.config_mut().multicast_enabled = false;
     }
-    // Rebuild the client's config in place via a fresh scenario is
-    // heavyweight; instead disable multicast through the public config…
-    // the config is fixed at construction, so emulate "multicast
-    // disabled" by the realm: no broker shares the client's realm, so
-    // the multicast fallback yields nothing and the cached targets are
-    // pinged next.
     let second = s.run_discovery_once();
+    assert!(!second.used_multicast, "multicast is disabled and must not be attempted");
     assert!(second.used_cached_targets, "cached target set must be used");
     assert!(second.chosen.is_some(), "reconnection through remembered brokers succeeds");
     assert!(
@@ -228,6 +225,31 @@ fn bdn_registry_expires_dead_brokers() {
     let outcome = s.run_discovery_once();
     assert!(outcome.chosen.is_some());
     assert!(outcome.responses_received >= 3);
+}
+
+#[test]
+fn bdn_skips_stale_lease_targets_between_pings() {
+    // The lease gate must hold even before the ping timer prunes the
+    // registry: a broker whose advertisement lease lapsed is never an
+    // injection target, so no discovery is ever steered at it.
+    use nb::discovery::bdn::Bdn;
+    let mut builder = ScenarioBuilder::new(TopologyKind::Unconnected, BLOOMINGTON, 35);
+    builder.bdn.ad_ttl = Duration::from_secs(150); // one missed 120s re-ad
+    builder.bdn.ping_interval = Duration::from_secs(100_000); // pruning never runs
+    let mut s = builder.build();
+    let victim = s.brokers[4]; // Cardiff
+    s.sim.crash(victim);
+    s.sim.run_for(Duration::from_secs(200)); // the victim's lease lapses
+    {
+        let bdn = s.sim.actor::<Bdn>(s.bdn.unwrap()).unwrap();
+        assert!(bdn.registered(victim).is_some(), "entry still present (no pruning)");
+        assert!(!bdn.lease_valid(victim, s.sim.now()), "but its lease has lapsed");
+    }
+    let outcome = s.run_discovery_once();
+    assert!(outcome.chosen.is_some(), "survivors still serve the request");
+    assert_ne!(outcome.chosen, Some(victim));
+    let bdn = s.sim.actor::<Bdn>(s.bdn.unwrap()).unwrap();
+    assert!(bdn.stale_targets_skipped >= 1, "the expired lease was skipped at injection time");
 }
 
 #[test]

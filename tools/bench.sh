@@ -7,12 +7,27 @@
 #   tools/bench.sh                  # paper protocol (120 runs/figure)
 #   tools/bench.sh --runs 30        # faster smoke baseline
 #   tools/bench.sh --threads 8      # pin the parallel worker count
+#   tools/bench.sh chaos-smoke      # 3-seed chaos campaign (<30 s),
+#                                   # writes CHAOS_campaign.json
 #
-# All flags are forwarded to `repro bench`. The parallel speedup is
-# bounded by visible cores (recorded in the JSON as "cores"); regenerate
-# on multi-core hardware before reading anything into that number.
+# All other flags are forwarded to `repro bench`. The parallel speedup
+# is bounded by visible cores (recorded in the JSON as "cores");
+# regenerate on multi-core hardware before reading anything into that
+# number.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "chaos-smoke" ]]; then
+    shift
+    # The same three seeds the tier-1 test wrapper pins
+    # (crates/bench/tests/chaos_campaign.rs::chaos_smoke_three_fixed_seeds):
+    # scenario 0 is the scripted BDN state-loss restart, the other two
+    # are generated plans.
+    cargo build --release -p nb-bench
+    ./target/release/repro chaos --scenarios 3 --seed 11 \
+        --chaos-json CHAOS_campaign.json "$@"
+    exit 0
+fi
 
 cargo build --release -p nb-bench
 ./target/release/repro bench --bench-json BENCH_discovery.json "$@"
