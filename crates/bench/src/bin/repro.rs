@@ -17,6 +17,9 @@
 //! repro chaos               # seeded fault-injection campaign (scripted BDN state-loss
 //!                           # restart + randomized scenarios), writes CHAOS_campaign.json
 //!                           # (see --scenarios/--chaos-json); exit 1 if any invariant fails
+//! repro lint                # nb-lint static analysis (determinism + protocol-safety
+//!                           # rules D001–D006), writes LINT_report.json (see --lint-json);
+//!                           # exit 1 on new findings
 //! repro all --runs 30 --seed 7    # faster smoke reproduction
 //! repro all --csv out/            # also write machine-readable CSVs
 //! ```
@@ -33,6 +36,7 @@ struct Args {
     threads: Option<usize>,
     scenarios: usize,
     chaos_json: std::path::PathBuf,
+    lint_json: std::path::PathBuf,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +49,7 @@ fn parse_args() -> Args {
         threads: None,
         scenarios: 10,
         chaos_json: std::path::PathBuf::from("CHAOS_campaign.json"),
+        lint_json: std::path::PathBuf::from("LINT_report.json"),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -94,6 +99,14 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
                 args.chaos_json = std::path::PathBuf::from(path);
+            }
+            "--lint-json" => {
+                i += 1;
+                let Some(path) = argv.get(i) else {
+                    eprintln!("--lint-json needs a path");
+                    std::process::exit(2);
+                };
+                args.lint_json = std::path::PathBuf::from(path);
             }
             "--threads" => {
                 i += 1;
@@ -545,6 +558,34 @@ fn run_chaos_cmd(args: &Args) {
     println!("all scenarios passed all invariants");
 }
 
+/// `repro lint`: runs the nb-lint static-analysis pass over the
+/// workspace and writes the deterministic JSON report. Exits 1 when new
+/// (un-suppressed, un-baselined) findings exist.
+fn run_lint_cmd(args: &Args) {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let Some(root) = nb_lint::find_workspace_root(&cwd) else {
+        eprintln!("repro lint: no workspace root found from {}", cwd.display());
+        std::process::exit(2);
+    };
+    let baseline = root.join(nb_lint::BASELINE_REL);
+    let report = match nb_lint::run_root(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro lint: scan failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", report.render_human());
+    if let Err(e) = std::fs::write(&args.lint_json, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.lint_json.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", args.lint_json.display());
+    if report.has_new() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.cmd == "bench" {
@@ -553,6 +594,10 @@ fn main() {
     }
     if args.cmd == "chaos" {
         run_chaos_cmd(&args);
+        return;
+    }
+    if args.cmd == "lint" {
+        run_lint_cmd(&args);
         return;
     }
     run(&args.cmd, args.runs, args.seed, &args.csv);

@@ -63,3 +63,26 @@ fn chaos_smoke_three_fixed_seeds() {
         assert!(report.passed(), "smoke seed {seed} failed:\n{}", report.to_json());
     }
 }
+
+/// Pinned digest of the seed-11 three-scenario report, captured before
+/// the determinism-hardening pass that replaced `HashMap` state with
+/// ordered collections across `net/{sim,link,threaded}.rs` and
+/// `core/{responder,client,entity,bdn}.rs` (lint rule D002). The maps
+/// were only ever iterated in sorted or order-insensitive ways, so the
+/// swap must not move a single byte of the report — this pin is the
+/// regression proof, and any future reordering of sim-visible state
+/// will trip it.
+#[test]
+fn campaign_report_unchanged_by_ordered_state() {
+    const PINNED_FNV1A64: u64 = 0x495b_4add_df3f_44fe;
+    let json = run_campaign(11, 3).to_json();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in json.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    assert_eq!(
+        h, PINNED_FNV1A64,
+        "chaos report bytes drifted (got {h:016x}) — sim-visible ordering changed"
+    );
+}

@@ -19,7 +19,7 @@
 //! * optionally requires credentials before disseminating (private BDNs,
 //!   §2.4).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Duration;
 
 use nb_util::{BoundedDedup, Uuid};
@@ -130,8 +130,9 @@ pub fn injection_order(targets: &[(NodeId, Option<u64>)]) -> Vec<NodeId> {
         order.push(closest);
     }
     if known.len() > 1 {
-        let (farthest, _) = known[known.len() - 1];
-        order.push(farthest);
+        if let Some(&(farthest, _)) = known.last() {
+            order.push(farthest);
+        }
     }
     for &(n, _) in known.iter().skip(1).take(known.len().saturating_sub(2)) {
         order.push(n);
@@ -143,12 +144,19 @@ pub fn injection_order(targets: &[(NodeId, Option<u64>)]) -> Vec<NodeId> {
 /// The BDN actor.
 pub struct Bdn {
     cfg: BdnConfig,
-    registry: HashMap<NodeId, Registered>,
+    /// Ordered so that registry sweeps and key collection are
+    /// deterministic regardless of insertion history (lint rule D002).
+    registry: BTreeMap<NodeId, Registered>,
     dedup: BoundedDedup<Uuid>,
     ping_nonces: HashMap<u64, (NodeId, SimTime)>,
     next_nonce: u64,
     /// Broker-topic attachment state (client-connect handshake).
-    attach_ok: HashMap<NodeId, bool>,
+    attach_ok: BTreeMap<NodeId, bool>,
+    /// Well-known topics, parsed once at construction so receive paths
+    /// never carry a panicking parse (lint rule D004).
+    flood_topic: Topic,
+    ad_filter: TopicFilter,
+    bdn_ad_topic: Topic,
     /// Injections queued behind the per-send processing delay.
     inject_queue: VecDeque<(NodeId, DiscoveryRequest)>,
     inject_timer_armed: bool,
@@ -171,6 +179,8 @@ pub struct Bdn {
     pub secured_requests: u64,
     /// Envelopes that failed validation or decryption.
     pub rejected_envelopes: u64,
+    /// Publish payloads on well-known topics that failed to decode.
+    pub malformed_messages: u64,
 }
 
 impl Bdn {
@@ -179,11 +189,14 @@ impl Bdn {
         let dedup = BoundedDedup::new(cfg.dedup_capacity);
         Bdn {
             cfg,
-            registry: HashMap::new(),
+            registry: BTreeMap::new(),
             dedup,
             ping_nonces: HashMap::new(),
             next_nonce: 1,
-            attach_ok: HashMap::new(),
+            attach_ok: BTreeMap::new(),
+            flood_topic: crate::well_known_topic(DISCOVERY_REQUEST_TOPIC),
+            ad_filter: crate::well_known_filter(BROKER_ADVERTISEMENT_TOPIC),
+            bdn_ad_topic: crate::well_known_topic(BDN_ADVERTISEMENT_TOPIC),
             inject_queue: VecDeque::new(),
             inject_timer_armed: false,
             requests_handled: 0,
@@ -195,6 +208,7 @@ impl Bdn {
             stale_targets_skipped: 0,
             secured_requests: 0,
             rejected_envelopes: 0,
+            malformed_messages: 0,
         }
     }
 
@@ -325,10 +339,9 @@ impl Bdn {
         let Some((target, req)) = self.inject_queue.pop_front() else {
             return;
         };
-        let topic = Topic::parse(DISCOVERY_REQUEST_TOPIC).expect("well-known topic");
         let event = Event {
             id: Uuid::random(ctx.rng()),
-            topic,
+            topic: self.flood_topic.clone(),
             source: ctx.me(),
             payload: Message::Discovery(req).to_bytes().to_vec(),
         };
@@ -399,16 +412,13 @@ impl Actor for Bdn {
                         self.attach_ok.insert(broker, true);
                         // Subscribe to the advertisement topic through
                         // this broker.
-                        let filter = TopicFilter::parse(BROKER_ADVERTISEMENT_TOPIC)
-                            .expect("well-known topic");
                         ctx.send_stream(
                             well_known::BDN,
                             Endpoint::new(broker, well_known::BROKER),
-                            &Message::ClientSubscribe { filter },
+                            &Message::ClientSubscribe { filter: self.ad_filter.clone() },
                         );
                         if self.cfg.advertise_as_private {
-                            let topic = Topic::parse(BDN_ADVERTISEMENT_TOPIC)
-                                .expect("well-known topic");
+                            let topic = self.bdn_ad_topic.clone();
                             let announce = Message::BdnAdvertisement {
                                 bdn: ctx.me(),
                                 endpoint: Endpoint::new(ctx.me(), well_known::BDN),
@@ -432,8 +442,11 @@ impl Actor for Bdn {
                 // our client attachment.
                 Message::Publish(ev)
                     if ev.topic.as_str() == BROKER_ADVERTISEMENT_TOPIC => {
-                        if let Ok(Message::Advertisement(ad)) = Message::from_bytes(&ev.payload) {
-                            self.register_ad(ad, ctx);
+                        // Malformed payloads on the advertisement topic
+                        // are counted, never panicked on (lint D004).
+                        match Message::from_bytes(&ev.payload) {
+                            Ok(Message::Advertisement(ad)) => self.register_ad(ad, ctx),
+                            _ => self.malformed_messages += 1,
                         }
                     }
                 _ => {}

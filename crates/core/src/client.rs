@@ -161,6 +161,11 @@ pub struct DiscoveryClient {
     pub last_target_set: Vec<NodeId>,
     /// Runs kicked off.
     pub runs_started: u64,
+    /// Inconsistent internal state observed on a receive path (e.g. a
+    /// connect index past the order list). Counted instead of panicking:
+    /// malformed or unexpected traffic must never take the client down
+    /// (lint rule D004).
+    pub internal_errors: u64,
 }
 
 impl DiscoveryClient {
@@ -199,6 +204,7 @@ impl DiscoveryClient {
             completed: Vec::new(),
             last_target_set: cached,
             runs_started: 0,
+            internal_errors: 0,
         }
     }
 
@@ -291,8 +297,16 @@ impl DiscoveryClient {
     }
 
     fn send_to_bdn(&mut self, ctx: &mut dyn Context) {
-        let bdn = self.cfg.bdns[self.bdn_idx];
-        let req = self.request.clone().expect("request built");
+        let Some(&bdn) = self.cfg.bdns.get(self.bdn_idx) else {
+            self.internal_errors += 1;
+            self.finish(None, ctx);
+            return;
+        };
+        let Some(req) = self.request.clone() else {
+            self.internal_errors += 1;
+            self.finish(None, ctx);
+            return;
+        };
         let msg = Message::Discovery(req);
         // Secured configuration (§9.1): sign + encrypt the request to the
         // BDN's key. The multicast fallback stays in the clear, matching
@@ -513,7 +527,11 @@ impl DiscoveryClient {
     }
 
     fn try_connect(&mut self, ctx: &mut dyn Context) {
-        let (_broker, ep) = self.connect_order[self.connect_idx];
+        let Some(&(_broker, ep)) = self.connect_order.get(self.connect_idx) else {
+            self.internal_errors += 1;
+            self.finish(None, ctx);
+            return;
+        };
         let msg = if self.cfg.join_as_broker {
             // §1.1: a joining broker opens an overlay link instead.
             Message::LinkHello { from: ctx.me(), realm: ctx.realm() }
@@ -528,7 +546,10 @@ impl DiscoveryClient {
         if self.phase != Phase::Connecting {
             return;
         }
-        let (expected, ep) = self.connect_order[self.connect_idx];
+        let Some(&(expected, ep)) = self.connect_order.get(self.connect_idx) else {
+            self.internal_errors += 1;
+            return;
+        };
         if broker != expected {
             return;
         }

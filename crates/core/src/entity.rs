@@ -73,6 +73,9 @@ pub struct Entity {
     pub failovers: u64,
     /// Duplicate event deliveries suppressed by the dedup cache.
     pub duplicates_dropped: u64,
+    /// Inconsistent internal state observed on a receive path (counted
+    /// instead of panicking; lint rule D004).
+    pub internal_errors: u64,
 }
 
 impl Entity {
@@ -105,6 +108,7 @@ impl Entity {
             attachments: Vec::new(),
             failovers: 0,
             duplicates_dropped: 0,
+            internal_errors: 0,
         }
     }
 
@@ -223,11 +227,16 @@ impl Entity {
         }
         match self.discovery.phase() {
             Phase::Done => {
-                let chosen = self
-                    .discovery
-                    .outcome()
-                    .and_then(|o| o.chosen)
-                    .expect("done implies chosen");
+                // `Done` should imply a chosen broker; if the invariant
+                // ever breaks, strand and retry rather than panic (D004).
+                let Some(chosen) = self.discovery.outcome().and_then(|o| o.chosen) else {
+                    self.internal_errors += 1;
+                    self.state = EntityState::Stranded;
+                    let delay = self.retry_policy.delay(self.retry_attempt, ctx.rng());
+                    self.retry_attempt = self.retry_attempt.saturating_add(1);
+                    ctx.set_timer(delay, TIMER_KEEPALIVE);
+                    return;
+                };
                 self.on_attached(chosen, ctx);
             }
             Phase::Failed

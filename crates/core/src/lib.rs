@@ -44,6 +44,20 @@ pub mod responder;
 pub mod scenario;
 pub mod selection;
 
+/// Parses a compile-time well-known topic constant. Lives outside the
+/// protocol-handler files so the actors can pre-build topics at
+/// construction time instead of parsing (and potentially panicking) on
+/// every receive path (lint rule D004).
+pub(crate) fn well_known_topic(s: &str) -> nb_wire::Topic {
+    nb_wire::Topic::parse(s).expect("well-known topic constant")
+}
+
+/// Parses a compile-time well-known topic filter (see
+/// [`well_known_topic`]).
+pub(crate) fn well_known_filter(s: &str) -> nb_wire::TopicFilter {
+    nb_wire::TopicFilter::parse(s).expect("well-known topic-filter constant")
+}
+
 pub use advertiser::Advertiser;
 pub use bdn::{Bdn, BdnConfig};
 pub use broker_actor::DiscoveryBrokerActor;

@@ -44,6 +44,9 @@ pub struct Responder {
     pub service_time: Duration,
     pending: HashMap<u64, (Endpoint, Message)>,
     next_pending: u64,
+    /// The re-flood topic, parsed once at construction so the multicast
+    /// receive path never carries a panicking parse (lint rule D004).
+    flood_topic: Topic,
     /// Responses actually sent.
     pub responses_sent: u64,
     /// Requests suppressed as duplicates.
@@ -65,6 +68,7 @@ impl Responder {
             service_time: Duration::from_millis(40),
             pending: HashMap::new(),
             next_pending: 0,
+            flood_topic: crate::well_known_topic(DISCOVERY_REQUEST_TOPIC),
             responses_sent: 0,
             duplicates_suppressed: 0,
             rejected_by_policy: 0,
@@ -129,7 +133,7 @@ impl Responder {
         if self.dedup.contains(&req.request_id) {
             return;
         }
-        let topic = Topic::parse(DISCOVERY_REQUEST_TOPIC).expect("well-known topic");
+        let topic = self.flood_topic.clone();
         let payload = Message::Discovery(req.clone()).to_bytes().to_vec();
         // Flood-topic events surface back to the owning actor, which
         // routes them to `on_request`; dedup keeps us idempotent.

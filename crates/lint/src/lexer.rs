@@ -1,0 +1,352 @@
+//! A hand-rolled Rust lexer: just enough fidelity for token-pattern
+//! scanning.
+//!
+//! The rules engine never needs a full parse — it matches token
+//! sequences (`Instant :: now`, `. keys (`) — but it must never be
+//! fooled by the lexical grammar: string/char/byte/raw-string literals,
+//! nested block comments, doc comments, lifetimes and raw identifiers
+//! all have to be consumed as opaque units so that a mention of
+//! `Instant::now()` inside a string or comment is not a finding.
+//!
+//! The lexer is byte-oriented. Non-ASCII bytes only occur inside
+//! comments and literals in this workspace; if one ever appears in code
+//! position it is consumed as an opaque punctuation byte.
+
+/// Token classes relevant to rule matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `fn`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// Single punctuation byte (`.`, `:`, `<`, `[`, ...).
+    Punct,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A `//` comment (plain or doc), captured for suppression parsing.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    pub line: u32,
+    /// Text after the leading slashes, untrimmed.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<LineComment>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into tokens and line comments.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            for &c in &b[$range] {
+                if c == b'\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < n {
+            if b[i + 1] == b'/' {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != b'\n' {
+                    j += 1;
+                }
+                // Strip further leading slashes / `!` of doc comments.
+                let mut body = start;
+                while body < j && (b[body] == b'/' || b[body] == b'!') {
+                    body += 1;
+                }
+                out.comments.push(LineComment {
+                    line,
+                    text: src[body..j].to_string(),
+                });
+                i = j;
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                // Nested block comment.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < n && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < n && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+                continue;
+            }
+        }
+        // Raw strings / raw identifiers / byte strings: r"", r#""#,
+        // br#""#, b"", b'', r#ident.
+        if c == b'r' || c == b'b' {
+            let mut j = i;
+            let mut saw_b = false;
+            if b[j] == b'b' {
+                saw_b = true;
+                j += 1;
+            }
+            let saw_r = j < n && b[j] == b'r';
+            if saw_r {
+                j += 1;
+            }
+            if saw_r {
+                // Count hashes.
+                let mut hashes = 0usize;
+                while j < n && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == b'"' {
+                    // Raw string: scan for `"` followed by `hashes` #s.
+                    let mut k = j + 1;
+                    'raw: while k < n {
+                        if b[k] == b'"' {
+                            let mut h = 0usize;
+                            while k + 1 + h < n && h < hashes && b[k + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        k += 1;
+                    }
+                    let start_line = line;
+                    bump_lines!(i..k.min(n));
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    i = k.min(n);
+                    continue;
+                }
+                if !saw_b && hashes == 1 && j < n && is_ident_start(b[j]) {
+                    // Raw identifier r#ident: token text is the bare name.
+                    let start = j;
+                    let mut k = j;
+                    while k < n && is_ident_cont(b[k]) {
+                        k += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: src[start..k].to_string(),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // `r` / `br` not introducing a raw string: fall through
+                // and lex as a plain identifier.
+            } else if saw_b && j < n && (b[j] == b'"' || b[j] == b'\'') {
+                // Byte string / byte char: handled by the plain paths
+                // below, starting at the quote.
+                let quote = b[j];
+                if quote == b'"' {
+                    let (k, nl) = scan_plain_string(b, j + 1);
+                    let start_line = line;
+                    line += nl;
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                } else {
+                    let k = scan_char_literal(b, j + 1);
+                    out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                    i = k;
+                    continue;
+                }
+            }
+        }
+        // Plain string.
+        if c == b'"' {
+            let (k, nl) = scan_plain_string(b, i + 1);
+            let start_line = line;
+            line += nl;
+            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line: start_line });
+            i = k;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < n && b[i + 1] == b'\\' {
+                let k = scan_char_literal(b, i + 1);
+                out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                i = k;
+                continue;
+            }
+            // `'x'` is a char; `'x` followed by anything else is a
+            // lifetime. Multi-byte UTF-8 scalar chars ('é') also close
+            // with a quote.
+            let close = (i + 2 < n && b[i + 2] == b'\'')
+                || (i + 1 < n && !is_ident_start(b[i + 1]) && b[i + 1] >= 0x80);
+            if close {
+                let k = scan_char_literal(b, i + 1);
+                out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                i = k;
+                continue;
+            }
+            // Lifetime: consume the ident part.
+            let mut k = i + 1;
+            while k < n && is_ident_cont(b[k]) {
+                k += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text: src[i..k].to_string(),
+                line,
+            });
+            i = k;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut k = i + 1;
+            let mut seen_dot = false;
+            while k < n {
+                let d = b[k];
+                if is_ident_cont(d) {
+                    k += 1;
+                } else if d == b'.' && !seen_dot && k + 1 < n && b[k + 1].is_ascii_digit() {
+                    seen_dot = true;
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok { kind: TokKind::Num, text: src[i..k].to_string(), line });
+            i = k;
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut k = i + 1;
+            while k < n && is_ident_cont(b[k]) {
+                k += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Ident, text: src[i..k].to_string(), line });
+            i = k;
+            continue;
+        }
+        // Anything else (including stray non-ASCII): one punct byte.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: (c as char).to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Scans past a plain (escaped) string body starting just after the
+/// opening quote; returns (index past closing quote, newlines crossed).
+fn scan_plain_string(b: &[u8], mut i: usize) -> (usize, u32) {
+    let n = b.len();
+    let mut newlines = 0u32;
+    while i < n {
+        match b[i] {
+            b'\\' => {
+                // A `\` + newline is a line continuation: the newline
+                // still advances the line counter.
+                if i + 1 < n && b[i + 1] == b'\n' {
+                    newlines += 1;
+                }
+                i += 2;
+            }
+            b'"' => return (i + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (n, newlines)
+}
+
+/// Scans past a char/byte-char body starting just after the opening
+/// quote; returns the index past the closing quote.
+fn scan_char_literal(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}

@@ -1,0 +1,340 @@
+//! `nb-lint`: repo-aware static analysis for the nb workspace.
+//!
+//! Offline and dependency-free: a hand-rolled lexer ([`lexer`]) feeds a
+//! token-pattern scanner ([`scan`]) that enforces the determinism and
+//! protocol-safety invariants catalogued in DESIGN.md §10. The driver in
+//! this module walks every workspace `.rs` file (excluding `shims/` and
+//! build output), applies `nb-lint::allow` suppressions and the
+//! checked-in baseline, and renders human + JSON reports with a stable
+//! digest for golden pinning.
+
+pub mod lexer;
+pub mod scan;
+
+use scan::{scan_file, Allow, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit: the same digest primitive the chaos engine uses for
+/// plan identity, so goldens across the repo share one fingerprint
+/// algebra.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Line-number-free fingerprint of a finding, used by the baseline so
+/// that unrelated edits above a grandfathered line don't churn it.
+pub fn fingerprint(f: &Finding) -> u64 {
+    fnv1a64(format!("{}|{}|{}", f.rule, f.file, f.excerpt).as_bytes())
+}
+
+/// A suppression that fired, for reporting.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// An `nb-lint::allow` that matched nothing — usually a stale directive
+/// left behind after a fix. Reported but non-failing.
+#[derive(Debug, Clone)]
+pub struct UnusedAllow {
+    pub file: String,
+    pub line: u32,
+    pub rules: Vec<String>,
+}
+
+/// The outcome of a full-tree lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    /// Findings neither suppressed nor baselined: these fail the run.
+    pub new: Vec<Finding>,
+    pub suppressed: Vec<Suppressed>,
+    pub unused_allows: Vec<UnusedAllow>,
+    /// Findings matched by the baseline file (grandfathered).
+    pub baseline_matched: usize,
+    /// Baseline entries that no longer match anything (fixed since).
+    pub stale_baseline: usize,
+}
+
+impl Report {
+    /// Whether the run should exit non-zero.
+    pub fn has_new(&self) -> bool {
+        !self.new.is_empty()
+    }
+
+    /// Stable digest over (rule, file, count) triples — deliberately
+    /// line-number-free so that ordinary edits don't break the golden
+    /// pin, while any added/removed finding or suppression does.
+    pub fn digest(&self) -> u64 {
+        let mut triples: Vec<(String, String, &'static str)> = Vec::new();
+        let mut bump = |rule: &'static str, file: &str, class: &'static str| {
+            triples.push((file.to_string(), rule.to_string(), class));
+        };
+        for f in &self.new {
+            bump(f.rule, &f.file, "new");
+        }
+        for s in &self.suppressed {
+            bump(s.rule, &s.file, "suppressed");
+        }
+        triples.sort();
+        let mut acc = String::new();
+        let mut i = 0;
+        while i < triples.len() {
+            let mut j = i;
+            while j < triples.len() && triples[j] == triples[i] {
+                j += 1;
+            }
+            let (file, rule, class) = &triples[i];
+            acc.push_str(&format!("{rule}|{file}|{class}|{}\n", j - i));
+            i = j;
+        }
+        fnv1a64(acc.as_bytes())
+    }
+
+    /// Hand-rolled JSON (no serde in this crate): stable field and
+    /// entry order, so the report is byte-identical across runs.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"digest\": \"{:016x}\",\n", self.digest()));
+        s.push_str("  \"new\": [\n");
+        for (i, f) in self.new.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"excerpt\": \"{}\"}}{}\n",
+                f.rule,
+                esc(&f.file),
+                f.line,
+                esc(&f.message),
+                esc(&f.excerpt),
+                if i + 1 < self.new.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"suppressed\": [\n");
+        for (i, sp) in self.suppressed.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}{}\n",
+                sp.rule,
+                esc(&sp.file),
+                sp.line,
+                esc(&sp.reason),
+                if i + 1 < self.suppressed.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"unused_allows\": [\n");
+        for (i, u) in self.unused_allows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rules\": \"{}\"}}{}\n",
+                esc(&u.file),
+                u.line,
+                esc(&u.rules.join(",")),
+                if i + 1 < self.unused_allows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"baseline_matched\": {},\n", self.baseline_matched));
+        s.push_str(&format!("  \"stale_baseline\": {}\n", self.stale_baseline));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Terminal-friendly rendering.
+    pub fn render_human(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "nb-lint: {} files scanned, {} new finding(s), {} suppressed, {} baselined, digest {:016x}\n",
+            self.files_scanned,
+            self.new.len(),
+            self.suppressed.len(),
+            self.baseline_matched,
+            self.digest()
+        ));
+        for f in &self.new {
+            s.push_str(&format!(
+                "  [{}] {}:{}: {}\n      {}\n",
+                f.rule, f.file, f.line, f.message, f.excerpt
+            ));
+        }
+        for u in &self.unused_allows {
+            s.push_str(&format!(
+                "  [warn] {}:{}: unused nb-lint::allow({}) — remove it\n",
+                u.file,
+                u.line,
+                u.rules.join(",")
+            ));
+        }
+        if self.stale_baseline > 0 {
+            s.push_str(&format!(
+                "  [warn] {} stale baseline entr{} (fixed since) — regenerate the baseline\n",
+                self.stale_baseline,
+                if self.stale_baseline == 1 { "y" } else { "ies" }
+            ));
+        }
+        if self.new.is_empty() {
+            s.push_str("  clean.\n");
+        }
+        s
+    }
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Recursively collects workspace `.rs` files, sorted, as paths
+/// relative to `root` with `/` separators. `shims/` (external-crate
+/// stand-ins with their own conventions), `target/` and hidden
+/// directories are excluded.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<String>> {
+    fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for p in entries {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with('.') {
+                continue;
+            }
+            if p.is_dir() {
+                if name == "target" || (p.parent() == Some(root) && name == "shims") {
+                    continue;
+                }
+                walk(&p, root, out)?;
+            } else if name.ends_with(".rs") {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+/// Parses the baseline file: one `<16-hex-fnv64>` fingerprint per line,
+/// `#` comments and blanks ignored. Anything after the fingerprint on a
+/// line is a human-readable note.
+pub fn load_baseline(path: &Path) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            if l.is_empty() || l.starts_with('#') {
+                return None;
+            }
+            let fp = l.split_whitespace().next()?;
+            u64::from_str_radix(fp, 16).ok()
+        })
+        .collect()
+}
+
+/// Runs the full lint pass over the workspace at `root`, applying the
+/// baseline at `baseline` (missing file ⇒ empty baseline).
+pub fn run_root(root: &Path, baseline: &Path) -> io::Result<Report> {
+    let files = collect_rs_files(root)?;
+    let baseline_fps = load_baseline(baseline);
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    let mut baseline_hits: Vec<bool> = vec![false; baseline_fps.len()];
+
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        let fs_scan = scan_file(rel, &src);
+        let mut allow_used: Vec<bool> = vec![false; fs_scan.allows.len()];
+        for f in fs_scan.findings {
+            // L001 (malformed directive) cannot be suppressed.
+            let allow_idx = if f.rule == "L001" {
+                None
+            } else {
+                fs_scan.allows.iter().position(|a: &Allow| {
+                    a.covers.contains(&f.line) && a.rules.iter().any(|r| r == f.rule)
+                })
+            };
+            if let Some(ai) = allow_idx {
+                allow_used[ai] = true;
+                report.suppressed.push(Suppressed {
+                    rule: f.rule,
+                    file: f.file.clone(),
+                    line: f.line,
+                    reason: fs_scan.allows[ai].reason.clone(),
+                });
+                continue;
+            }
+            let fp = fingerprint(&f);
+            if let Some(bi) = baseline_fps.iter().position(|&b| b == fp) {
+                baseline_hits[bi] = true;
+                report.baseline_matched += 1;
+                continue;
+            }
+            report.new.push(f);
+        }
+        for (ai, a) in fs_scan.allows.iter().enumerate() {
+            if !allow_used[ai] {
+                report.unused_allows.push(UnusedAllow {
+                    file: rel.clone(),
+                    line: a.line,
+                    rules: a.rules.clone(),
+                });
+            }
+        }
+    }
+    report.stale_baseline = baseline_hits.iter().filter(|&&h| !h).count();
+    report.new.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+        .unused_allows
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// Default baseline location relative to the workspace root.
+pub const BASELINE_REL: &str = "tools/lint_baseline.txt";

@@ -1,0 +1,326 @@
+//! End-to-end engine tests over throwaway fixture workspaces: rule
+//! detection per zone, suppressions, the baseline, and exit semantics.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FIXTURE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A throwaway workspace under the system temp dir, removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new() -> Fixture {
+        let n = FIXTURE_SEQ.fetch_add(1, Ordering::SeqCst);
+        let root = std::env::temp_dir().join(format!(
+            "nb-lint-fixture-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) -> &Self {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdirs");
+        fs::write(path, content).expect("write fixture file");
+        self
+    }
+
+    fn run(&self) -> nb_lint::Report {
+        self.run_with_baseline(&self.root.join("no-baseline.txt"))
+    }
+
+    fn run_with_baseline(&self, baseline: &Path) -> nb_lint::Report {
+        nb_lint::run_root(&self.root, baseline).expect("scan fixture")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn rules(report: &nb_lint::Report) -> Vec<&'static str> {
+    report.new.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn d001_wall_clock_zone_split() {
+    let fx = Fixture::new();
+    // Deterministic zone: flagged.
+    fx.write(
+        "crates/net/src/sim.rs",
+        "pub fn tick() { let _t = std::time::Instant::now(); }\n",
+    );
+    // Wall-clock zone: allowed.
+    fx.write(
+        "crates/net/src/threaded.rs",
+        "pub fn tick() { let _t = std::time::Instant::now(); let _e = std::time::SystemTime::now(); }\n",
+    );
+    fx.write(
+        "crates/bench/src/lib.rs",
+        "pub fn measure() { let _t = std::time::Instant::now(); }\n",
+    );
+    let report = fx.run();
+    assert_eq!(rules(&report), vec!["D001"]);
+    assert_eq!(report.new[0].file, "crates/net/src/sim.rs");
+}
+
+#[test]
+fn d001_applies_even_inside_test_modules() {
+    // Wall-clock reads corrupt determinism wherever they run, including
+    // tests, so the test-region exemption does not cover D001.
+    let fx = Fixture::new();
+    fx.write(
+        "crates/util/src/lib.rs",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _x = std::time::SystemTime::now(); }\n}\n",
+    );
+    let report = fx.run();
+    assert_eq!(rules(&report), vec!["D001"]);
+}
+
+#[test]
+fn d002_hash_iteration_detection() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/selection.rs",
+        concat!(
+            "use std::collections::HashMap;\n",
+            "pub struct S { weights: HashMap<u32, u64> }\n",
+            "impl S {\n",
+            "    pub fn sweep(&mut self) {\n",
+            "        self.weights.retain(|_, w| *w > 0);\n",
+            "        for (k, v) in &self.weights { let _ = (k, v); }\n",
+            "        let _total: u64 = self.weights.values().sum();\n",
+            "    }\n",
+            "    pub fn lookup(&self, k: u32) -> Option<&u64> { self.weights.get(&k) }\n",
+            "}\n",
+        ),
+    );
+    let report = fx.run();
+    // retain + for + values (point lookups are fine).
+    assert_eq!(rules(&report), vec!["D002", "D002", "D002"]);
+}
+
+#[test]
+fn d002_ignores_btreemap_and_test_regions() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/selection.rs",
+        concat!(
+            "use std::collections::{BTreeMap, HashMap};\n",
+            "pub struct S { weights: BTreeMap<u32, u64> }\n",
+            "impl S {\n",
+            "    pub fn sweep(&mut self) { self.weights.retain(|_, w| *w > 0); }\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use super::*;\n",
+            "    #[test]\n",
+            "    fn t() {\n",
+            "        let m: HashMap<u32, u64> = HashMap::new();\n",
+            "        for (k, v) in &m { let _ = (k, v); }\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    let report = fx.run();
+    assert!(report.new.is_empty(), "unexpected: {:?}", report.new);
+}
+
+#[test]
+fn d003_unseeded_rng_flagged_everywhere() {
+    let fx = Fixture::new();
+    fx.write("crates/bench/src/lib.rs", "pub fn r() { let _g = rand::thread_rng(); }\n");
+    fx.write(
+        "crates/util/src/lib.rs",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _r = StdRng::from_entropy(); }\n}\n",
+    );
+    let report = fx.run();
+    assert_eq!(rules(&report), vec!["D003", "D003"]);
+}
+
+#[test]
+fn d004_protocol_handler_zone() {
+    let body = concat!(
+        "pub fn on_msg(buf: &[u8], order: &[u32], idx: usize) -> u32 {\n",
+        "    let first = buf.first().unwrap();\n",
+        "    let _parsed: u32 = parse(buf).expect(\"valid\");\n",
+        "    let picked = order[idx];\n",
+        "    let _ = first;\n",
+        "    picked\n",
+        "}\n",
+    );
+    let fx = Fixture::new();
+    fx.write("crates/core/src/client.rs", body);
+    // Same code outside the handler zone: not D004's business.
+    fx.write("crates/core/src/selection.rs", body);
+    let report = fx.run();
+    assert_eq!(rules(&report), vec!["D004", "D004", "D004"]);
+    assert!(report.new.iter().all(|f| f.file == "crates/core/src/client.rs"));
+}
+
+#[test]
+fn d005_float_fold_over_hash_iteration() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/core/src/selection.rs",
+        concat!(
+            "use std::collections::HashMap;\n",
+            "pub struct S { weights: HashMap<u32, f64> }\n",
+            "impl S {\n",
+            "    pub fn total(&self) -> f64 { self.weights.values().sum() }\n",
+            "}\n",
+        ),
+    );
+    let report = fx.run();
+    // The iteration itself (D002) and the order-sensitive fold (D005).
+    assert_eq!(rules(&report), vec!["D002", "D005"]);
+}
+
+#[test]
+fn d006_seeded_pub_fn_purity() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/util/src/lib.rs",
+        concat!(
+            "pub fn derive_plan(seed: u64) -> u64 {\n",
+            "    let noise = std::time::SystemTime::now();\n",
+            "    let _ = noise;\n",
+            "    seed\n",
+            "}\n",
+            "pub fn pure_plan(seed: u64, horizon: u64) -> u64 { seed ^ horizon }\n",
+            "pub fn unseeded() -> u64 { 7 }\n",
+        ),
+    );
+    let report = fx.run();
+    // SystemTime in a seeded pub fn trips both D001 and D006.
+    assert_eq!(rules(&report), vec!["D001", "D006"]);
+}
+
+#[test]
+fn suppression_same_line_and_next_line() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/net/src/sim.rs",
+        concat!(
+            "pub fn a() {\n",
+            "    let _t = std::time::Instant::now(); // nb-lint::allow(D001, reason = \"trailing directive\")\n",
+            "}\n",
+            "pub fn b() {\n",
+            "    // nb-lint::allow(D001, reason = \"next-line directive\")\n",
+            "    let _t = std::time::Instant::now();\n",
+            "}\n",
+            "pub fn c() {\n",
+            "    // nb-lint::allow(D001, reason = \"too far away\")\n",
+            "    let _gap = 1;\n",
+            "    let _t = std::time::Instant::now();\n",
+            "}\n",
+        ),
+    );
+    let report = fx.run();
+    // a and b suppressed; c's directive only covers the gap line.
+    assert_eq!(rules(&report), vec!["D001"]);
+    assert_eq!(report.new[0].line, 11);
+    assert_eq!(report.suppressed.len(), 2);
+    assert_eq!(report.unused_allows.len(), 1, "c's allow matched nothing");
+}
+
+#[test]
+fn suppression_requires_reason_and_valid_rules() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/net/src/sim.rs",
+        concat!(
+            "// nb-lint::allow(D001)\n",
+            "pub fn a() { let _t = std::time::Instant::now(); }\n",
+            "// nb-lint::allow(BOGUS, reason = \"rule name is wrong\")\n",
+            "pub fn b() {}\n",
+        ),
+    );
+    let report = fx.run();
+    // Both directives malformed (L001) and the D001 is NOT suppressed.
+    assert_eq!(rules(&report), vec!["L001", "D001", "L001"]);
+    assert!(report.suppressed.is_empty());
+    assert!(report.has_new());
+}
+
+#[test]
+fn suppression_wrong_rule_does_not_cover() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/net/src/sim.rs",
+        concat!(
+            "// nb-lint::allow(D003, reason = \"covers the wrong rule\")\n",
+            "pub fn a() { let _t = std::time::Instant::now(); }\n",
+        ),
+    );
+    let report = fx.run();
+    assert_eq!(rules(&report), vec!["D001"]);
+    assert_eq!(report.unused_allows.len(), 1);
+}
+
+#[test]
+fn baseline_grandfathers_by_fingerprint_not_line() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/net/src/sim.rs",
+        "pub fn a() { let _t = std::time::Instant::now(); }\n",
+    );
+    let report = fx.run();
+    assert_eq!(report.new.len(), 1);
+    let fp = nb_lint::fingerprint(&report.new[0]);
+    let baseline_path = fx.root.join("baseline.txt");
+    fs::write(&baseline_path, format!("# grandfathered\n{fp:016x} D001 sim.rs\n")).unwrap();
+    let report = fx.run_with_baseline(&baseline_path);
+    assert!(!report.has_new());
+    assert_eq!(report.baseline_matched, 1);
+    assert_eq!(report.stale_baseline, 0);
+    // Shift the finding down two lines: same fingerprint, still matched.
+    fx.write(
+        "crates/net/src/sim.rs",
+        "// one\n// two\npub fn a() { let _t = std::time::Instant::now(); }\n",
+    );
+    let report = fx.run_with_baseline(&baseline_path);
+    assert!(!report.has_new(), "baseline must be line-number free");
+    // Fix the finding: the entry goes stale (warned, non-failing).
+    fx.write("crates/net/src/sim.rs", "pub fn a() {}\n");
+    let report = fx.run_with_baseline(&baseline_path);
+    assert!(!report.has_new());
+    assert_eq!(report.stale_baseline, 1);
+}
+
+#[test]
+fn shims_and_target_are_not_scanned() {
+    let fx = Fixture::new();
+    fx.write("shims/rand/src/lib.rs", "pub fn r() { let _g = rand::thread_rng(); }\n");
+    fx.write("target/debug/build/gen.rs", "pub fn t() { let _t = std::time::Instant::now(); }\n");
+    fx.write("crates/util/src/lib.rs", "pub fn ok() {}\n");
+    let report = fx.run();
+    assert!(report.new.is_empty(), "unexpected: {:?}", report.new);
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn report_json_is_stable_and_digest_tracks_findings() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/net/src/sim.rs",
+        "pub fn a() { let _t = std::time::Instant::now(); }\n",
+    );
+    let r1 = fx.run();
+    let r2 = fx.run();
+    assert_eq!(r1.to_json(), r2.to_json(), "same tree must render identically");
+    assert_eq!(r1.digest(), r2.digest());
+    // Fixing the finding changes the digest.
+    fx.write("crates/net/src/sim.rs", "pub fn a() {}\n");
+    let r3 = fx.run();
+    assert_ne!(r1.digest(), r3.digest());
+}

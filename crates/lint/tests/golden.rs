@@ -1,0 +1,59 @@
+//! Golden gate over the real tree: the workspace must lint clean, and
+//! the report digest is pinned like the chaos-smoke seeds so that any
+//! drift — a new finding, a new suppression, a dropped one — fails
+//! loudly and forces a deliberate re-pin.
+
+use std::path::Path;
+
+/// Pinned digest of the clean tree's lint report: FNV-1a-64 over the
+/// sorted `(rule, file, class, count)` summary — deliberately free of
+/// line numbers, so ordinary edits never churn it. Re-pin (and say why
+/// in the commit) whenever a violation is fixed or a justified
+/// suppression is added or removed.
+const GOLDEN_DIGEST: u64 = 0x61d4_5e1a_d38e_3acd;
+
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    nb_lint::find_workspace_root(manifest).expect("workspace root above crates/lint")
+}
+
+#[test]
+fn tree_is_lint_clean() {
+    let root = workspace_root();
+    let report = nb_lint::run_root(&root, &root.join(nb_lint::BASELINE_REL)).expect("scan");
+    assert!(
+        !report.has_new(),
+        "new lint findings — fix or add a justified nb-lint::allow:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale nb-lint::allow directives — remove them:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn baseline_ships_empty() {
+    let root = workspace_root();
+    let entries = nb_lint::load_baseline(&root.join(nb_lint::BASELINE_REL));
+    assert!(
+        entries.is_empty(),
+        "the baseline must stay empty: every violation is fixed or carries \
+         an inline justified suppression (DESIGN.md §10)"
+    );
+}
+
+#[test]
+fn report_digest_matches_golden() {
+    let root = workspace_root();
+    let report = nb_lint::run_root(&root, &root.join(nb_lint::BASELINE_REL)).expect("scan");
+    assert_eq!(
+        report.digest(),
+        GOLDEN_DIGEST,
+        "lint-report digest drifted (got {:016x}): a finding or suppression \
+         changed — if intentional, re-pin GOLDEN_DIGEST\n{}",
+        report.digest(),
+        report.render_human()
+    );
+}

@@ -1,0 +1,170 @@
+//! Table-driven lexer tests: the rules engine matches token patterns,
+//! so the lexer must never surface tokens out of strings, comments or
+//! other opaque regions — and must keep line numbers exact across every
+//! multi-line construct.
+
+use nb_lint::lexer::{lex, TokKind};
+
+/// Idents produced by lexing `src`, in order.
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .toks
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+/// (kind, text) pairs for compact table assertions.
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+}
+
+#[test]
+fn table_opaque_regions_leak_no_idents() {
+    // Each row: (source, idents that must NOT appear).
+    let table: &[(&str, &str)] = &[
+        (r#"let s = "Instant::now()";"#, "Instant"),
+        (r##"let s = r"thread_rng()";"##, "thread_rng"),
+        (r###"let s = r#"HashMap.iter()"#;"###, "HashMap"),
+        (r###"let s = br#"SystemTime"#;"###, "SystemTime"),
+        ("// Instant::now() in a comment\nlet x = 1;", "Instant"),
+        ("/* thread_rng() */ let x = 1;", "thread_rng"),
+        ("/* outer /* nested unwrap() */ still comment */ let x = 1;", "unwrap"),
+        ("/// doc mentioning expect()\nfn f() {}", "expect"),
+        ("//! module doc with OsRng\nfn f() {}", "OsRng"),
+        (r#"let b = b"from_entropy";"#, "from_entropy"),
+    ];
+    for (src, banned) in table {
+        let got = idents(src);
+        assert!(
+            !got.iter().any(|t| t == banned),
+            "{banned:?} leaked out of an opaque region in {src:?}: {got:?}"
+        );
+    }
+}
+
+#[test]
+fn table_code_positions_do_produce_idents() {
+    let table: &[(&str, &str)] = &[
+        ("let t = Instant::now();", "Instant"),
+        ("let r = thread_rng();", "thread_rng"),
+        ("#[cfg(test)]\nmod t { fn g() { foo(); } }", "foo"),
+        ("macro_rules! m { () => { bar() }; }", "bar"),
+        ("vec![baz()]", "baz"),
+    ];
+    for (src, wanted) in table {
+        let got = idents(src);
+        assert!(got.iter().any(|t| t == wanted), "{wanted:?} missing from {src:?}: {got:?}");
+    }
+}
+
+#[test]
+fn nested_generics_vs_shift_operators() {
+    // `>>` closing two generic levels lexes as two single `>` puncts —
+    // indistinguishable from a shift, which is exactly what the token
+    // scanner wants (it never needs to know which).
+    let toks = kinds("let v: Vec<Vec<u8>> = make();");
+    let gts = toks.iter().filter(|(k, t)| *k == TokKind::Punct && t == ">").count();
+    assert_eq!(gts, 2, "double close angle must be two puncts: {toks:?}");
+    let shift = kinds("let x = a >> b;");
+    let gts = shift.iter().filter(|(k, t)| *k == TokKind::Punct && t == ">").count();
+    assert_eq!(gts, 2);
+}
+
+#[test]
+fn lifetimes_vs_char_literals() {
+    let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; let u = 'é'; }");
+    let lifetimes: Vec<_> =
+        toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.clone()).collect();
+    assert_eq!(lifetimes, vec!["'a", "'a"]);
+    let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+    assert_eq!(chars, 3, "char, escaped char and non-ASCII char: {toks:?}");
+}
+
+#[test]
+fn raw_identifiers_lex_as_bare_names() {
+    let got = idents("fn r#type(r#fn: u8) {}");
+    assert_eq!(got, vec!["fn", "type", "fn", "u8"]);
+}
+
+#[test]
+fn numbers_with_suffixes_and_floats() {
+    let toks = kinds("let a = 1_000u64; let b = 0xFFusize; let c = 3.25f32; let d = 7.max(2);");
+    let nums: Vec<_> =
+        toks.iter().filter(|(k, _)| *k == TokKind::Num).map(|(_, t)| t.clone()).collect();
+    assert_eq!(nums, vec!["1_000u64", "0xFFusize", "3.25f32", "7", "2"]);
+    // `7.max(2)` must keep `max` as an ident (method call on an int).
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+}
+
+#[test]
+fn line_numbers_track_multiline_constructs() {
+    let src = "let a = \"two\nline string\";\nlet b = r#\"raw\nraw2\"#;\n/* block\ncomment */\nlet c = \"esc \\\ncontinued\";\nlet d = 1;\n";
+    let lexed = lex(src);
+    let line_of = |name: &str| {
+        lexed
+            .toks
+            .iter()
+            .find(|t| t.is_ident(name))
+            .unwrap_or_else(|| panic!("{name} not found"))
+            .line
+    };
+    assert_eq!(line_of("a"), 1);
+    assert_eq!(line_of("b"), 3);
+    // After the 2-line plain string, 2-line raw string and 2-line block
+    // comment, `c` opens on line 7; its escaped-newline string still
+    // advances the count, putting `d` on line 9.
+    assert_eq!(line_of("c"), 7);
+    assert_eq!(line_of("d"), 9);
+}
+
+#[test]
+fn doc_and_line_comments_are_captured_with_bodies() {
+    let src = "/// doc text\n//! inner doc\n// plain note\nfn f() {}\n";
+    let lexed = lex(src);
+    let texts: Vec<_> = lexed.comments.iter().map(|c| c.text.trim().to_string()).collect();
+    assert_eq!(texts, vec!["doc text", "inner doc", "plain note"]);
+    assert_eq!(lexed.comments[2].line, 3);
+}
+
+#[test]
+fn cfg_gated_items_and_macro_bodies_lex_normally() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn check() {
+        assert_eq!(format!("{}", 1), "1");
+    }
+}
+macro_rules! gen {
+    ($name:ident) => {
+        fn $name() -> u32 { 42 }
+    };
+}
+"#;
+    let got = idents(src);
+    for wanted in ["cfg", "test", "tests", "check", "assert_eq", "format", "macro_rules", "gen", "name", "ident"] {
+        assert!(got.iter().any(|t| t == wanted), "{wanted} missing: {got:?}");
+    }
+}
+
+#[test]
+fn string_escapes_do_not_terminate_early() {
+    // An escaped quote must not close the string; the ident after the
+    // real close must survive.
+    let got = idents(r#"let s = "a \" b"; after();"#);
+    assert_eq!(got, vec!["let", "s", "after"]);
+    // Escaped backslash right before the closing quote.
+    let got = idents(r#"let s = "tail\\"; finish();"#);
+    assert_eq!(got, vec!["let", "s", "finish"]);
+}
+
+#[test]
+fn raw_string_hash_counting() {
+    // A `"#` inside an r##-string must not close it.
+    let src = r###"let s = r##"inner "# not the end"##; done();"###;
+    let got = idents(src);
+    assert_eq!(got, vec!["let", "s", "done"]);
+}

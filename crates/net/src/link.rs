@@ -7,7 +7,7 @@
 //! reliable but pay connection setup (one RTT on first use) and preserve
 //! per-connection ordering.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 use nb_wire::{Endpoint, GroupId, NodeId, RealmId};
@@ -122,15 +122,19 @@ pub enum DatagramFate {
 }
 
 /// The static network model: who is where, and what the paths look like.
+///
+/// All interior collections are ordered (`BTreeMap`/`BTreeSet`) so that
+/// every sweep or fan-out over them is deterministic regardless of
+/// insertion history (lint rule D002).
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
-    realms: HashMap<NodeId, RealmId>,
-    overrides: HashMap<(NodeId, NodeId), LinkSpec>,
-    partitions: HashSet<(NodeId, NodeId)>,
+    realms: BTreeMap<NodeId, RealmId>,
+    overrides: BTreeMap<(NodeId, NodeId), LinkSpec>,
+    partitions: BTreeSet<(NodeId, NodeId)>,
     /// Directed severed paths `(from, to)` — asymmetric partitions where
     /// traffic one way is black-holed while replies still flow.
-    directed_partitions: HashSet<(NodeId, NodeId)>,
-    groups: HashMap<GroupId, HashSet<NodeId>>,
+    directed_partitions: BTreeSet<(NodeId, NodeId)>,
+    groups: BTreeMap<GroupId, BTreeSet<NodeId>>,
     /// Path used within a node (loopback).
     pub local_spec: LinkSpec,
     /// Default path between nodes sharing a realm.
@@ -153,11 +157,11 @@ impl NetworkModel {
     /// A model with loopback/LAN/WAN defaults and no nodes.
     pub fn new() -> NetworkModel {
         NetworkModel {
-            realms: HashMap::new(),
-            overrides: HashMap::new(),
-            partitions: HashSet::new(),
-            directed_partitions: HashSet::new(),
-            groups: HashMap::new(),
+            realms: BTreeMap::new(),
+            overrides: BTreeMap::new(),
+            partitions: BTreeSet::new(),
+            directed_partitions: BTreeSet::new(),
+            groups: BTreeMap::new(),
             local_spec: LinkSpec::local(),
             intra_realm_spec: LinkSpec::lan(),
             inter_realm_spec: LinkSpec::wan(Duration::from_millis(40)),
@@ -304,13 +308,13 @@ impl NetworkModel {
         let Some(members) = self.groups.get(&group) else {
             return Vec::new();
         };
-        let mut out: Vec<NodeId> = members
+        // `members` is a BTreeSet, so iteration is already ascending:
+        // the fan-out order is deterministic without an explicit sort.
+        members
             .iter()
             .copied()
             .filter(|&n| n != sender && self.realm_of(n) == Some(sender_realm))
-            .collect();
-        out.sort_unstable(); // deterministic fan-out order
-        out
+            .collect()
     }
 }
 
@@ -319,7 +323,7 @@ impl NetworkModel {
 /// starting no earlier than the previous message finished serialising.
 #[derive(Debug, Default, Clone)]
 pub struct WireBook {
-    free_at: HashMap<(NodeId, NodeId), SimTime>,
+    free_at: BTreeMap<(NodeId, NodeId), SimTime>,
 }
 
 impl WireBook {
@@ -356,8 +360,8 @@ impl WireBook {
 /// established and the ordering clamp per direction.
 #[derive(Debug, Default, Clone)]
 pub struct StreamBook {
-    established: HashSet<(Endpoint, Endpoint)>,
-    last_arrival: HashMap<(Endpoint, Endpoint), SimTime>,
+    established: BTreeSet<(Endpoint, Endpoint)>,
+    last_arrival: BTreeMap<(Endpoint, Endpoint), SimTime>,
 }
 
 impl StreamBook {

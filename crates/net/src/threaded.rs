@@ -7,7 +7,7 @@
 //! This proves the protocol stack is runtime-agnostic and powers the
 //! runnable examples.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -92,7 +92,9 @@ pub struct ThreadedNet {
     shared: Arc<Shared>,
     wire_tx: Sender<WireOp>,
     wire_join: Option<JoinHandle<()>>,
-    nodes: HashMap<NodeId, NodeHandle>,
+    /// Ordered so shutdown stops and joins nodes in id order, giving the
+    /// teardown a deterministic sequence (and D002-clean iteration).
+    nodes: BTreeMap<NodeId, NodeHandle>,
     next_node: u32,
     seed: u64,
 }
@@ -124,7 +126,7 @@ impl ThreadedNet {
             shared,
             wire_tx,
             wire_join: Some(wire_join),
-            nodes: HashMap::new(),
+            nodes: BTreeMap::new(),
             next_node: 0,
             seed,
         }
@@ -198,7 +200,7 @@ impl ThreadedNet {
             let _ = j.join();
         }
         let mut out = HashMap::new();
-        for (id, (_name, tx, join)) in self.nodes.drain() {
+        for (id, (_name, tx, join)) in std::mem::take(&mut self.nodes) {
             let _ = tx.send(NodeMsg::Stop);
             if let Ok(actor) = join.join() {
                 out.insert(id, actor);
@@ -217,7 +219,7 @@ impl Drop for ThreadedNet {
         for (_, (_, tx, _)) in self.nodes.iter() {
             let _ = tx.send(NodeMsg::Stop);
         }
-        for (_, (_, _, join)) in self.nodes.drain() {
+        for (_, (_, _, join)) in std::mem::take(&mut self.nodes) {
             let _ = join.join();
         }
     }

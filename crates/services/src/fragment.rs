@@ -7,7 +7,7 @@
 //! duplicates and interleaved messages, with stale partial assemblies
 //! expiring after a configurable age.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nb_net::SimTime;
 use nb_util::Uuid;
@@ -99,7 +99,8 @@ struct Partial {
 /// Coalesces fragments back into payloads.
 #[derive(Debug)]
 pub struct Reassembler {
-    partials: HashMap<Uuid, Partial>,
+    /// Ordered so eviction/expiry sweeps are deterministic (lint D002).
+    partials: BTreeMap<Uuid, Partial>,
     max_age: std::time::Duration,
     max_partials: usize,
     /// Completed messages.
@@ -115,7 +116,7 @@ impl Reassembler {
     /// most `max_partials` messages at once (oldest evicted beyond that).
     pub fn new(max_age: std::time::Duration, max_partials: usize) -> Reassembler {
         Reassembler {
-            partials: HashMap::new(),
+            partials: BTreeMap::new(),
             max_age,
             max_partials: max_partials.max(1),
             completed: 0,

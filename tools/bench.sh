@@ -9,6 +9,9 @@
 #   tools/bench.sh --threads 8      # pin the parallel worker count
 #   tools/bench.sh chaos-smoke      # 3-seed chaos campaign (<30 s),
 #                                   # writes CHAOS_campaign.json
+#   tools/bench.sh lint             # nb-lint static analysis (D001–D006),
+#                                   # writes LINT_report.json; exit 1 on
+#                                   # new findings
 #
 # All other flags are forwarded to `repro bench`. The parallel speedup
 # is bounded by visible cores (recorded in the JSON as "cores");
@@ -26,6 +29,16 @@ if [[ "${1:-}" == "chaos-smoke" ]]; then
     cargo build --release -p nb-bench
     ./target/release/repro chaos --scenarios 3 --seed 11 \
         --chaos-json CHAOS_campaign.json "$@"
+    exit 0
+fi
+
+if [[ "${1:-}" == "lint" ]]; then
+    shift
+    # Determinism/protocol-safety gate. Uses repro so the report lands
+    # next to the other reproduction artifacts; tools/lint.sh is the
+    # fast dev path (debug build, no release compile).
+    cargo build --release -p nb-bench
+    ./target/release/repro lint --lint-json LINT_report.json "$@"
     exit 0
 fi
 
