@@ -20,6 +20,10 @@
 //! repro lint                # nb-lint static analysis (determinism + protocol-safety
 //!                           # rules D001–D006), writes LINT_report.json (see --lint-json);
 //!                           # exit 1 on new findings
+//! repro routing             # routing micro-bench: trie+memo vs linear-scan oracle at
+//!                           # 1e3/1e4/1e5 filters, writes BENCH_routing.json (see
+//!                           # --routing-json); with --min-speedup X, exit 1 unless the
+//!                           # trie is ≥ Xx (and memo-warm ≥ 10x) at 1e4 filters
 //! repro all --runs 30 --seed 7    # faster smoke reproduction
 //! repro all --csv out/            # also write machine-readable CSVs
 //! ```
@@ -37,6 +41,8 @@ struct Args {
     scenarios: usize,
     chaos_json: std::path::PathBuf,
     lint_json: std::path::PathBuf,
+    routing_json: std::path::PathBuf,
+    min_speedup: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +56,8 @@ fn parse_args() -> Args {
         scenarios: 10,
         chaos_json: std::path::PathBuf::from("CHAOS_campaign.json"),
         lint_json: std::path::PathBuf::from("LINT_report.json"),
+        routing_json: std::path::PathBuf::from("BENCH_routing.json"),
+        min_speedup: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -107,6 +115,21 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 };
                 args.lint_json = std::path::PathBuf::from(path);
+            }
+            "--routing-json" => {
+                i += 1;
+                let Some(path) = argv.get(i) else {
+                    eprintln!("--routing-json needs a path");
+                    std::process::exit(2);
+                };
+                args.routing_json = std::path::PathBuf::from(path);
+            }
+            "--min-speedup" => {
+                i += 1;
+                args.min_speedup = argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
+                    eprintln!("--min-speedup needs a number");
+                    std::process::exit(2);
+                });
             }
             "--threads" => {
                 i += 1;
@@ -516,6 +539,57 @@ fn run_bench_cmd(args: &Args) {
         std::process::exit(2);
     }
     println!("wrote {}", args.bench_json.display());
+    // The routing baseline rides along with every full bench run.
+    run_routing_cmd(args);
+}
+
+/// `repro routing`: the subscription-matching micro-suite (trie + memo
+/// vs the linear-scan oracle) behind `BENCH_routing.json`. With
+/// `--min-speedup X`, exits 1 unless at 1e4 filters the cold trie is
+/// ≥ Xx and the warm memo ≥ 10x across every topic class.
+fn run_routing_cmd(args: &Args) {
+    use nb_bench::routing::{run_routing_bench, RoutingReport, FILTER_COUNTS};
+    let report: RoutingReport = run_routing_bench(args.seed, &FILTER_COUNTS);
+    println!(
+        "=== Routing micro-bench: trie+memo vs linear scan, seed {} ===",
+        report.seed
+    );
+    println!(
+        "{:>8} {:<18} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "filters", "topics", "linear ns", "cold ns", "warm ns", "trie", "memo"
+    );
+    for c in &report.cells {
+        println!(
+            "{:>8} {:<18} {:>12.1} {:>12.1} {:>12.1} {:>7.1}x {:>7.1}x",
+            c.filters,
+            c.class.label(),
+            c.linear_ns,
+            c.trie_cold_ns,
+            c.memo_warm_ns,
+            c.trie_speedup(),
+            c.memo_speedup()
+        );
+    }
+    if let Err(e) = std::fs::write(&args.routing_json, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.routing_json.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", args.routing_json.display());
+    if let Some(min) = args.min_speedup {
+        const GATE_FILTERS: usize = 10_000;
+        const MIN_MEMO: f64 = 10.0;
+        let trie = report.min_trie_speedup(GATE_FILTERS);
+        let memo = report.min_memo_speedup(GATE_FILTERS);
+        println!(
+            "gate at {GATE_FILTERS} filters: trie {trie:.1}x (need {min:.1}x), \
+             memo {memo:.1}x (need {MIN_MEMO:.1}x)"
+        );
+        if trie < min || memo < MIN_MEMO {
+            eprintln!("routing speedup gate FAILED");
+            std::process::exit(1);
+        }
+        println!("routing speedup gate passed");
+    }
 }
 
 /// `repro chaos`: runs the seeded fault-injection campaign and writes
@@ -594,6 +668,10 @@ fn main() {
     }
     if args.cmd == "chaos" {
         run_chaos_cmd(&args);
+        return;
+    }
+    if args.cmd == "routing" {
+        run_routing_cmd(&args);
         return;
     }
     if args.cmd == "lint" {

@@ -11,6 +11,7 @@ pub mod chaos;
 pub mod hotpath;
 pub mod parallel;
 pub mod report;
+pub mod routing;
 
 use std::time::{Duration, Instant};
 

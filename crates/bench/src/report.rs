@@ -54,6 +54,11 @@ pub struct BenchReport {
     /// CPU cores visible to this process (parallel speedup is bounded
     /// by this — on a 1-core box the sharded path cannot beat serial).
     pub cores: usize,
+    /// `"parallel"` when the sharded executor was timed; `"serial-fallback"`
+    /// when `workers == 1` and the serial numbers were reused (a 1-worker
+    /// executor runs the identical serial path, so timing it separately
+    /// only reports scheduler noise as a phantom 0.94–0.99x regression).
+    pub mode: &'static str,
     /// Per-figure timings.
     pub figures: Vec<FigureBench>,
     /// Isolated old-vs-new event-loop layout comparison.
@@ -102,6 +107,7 @@ impl BenchReport {
         out.push_str(&format!("  \"runs_per_figure\": {},\n", self.runs));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
         out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         out.push_str(&format!("  \"events\": {},\n", self.events()));
         out.push_str(&format!("  \"serial_wall_ms\": {:.1},\n", self.serial_ms()));
         out.push_str(&format!("  \"parallel_wall_ms\": {:.1},\n", self.parallel_ms()));
@@ -190,17 +196,28 @@ pub fn run_bench(seed: u64, runs: usize, workers: Option<usize>) -> BenchReport 
         let (outcomes, events) = last.expect("three samples taken");
         (outcomes, events, best_ms)
     };
+    // With a single worker `ParallelExecutor::run` already short-circuits
+    // to the serial path, so timing it against the serial executor measures
+    // the same code twice and publishes scheduler noise as a regression.
+    // Reuse the serial numbers and say so in the report.
+    let serial_fallback = parallel.workers() == 1;
     let mut figures = Vec::new();
     for (name, builder) in bench_workloads() {
         let (outcomes_s, events_s, serial_ms) = time_best(&serial, &builder);
-        let (outcomes_p, events_p, parallel_ms) = time_best(&parallel, &builder);
-        assert_eq!(outcomes_s, outcomes_p, "{name}: parallel diverged from serial");
-        assert_eq!(events_s, events_p, "{name}: event counts diverged");
+        let parallel_ms = if serial_fallback {
+            serial_ms
+        } else {
+            let (outcomes_p, events_p, parallel_ms) = time_best(&parallel, &builder);
+            assert_eq!(outcomes_s, outcomes_p, "{name}: parallel diverged from serial");
+            assert_eq!(events_s, events_p, "{name}: event counts diverged");
+            parallel_ms
+        };
         figures.push(FigureBench { name, runs, events: events_s, serial_ms, parallel_ms });
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let hot_path = run_hotpath_bench(HOTPATH_EVENTS);
-    BenchReport { seed, runs, workers: parallel.workers(), cores, figures, hot_path }
+    let mode = if serial_fallback { "serial-fallback" } else { "parallel" };
+    BenchReport { seed, runs, workers: parallel.workers(), cores, mode, figures, hot_path }
 }
 
 #[cfg(test)]
@@ -222,12 +239,30 @@ mod tests {
     fn small_bench_produces_consistent_report() {
         let report = run_bench(2005, 3, Some(2));
         assert_eq!(report.figures.len(), bench_workloads().len());
+        assert_eq!(report.mode, "parallel");
         assert!(report.events() > 0);
         assert!(report.serial_ms() > 0.0);
         let json = report.to_json();
         assert!(json.contains("\"suite\": \"discovery-figures\""));
+        assert!(json.contains("\"mode\": \"parallel\""));
         assert!(json.contains("fig12_multicast"));
         // Balanced braces — cheap structural sanity for the hand-rolled JSON.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn one_worker_reports_serial_fallback() {
+        let report = run_bench(2005, 2, Some(1));
+        assert_eq!(report.mode, "serial-fallback");
+        assert_eq!(report.workers, 1);
+        for f in &report.figures {
+            assert_eq!(
+                f.parallel_ms, f.serial_ms,
+                "{}: 1-worker runs must reuse the serial timing, not re-time it",
+                f.name
+            );
+            assert!((f.speedup() - 1.0).abs() < f64::EPSILON);
+        }
+        assert!(report.to_json().contains("\"mode\": \"serial-fallback\""));
     }
 }

@@ -1,0 +1,352 @@
+//! Routing micro-bench: trie + memo vs the old linear scan.
+//!
+//! Builds identically-populated subscription tables — the production
+//! segment-id trie ([`nb_broker::SubscriptionTable`]) and a
+//! [`LinearTable`] replicating the pre-trie implementation verbatim —
+//! and times `matches` over probe-topic batches at three filter-set
+//! sizes (1e3/1e4/1e5) and three topic classes (exact, shallow-wildcard,
+//! deep-wildcard). Each trie measurement is taken twice: **cold** (memo
+//! flushed every round, so every probe pays a full trie walk) and
+//! **memo-warm** (steady-state republish pattern, every probe a cache
+//! hit). Every probe's trie result is asserted equal to the linear
+//! oracle's while timing, so a baseline is only published from a run
+//! that also witnessed extensional equivalence.
+//!
+//! `repro bench` / `repro routing` emit the result as
+//! `BENCH_routing.json`; `tools/bench.sh routing` gates on the 1e4-filter
+//! speedups (trie ≥ 3x, memo-warm ≥ 10x).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use nb_broker::{Destination, SubscriptionTable};
+use nb_wire::{NodeId, Topic, TopicFilter};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Filter-set sizes of the full suite (`repro bench` / `repro routing`).
+pub const FILTER_COUNTS: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// Probe topics timed per (tier, class) cell.
+const PROBES: usize = 32;
+
+/// Distinct destinations filters are spread over.
+const DEST_SPREAD: u32 = 512;
+
+/// Per-level segment vocabulary (shared across filters and probes so
+/// wildcard filters genuinely overlap the probe topics).
+const VOCAB: usize = 48;
+
+/// The probe-topic classes, named for the filter shape that dominates
+/// their match sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopicClass {
+    /// Depth-3 topics drawn verbatim from the exact-filter population.
+    Exact,
+    /// Depth-2 topics: matched mostly through single-`*` filters.
+    ShallowWildcard,
+    /// Depth-6 topics: deeper than every exact/`*` filter, reachable
+    /// only through `**`-tail filters.
+    DeepWildcard,
+}
+
+impl TopicClass {
+    /// All classes, report order.
+    pub const ALL: [TopicClass; 3] =
+        [TopicClass::Exact, TopicClass::ShallowWildcard, TopicClass::DeepWildcard];
+
+    /// Stable JSON/report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TopicClass::Exact => "exact",
+            TopicClass::ShallowWildcard => "shallow-wildcard",
+            TopicClass::DeepWildcard => "deep-wildcard",
+        }
+    }
+}
+
+/// The pre-trie `SubscriptionTable` kept as a release-mode oracle: a
+/// refcounted filter map per destination, `matches` evaluating every
+/// filter of every destination linearly (string-segment matching was
+/// already hoisted out by the interner; the scan itself is the cost
+/// under measurement).
+#[derive(Debug, Default)]
+pub struct LinearTable {
+    by_dest: BTreeMap<Destination, BTreeMap<TopicFilter, usize>>,
+}
+
+impl LinearTable {
+    /// An empty table.
+    pub fn new() -> LinearTable {
+        LinearTable::default()
+    }
+
+    /// Registers `filter` for `dest` (refcounted, like the old table).
+    pub fn subscribe(&mut self, dest: Destination, filter: TopicFilter) {
+        *self.by_dest.entry(dest).or_default().entry(filter).or_insert(0) += 1;
+    }
+
+    /// The old hot path: O(destinations × filters) scan plus a sort.
+    pub fn matches(&self, topic: &Topic) -> Vec<Destination> {
+        let mut out: Vec<Destination> = self
+            .by_dest
+            .iter()
+            .filter(|(_, filters)| filters.keys().any(|f| f.matches(topic)))
+            .map(|(dest, _)| *dest)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// One measured (filter-count, topic-class) cell.
+#[derive(Debug, Clone)]
+pub struct RoutingCell {
+    /// Registered (destination, filter) pairs.
+    pub filters: usize,
+    /// Probe-topic class.
+    pub class: TopicClass,
+    /// Probe topics × timing rounds behind each number.
+    pub lookups: u64,
+    /// Linear-scan oracle, nanoseconds per `matches`.
+    pub linear_ns: f64,
+    /// Trie with the memo flushed every round, nanoseconds per `matches`.
+    pub trie_cold_ns: f64,
+    /// Trie at memo steady state, nanoseconds per `matches`.
+    pub memo_warm_ns: f64,
+}
+
+impl RoutingCell {
+    /// Linear-over-cold-trie ratio.
+    pub fn trie_speedup(&self) -> f64 {
+        if self.trie_cold_ns > 0.0 { self.linear_ns / self.trie_cold_ns } else { 0.0 }
+    }
+
+    /// Linear-over-warm-memo ratio.
+    pub fn memo_speedup(&self) -> f64 {
+        if self.memo_warm_ns > 0.0 { self.linear_ns / self.memo_warm_ns } else { 0.0 }
+    }
+}
+
+/// The routing baseline emitted as `BENCH_routing.json`.
+#[derive(Debug, Clone)]
+pub struct RoutingReport {
+    /// Seed the filter/probe populations were generated from.
+    pub seed: u64,
+    /// Every measured cell, tier-major then class order.
+    pub cells: Vec<RoutingCell>,
+}
+
+impl RoutingReport {
+    /// Worst (minimum) cold-trie speedup across classes at `filters`.
+    pub fn min_trie_speedup(&self, filters: usize) -> f64 {
+        self.cells
+            .iter()
+            .filter(|c| c.filters == filters)
+            .map(RoutingCell::trie_speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Worst (minimum) memo-warm speedup across classes at `filters`.
+    pub fn min_memo_speedup(&self, filters: usize) -> f64 {
+        self.cells
+            .iter()
+            .filter(|c| c.filters == filters)
+            .map(RoutingCell::memo_speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders the report as JSON (hand-rolled, same style as the
+    /// discovery baseline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"suite\": \"routing-matches\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"filters\": {}, \"topics\": \"{}\", \"lookups\": {}, \
+                 \"linear_ns_per_match\": {:.1}, \"trie_cold_ns_per_match\": {:.1}, \
+                 \"memo_warm_ns_per_match\": {:.1}, \"trie_speedup\": {:.2}, \
+                 \"memo_speedup\": {:.2}}}{}\n",
+                c.filters,
+                c.class.label(),
+                c.lookups,
+                c.linear_ns,
+                c.trie_cold_ns,
+                c.memo_warm_ns,
+                c.trie_speedup(),
+                c.memo_speedup(),
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn seg(level: usize, idx: usize) -> String {
+    format!("l{level}w{idx:02}")
+}
+
+/// One generated subscription population: identical pairs are fed to
+/// both tables. Mix: ~60% exact filters (depth 2–4), ~20% single-`*`,
+/// ~20% `**`-tail — the shape broker overlays produce (well-known exact
+/// topics, per-stream `*` selectors, subtree `**` taps).
+fn populate(rng: &mut StdRng, n: usize) -> (SubscriptionTable, LinearTable, Vec<String>) {
+    let mut trie = SubscriptionTable::new();
+    let mut linear = LinearTable::new();
+    let mut exact_raws = Vec::new();
+    for i in 0..n {
+        let dest = Destination::Client(NodeId(rng.gen_range(0..DEST_SPREAD)));
+        let depth = rng.gen_range(2..=4usize);
+        let mut parts: Vec<String> =
+            (0..depth).map(|lvl| seg(lvl, rng.gen_range(0..VOCAB))).collect();
+        let shape = i % 5;
+        if shape == 3 {
+            let pos = rng.gen_range(0..depth);
+            parts[pos] = "*".to_string();
+        } else if shape == 4 {
+            let cut = rng.gen_range(1..depth);
+            parts.truncate(cut);
+            parts.push("**".to_string());
+        }
+        let raw = parts.join("/");
+        if shape < 3 {
+            exact_raws.push(raw.clone());
+        }
+        let filter = TopicFilter::parse(&raw).expect("generated filter is valid");
+        trie.subscribe(dest, filter.clone());
+        linear.subscribe(dest, filter);
+    }
+    (trie, linear, exact_raws)
+}
+
+fn probe_topics(rng: &mut StdRng, class: TopicClass, exact_raws: &[String]) -> Vec<Topic> {
+    (0..PROBES)
+        .map(|_| {
+            let raw = match class {
+                TopicClass::Exact => exact_raws[rng.gen_range(0..exact_raws.len())].clone(),
+                TopicClass::ShallowWildcard => (0..2)
+                    .map(|lvl| seg(lvl, rng.gen_range(0..VOCAB)))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                TopicClass::DeepWildcard => (0..6)
+                    .map(|lvl| seg(lvl, rng.gen_range(0..VOCAB)))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            };
+            Topic::parse(&raw).expect("generated topic is valid")
+        })
+        .collect()
+}
+
+/// Measures one cell. `rounds` scales inversely with the filter count so
+/// every tier does comparable total work.
+fn measure_cell(
+    trie: &mut SubscriptionTable,
+    linear: &LinearTable,
+    probes: &[Topic],
+    filters: usize,
+    class: TopicClass,
+) -> RoutingCell {
+    let rounds = (200_000 / filters).clamp(2, 200) as u64;
+    let lookups = rounds * probes.len() as u64;
+
+    // Equivalence check up front (also warms page caches evenly).
+    for topic in probes {
+        let expected = linear.matches(topic);
+        assert_eq!(
+            trie.matches_uncached(topic),
+            expected,
+            "trie diverged from the linear oracle on {topic}"
+        );
+    }
+
+    let mut sink = 0usize;
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for topic in probes {
+            sink = sink.wrapping_add(linear.matches(topic).len());
+        }
+    }
+    let linear_ns = t.elapsed().as_nanos() as f64 / lookups as f64;
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        trie.flush_memo();
+        for topic in probes {
+            sink = sink.wrapping_add(trie.matches(topic).len());
+        }
+    }
+    let trie_cold_ns = t.elapsed().as_nanos() as f64 / lookups as f64;
+
+    for topic in probes {
+        trie.matches(topic); // prime the memo
+    }
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for topic in probes {
+            sink = sink.wrapping_add(trie.matches(topic).len());
+        }
+    }
+    let memo_warm_ns = t.elapsed().as_nanos() as f64 / lookups as f64;
+
+    // Keep the optimizer honest about the measured loops.
+    assert!(sink > 0 || lookups == 0 || linear.matches(&probes[0]).is_empty());
+
+    RoutingCell { filters, class, lookups, linear_ns, trie_cold_ns, memo_warm_ns }
+}
+
+/// Runs the suite over the given filter-set sizes. The seed fixes both
+/// the subscription population and the probe topics, so reruns measure
+/// the same workload.
+pub fn run_routing_bench(seed: u64, filter_counts: &[usize]) -> RoutingReport {
+    let mut cells = Vec::new();
+    for &filters in filter_counts {
+        let mut rng = StdRng::seed_from_u64(seed ^ filters as u64);
+        let (mut trie, linear, exact_raws) = populate(&mut rng, filters);
+        for class in TopicClass::ALL {
+            let probes = probe_topics(&mut rng, class, &exact_raws);
+            cells.push(measure_cell(&mut trie, &linear, &probes, filters, class));
+        }
+    }
+    RoutingReport { seed, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_routing_bench_is_consistent() {
+        let report = run_routing_bench(11, &[200]);
+        assert_eq!(report.cells.len(), TopicClass::ALL.len());
+        for cell in &report.cells {
+            assert_eq!(cell.filters, 200);
+            assert!(cell.lookups > 0);
+            assert!(cell.linear_ns > 0.0);
+            assert!(cell.trie_cold_ns > 0.0);
+            assert!(cell.memo_warm_ns > 0.0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"suite\": \"routing-matches\""));
+        assert!(json.contains("\"topics\": \"deep-wildcard\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn same_seed_measures_the_same_workload() {
+        // Timings vary; populations and match sets must not.
+        let a = run_routing_bench(7, &[150]);
+        let b = run_routing_bench(7, &[150]);
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.filters, cb.filters);
+            assert_eq!(ca.class.label(), cb.class.label());
+            assert_eq!(ca.lookups, cb.lookups);
+        }
+    }
+}

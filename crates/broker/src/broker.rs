@@ -209,7 +209,7 @@ impl Broker {
 
     /// Diagnostic: destinations whose filters match `topic`.
     pub fn destinations_for(&self, topic: &Topic) -> Vec<crate::topics::Destination> {
-        self.subs.matches(topic)
+        self.subs.matches_uncached(topic)
     }
 
     /// Current usage metric snapshot (paper §5.1(c)).
@@ -464,8 +464,11 @@ impl Broker {
         self.meter.record_message(ctx.now());
 
         let flood = self.is_flood_topic(&ev.topic);
+        // One memoized trie lookup; the shared set detaches the borrow on
+        // `subs` so dispatch below can consult clients/links freely.
+        let matched = self.subs.matches(&ev.topic);
         // Local clients whose filters match always get a copy.
-        for dest in self.subs.matches(&ev.topic) {
+        for &dest in matched.iter() {
             match dest {
                 Destination::Client(c) => {
                     if Some(c) == source {

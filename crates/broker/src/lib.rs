@@ -32,5 +32,5 @@ pub mod topology;
 pub use broker::{Broker, BrokerActor, BrokerConfig};
 pub use client::PubSubClient;
 pub use metrics::{MachineProfile, UsageMeter};
-pub use topics::SubscriptionTable;
+pub use topics::{Destination, SubscriptionTable};
 pub use topology::{Topology, TopologyKind};

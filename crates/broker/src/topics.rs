@@ -1,14 +1,52 @@
-//! The subscription table.
+//! The subscription table: a segment-id trie with memoized match sets.
 //!
 //! Tracks which *destinations* (local clients or overlay links) are
 //! interested in which topic filters. Link interest is reference-counted:
 //! the same filter can be propagated through a link on behalf of several
 //! downstream origins, and only disappears when every registration is
 //! withdrawn.
+//!
+//! # Index layout
+//!
+//! Filters are indexed in a trie keyed on interned segment ids
+//! ([`nb_wire::SegId`]): one child edge per concrete segment, one `star`
+//! edge for `*`, and two destination sets per node — `exact` for filters
+//! ending at that node and `multi` for `prefix/**` filters anchored
+//! there. Matching a topic of depth *d* walks at most `2^d` narrow paths
+//! (in practice a handful), instead of evaluating every registered
+//! filter: the classic Siena-style content-matching index, O(depth)
+//! rather than O(subscriptions).
+//!
+//! # Memoization
+//!
+//! [`SubscriptionTable::matches`] caches the sorted match set per topic
+//! as a shared `Arc<[Destination]>`. The dominant traffic pattern —
+//! heartbeats, advertisements and discovery floods republished on the
+//! same few well-known topics — therefore routes with **zero allocation
+//! and zero trie walk**. The memo is invalidated precisely: a
+//! subscribe/unsubscribe that changes membership (first registration or
+//! last withdrawal of a filter at a destination) drops exactly the memo
+//! entries whose topic that filter matches; refcount-only changes keep
+//! the memo intact.
+//!
+//! # Determinism
+//!
+//! Match sets are sorted by [`Destination`]'s `Ord` and deduplicated, so
+//! the emitted order is byte-identical to the old sorted linear scan
+//! (pinned by the chaos seed-11 report digest in
+//! `crates/bench/tests/chaos_campaign.rs`). Segment-id *values* vary
+//! with interning order but never reach the output: trie edges are
+//! looked up by key, never iterated into results.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use nb_wire::{NodeId, Topic, TopicFilter};
+use nb_wire::{NodeId, SegId, Topic, TopicFilter};
+
+/// Memo entries kept before the cache is wholesale reset (a backstop
+/// against unbounded growth under adversarially diverse topics; the
+/// expected working set is a handful of well-known topics).
+const MEMO_CAP: usize = 1024;
 
 /// A routing destination for matched events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -19,12 +57,108 @@ pub enum Destination {
     Link(NodeId),
 }
 
-/// Filter registrations per destination, with refcounts. Ordered maps
-/// keep iteration (and therefore downstream message emission and RNG
-/// consumption) deterministic under a fixed simulation seed.
+/// One trie node: concrete-segment edges, the `*` edge, and the
+/// destination sets of filters terminating here.
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: BTreeMap<SegId, TrieNode>,
+    star: Option<Box<TrieNode>>,
+    /// Destinations whose filter ends exactly at this node.
+    exact: BTreeSet<Destination>,
+    /// Destinations with a `prefix/**` filter anchored at this node
+    /// (matches zero or more further segments).
+    multi: BTreeSet<Destination>,
+}
+
+impl TrieNode {
+    fn is_unused(&self) -> bool {
+        self.children.is_empty()
+            && self.star.is_none()
+            && self.exact.is_empty()
+            && self.multi.is_empty()
+    }
+
+    fn insert(&mut self, path: &[SegId], dest: Destination) {
+        match path.split_first() {
+            None => {
+                self.exact.insert(dest);
+            }
+            Some((&SegId::MULTI, _)) => {
+                // `**` is validated to be final; it anchors here.
+                self.multi.insert(dest);
+            }
+            Some((&SegId::STAR, rest)) => {
+                self.star.get_or_insert_with(Default::default).insert(rest, dest);
+            }
+            Some((&id, rest)) => {
+                self.children.entry(id).or_default().insert(rest, dest);
+            }
+        }
+    }
+
+    /// Removes `dest`'s registration along `path`, pruning emptied nodes
+    /// so a long-lived broker's trie tracks its live subscriptions.
+    fn remove(&mut self, path: &[SegId], dest: Destination) {
+        match path.split_first() {
+            None => {
+                self.exact.remove(&dest);
+            }
+            Some((&SegId::MULTI, _)) => {
+                self.multi.remove(&dest);
+            }
+            Some((&SegId::STAR, rest)) => {
+                if let Some(star) = self.star.as_mut() {
+                    star.remove(rest, dest);
+                    if star.is_unused() {
+                        self.star = None;
+                    }
+                }
+            }
+            Some((&id, rest)) => {
+                if let Some(child) = self.children.get_mut(&id) {
+                    child.remove(rest, dest);
+                    if child.is_unused() {
+                        self.children.remove(&id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects every destination whose filter matches the remaining
+    /// `topic` suffix into `out` (unsorted, may contain duplicates).
+    fn collect(&self, topic: &[SegId], out: &mut Vec<Destination>) {
+        // `prefix/**` matches zero or more remaining segments, so every
+        // node on the walk contributes its `multi` set…
+        out.extend(self.multi.iter().copied());
+        match topic.split_first() {
+            // …and the end node additionally contributes exact endings.
+            None => out.extend(self.exact.iter().copied()),
+            Some((&id, rest)) => {
+                if let Some(child) = self.children.get(&id) {
+                    child.collect(rest, out);
+                }
+                if let Some(star) = &self.star {
+                    star.collect(rest, out);
+                }
+            }
+        }
+    }
+}
+
+/// Filter registrations per destination (refcounted, the source of
+/// truth) plus the trie index and the per-topic match-set memo derived
+/// from it. Ordered maps keep iteration (and therefore downstream
+/// message emission and RNG consumption) deterministic under a fixed
+/// simulation seed.
 #[derive(Debug, Default)]
 pub struct SubscriptionTable {
     by_dest: BTreeMap<Destination, BTreeMap<TopicFilter, usize>>,
+    root: TrieNode,
+    memo: BTreeMap<Box<[SegId]>, Arc<[Destination]>>,
+    /// Reused collection buffer for memo misses: the cold path allocates
+    /// only the `Arc` result, never a scratch `Vec`.
+    scratch: Vec<Destination>,
 }
 
 impl SubscriptionTable {
@@ -36,9 +170,19 @@ impl SubscriptionTable {
     /// Registers `filter` for `dest`; returns `true` if this is the first
     /// registration of that filter at that destination.
     pub fn subscribe(&mut self, dest: Destination, filter: TopicFilter) -> bool {
-        let count = self.by_dest.entry(dest).or_default().entry(filter).or_insert(0);
-        *count += 1;
-        *count == 1
+        {
+            let filters = self.by_dest.entry(dest).or_default();
+            if let Some(count) = filters.get_mut(&filter) {
+                // Refcount bump only: membership (and thus every match
+                // set) is unchanged — the memo stays warm.
+                *count += 1;
+                return false;
+            }
+            filters.insert(filter.clone(), 1);
+        }
+        self.root.insert(filter.seg_ids(), dest);
+        self.invalidate(&filter);
+        true
     }
 
     /// Withdraws one registration of `filter` at `dest`; returns `true`
@@ -51,35 +195,63 @@ impl SubscriptionTable {
             return false;
         };
         *count -= 1;
-        if *count == 0 {
-            filters.remove(filter);
-            if filters.is_empty() {
-                self.by_dest.remove(&dest);
-            }
-            true
-        } else {
-            false
+        if *count != 0 {
+            return false;
         }
+        filters.remove(filter);
+        if filters.is_empty() {
+            self.by_dest.remove(&dest);
+        }
+        self.root.remove(filter.seg_ids(), dest);
+        self.invalidate(filter);
+        true
     }
 
     /// Removes every registration for `dest` (client disconnect or link
     /// down), returning the filters that were registered there.
     pub fn remove_destination(&mut self, dest: Destination) -> Vec<TopicFilter> {
-        self.by_dest
-            .remove(&dest)
-            .map(|filters| filters.into_keys().collect())
-            .unwrap_or_default()
+        let Some(filters) = self.by_dest.remove(&dest) else {
+            return Vec::new();
+        };
+        let out: Vec<TopicFilter> = filters.into_keys().collect();
+        for filter in &out {
+            self.root.remove(filter.seg_ids(), dest);
+            self.invalidate(filter);
+        }
+        out
     }
 
     /// Destinations whose filters match `topic`, sorted for determinism.
-    pub fn matches(&self, topic: &Topic) -> Vec<Destination> {
-        let mut out: Vec<Destination> = self
-            .by_dest
-            .iter()
-            .filter(|(_, filters)| filters.keys().any(|f| f.matches(topic)))
-            .map(|(dest, _)| *dest)
-            .collect();
+    ///
+    /// Repeated queries for the same topic between subscription changes
+    /// return the memoized shared set — zero allocation, zero walk. The
+    /// ordering contract is identical to the pre-trie linear scan:
+    /// distinct destinations in `Destination` order.
+    pub fn matches(&mut self, topic: &Topic) -> Arc<[Destination]> {
+        if let Some(hit) = self.memo.get(topic.seg_ids()) {
+            return Arc::clone(hit);
+        }
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        self.root.collect(topic.seg_ids(), &mut out);
         out.sort_unstable();
+        out.dedup();
+        let set: Arc<[Destination]> = out.as_slice().into();
+        self.scratch = out;
+        if self.memo.len() >= MEMO_CAP {
+            self.memo.clear();
+        }
+        self.memo.insert(topic.seg_ids().into(), Arc::clone(&set));
+        set
+    }
+
+    /// [`SubscriptionTable::matches`] without touching the memo
+    /// (read-only diagnostics paths).
+    pub fn matches_uncached(&self, topic: &Topic) -> Vec<Destination> {
+        let mut out = Vec::new();
+        self.root.collect(topic.seg_ids(), &mut out);
+        out.sort_unstable();
+        out.dedup();
         out
     }
 
@@ -92,13 +264,10 @@ impl SubscriptionTable {
 
     /// All distinct filters registered at `dest`.
     pub fn filters_of(&self, dest: Destination) -> Vec<TopicFilter> {
-        let mut out: Vec<TopicFilter> = self
-            .by_dest
+        self.by_dest
             .get(&dest)
             .map(|filters| filters.keys().cloned().collect())
-            .unwrap_or_default();
-        out.sort();
-        out
+            .unwrap_or_default()
     }
 
     /// Total number of distinct (destination, filter) registrations.
@@ -109,6 +278,23 @@ impl SubscriptionTable {
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.by_dest.is_empty()
+    }
+
+    /// Cached match sets currently held (observability/tests).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Drops every cached match set (benchmarks measure the cold path
+    /// with this; routing correctness never needs it).
+    pub fn flush_memo(&mut self) {
+        self.memo.clear();
+    }
+
+    /// Drops exactly the memo entries whose topic `filter` matches —
+    /// the only match sets a membership change to `filter` can affect.
+    fn invalidate(&mut self, filter: &TopicFilter) {
+        self.memo.retain(|topic_ids, _| !filter.matches_ids(topic_ids));
     }
 }
 
@@ -123,12 +309,29 @@ mod tests {
         Topic::parse(s).unwrap()
     }
 
+    /// The pre-trie reference implementation, kept verbatim as the
+    /// oracle: evaluate every filter of every destination linearly and
+    /// sort. The trie + memo must be extensionally equal to this under
+    /// any operation sequence (see the proptests below).
+    impl SubscriptionTable {
+        fn matches_linear(&self, topic: &Topic) -> Vec<Destination> {
+            let mut out: Vec<Destination> = self
+                .by_dest
+                .iter()
+                .filter(|(_, filters)| filters.keys().any(|f| f.matches(topic)))
+                .map(|(dest, _)| *dest)
+                .collect();
+            out.sort_unstable();
+            out
+        }
+    }
+
     #[test]
     fn subscribe_match_unsubscribe() {
         let mut tab = SubscriptionTable::new();
         let c = Destination::Client(NodeId(1));
         assert!(tab.subscribe(c, f("sports/*")));
-        assert_eq!(tab.matches(&t("sports/nba")), vec![c]);
+        assert_eq!(tab.matches(&t("sports/nba")).to_vec(), vec![c]);
         assert!(tab.matches(&t("news/world")).is_empty());
         assert!(tab.unsubscribe(c, &f("sports/*")));
         assert!(tab.matches(&t("sports/nba")).is_empty());
@@ -164,7 +367,7 @@ mod tests {
         tab.subscribe(Destination::Client(NodeId(1)), f("a/*"));
         let got = tab.matches(&t("a/b"));
         assert_eq!(
-            got,
+            got.to_vec(),
             vec![
                 Destination::Client(NodeId(1)),
                 Destination::Client(NodeId(2)),
@@ -194,5 +397,181 @@ mod tests {
         tab.subscribe(l, f("x/*"));
         tab.subscribe(l, f("y"));
         assert_eq!(tab.filters_of(l), vec![f("x/*"), f("y")]);
+    }
+
+    #[test]
+    fn doublestar_matches_zero_segments_through_the_trie() {
+        let mut tab = SubscriptionTable::new();
+        let c = Destination::Client(NodeId(1));
+        tab.subscribe(c, f("a/**"));
+        assert_eq!(tab.matches(&t("a")).to_vec(), vec![c], "`a/**` matches `a` itself");
+        assert_eq!(tab.matches(&t("a/b/c")).to_vec(), vec![c]);
+        assert!(tab.matches(&t("b")).is_empty());
+        tab.subscribe(c, f("**"));
+        assert_eq!(tab.matches(&t("zz/yy")).to_vec(), vec![c], "bare `**` matches everything");
+    }
+
+    #[test]
+    fn memo_hits_between_membership_changes_and_invalidates_precisely() {
+        let mut tab = SubscriptionTable::new();
+        let c1 = Destination::Client(NodeId(1));
+        let c2 = Destination::Client(NodeId(2));
+        tab.subscribe(c1, f("a/*"));
+        let first = tab.matches(&t("a/b"));
+        let other = tab.matches(&t("x"));
+        assert_eq!(tab.memo_len(), 2);
+        // Memo hit: the same shared allocation comes back.
+        let again = tab.matches(&t("a/b"));
+        assert!(Arc::ptr_eq(&first, &again), "warm query must hit the memo");
+
+        // A refcount-only bump must NOT invalidate…
+        tab.subscribe(c1, f("a/*"));
+        assert!(Arc::ptr_eq(&first, &tab.matches(&t("a/b"))));
+
+        // …but a membership change drops exactly the affected topics.
+        tab.subscribe(c2, f("a/b"));
+        assert_eq!(tab.memo_len(), 1, "only the matching entry is dropped");
+        assert_eq!(tab.matches(&t("a/b")).to_vec(), vec![c1, c2]);
+        let other_again = tab.matches(&t("x"));
+        assert!(Arc::ptr_eq(&other, &other_again), "unrelated topics stay cached");
+
+        // Unsubscribe down to zero invalidates again; the intermediate
+        // (refcounted) withdrawal does not.
+        assert!(!tab.unsubscribe(c1, &f("a/*")));
+        assert_eq!(tab.matches(&t("a/b")).to_vec(), vec![c1, c2]);
+        assert!(tab.unsubscribe(c1, &f("a/*")));
+        assert_eq!(tab.matches(&t("a/b")).to_vec(), vec![c2]);
+        assert_eq!(tab.matches_linear(&t("a/b")), vec![c2]);
+    }
+
+    #[test]
+    fn flush_memo_only_drops_the_cache() {
+        let mut tab = SubscriptionTable::new();
+        let c = Destination::Client(NodeId(5));
+        tab.subscribe(c, f("s/**"));
+        assert_eq!(tab.matches(&t("s/x")).to_vec(), vec![c]);
+        assert_eq!(tab.memo_len(), 1);
+        tab.flush_memo();
+        assert_eq!(tab.memo_len(), 0);
+        assert_eq!(tab.matches(&t("s/x")).to_vec(), vec![c]);
+    }
+
+    mod trie_vs_linear_oracle {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Subscribe(u8, u8),
+            Unsubscribe(u8, u8),
+            RemoveDest(u8),
+            /// Query a topic mid-sequence: exercises memo population,
+            /// hits, and invalidation interleaved with mutations.
+            Query(u8),
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (any::<u8>(), any::<u8>()).prop_map(|(d, f)| Op::Subscribe(d % 6, f % 12)),
+                (any::<u8>(), any::<u8>()).prop_map(|(d, f)| Op::Unsubscribe(d % 6, f % 12)),
+                any::<u8>().prop_map(|d| Op::RemoveDest(d % 6)),
+                any::<u8>().prop_map(|t| Op::Query(t % 8)),
+            ]
+        }
+
+        fn dest(i: u8) -> Destination {
+            if i % 2 == 0 {
+                Destination::Client(NodeId(u32::from(i)))
+            } else {
+                Destination::Link(NodeId(u32::from(i)))
+            }
+        }
+
+        fn corpus_filters() -> Vec<TopicFilter> {
+            // Includes `**`-tails at several depths, bare wildcards and
+            // overlapping exact/star shapes.
+            [
+                "a", "a/b", "a/*", "a/**", "a/b/c", "a/*/c", "a/b/**", "b/c", "b/*", "*",
+                "**", "c",
+            ]
+            .iter()
+            .map(|s| TopicFilter::parse(s).unwrap())
+            .collect()
+        }
+
+        fn corpus_topics() -> Vec<Topic> {
+            ["a", "a/b", "a/b/c", "a/x/c", "b/c", "c", "zz/yy", "a/b/c/d"]
+                .iter()
+                .map(|s| Topic::parse(s).unwrap())
+                .collect()
+        }
+
+        proptest! {
+            /// Under any interleaving of subscribes (incl. refcounted
+            /// duplicates), unsubscribes, destination removals and
+            /// queries, the trie + memo result equals the naive linear
+            /// scan — and so does the uncached walk.
+            #[test]
+            fn matches_equals_linear_oracle(ops in prop::collection::vec(arb_op(), 0..250)) {
+                let fs = corpus_filters();
+                let ts = corpus_topics();
+                let mut tab = SubscriptionTable::new();
+                for op in ops {
+                    match op {
+                        Op::Subscribe(d, f) => {
+                            tab.subscribe(dest(d), fs[f as usize].clone());
+                        }
+                        Op::Unsubscribe(d, f) => {
+                            tab.unsubscribe(dest(d), &fs[f as usize]);
+                        }
+                        Op::RemoveDest(d) => {
+                            tab.remove_destination(dest(d));
+                        }
+                        Op::Query(t) => {
+                            let topic = &ts[t as usize];
+                            let expected = tab.matches_linear(topic);
+                            prop_assert_eq!(tab.matches_uncached(topic), expected.clone());
+                            prop_assert_eq!(tab.matches(topic).to_vec(), expected);
+                        }
+                    }
+                }
+                // Final sweep over the whole topic corpus.
+                for topic in &ts {
+                    let expected = tab.matches_linear(topic);
+                    prop_assert_eq!(tab.matches(topic).to_vec(), expected);
+                }
+            }
+
+            /// subscribe → unsubscribe → resubscribe cycles around warm
+            /// memo entries: every transition re-converges to the oracle.
+            #[test]
+            fn resubscribe_cycles_keep_memo_coherent(
+                d in 0u8..6,
+                fidx in 0usize..12,
+                repeats in 1usize..4,
+            ) {
+                let fs = corpus_filters();
+                let ts = corpus_topics();
+                let filter = fs[fidx].clone();
+                let mut tab = SubscriptionTable::new();
+                // Background subscriptions so match sets are non-trivial.
+                tab.subscribe(dest((d + 1) % 6), fs[(fidx + 3) % fs.len()].clone());
+                tab.subscribe(dest((d + 2) % 6), fs[(fidx + 7) % fs.len()].clone());
+                for _ in 0..3 {
+                    for _ in 0..repeats {
+                        tab.subscribe(dest(d), filter.clone());
+                    }
+                    for topic in &ts {
+                        prop_assert_eq!(tab.matches(topic).to_vec(), tab.matches_linear(topic));
+                    }
+                    for _ in 0..repeats {
+                        tab.unsubscribe(dest(d), &filter);
+                    }
+                    for topic in &ts {
+                        prop_assert_eq!(tab.matches(topic).to_vec(), tab.matches_linear(topic));
+                    }
+                }
+            }
+        }
     }
 }

@@ -127,7 +127,7 @@ proptest! {
             .filter(|(_, f)| fs[*f as usize].matches(topic))
             .map(|(d, _)| dest(*d))
             .collect();
-        let got: BTreeSet<Destination> = table.matches(topic).into_iter().collect();
+        let got: BTreeSet<Destination> = table.matches(topic).iter().copied().collect();
         prop_assert_eq!(got, expected);
     }
 

@@ -1,0 +1,292 @@
+//! The segment interner: topic segments as small integer ids.
+//!
+//! Every `/`-separated topic segment in the process is registered in one
+//! crate-level symbol table and mapped to a dense [`SegId`]. Topics and
+//! filters resolve their segments exactly once — at parse/decode time —
+//! and matching, subsumption and the broker's subscription trie then
+//! operate on `&[SegId]` integer slices, never on `str::split`.
+//!
+//! # Determinism
+//!
+//! The table is insertion-ordered: the id of a segment is the number of
+//! distinct segments interned before it. Under concurrent interning the
+//! *numeric values* therefore depend on thread interleaving — which is
+//! fine, because ids are a process-local compression and never leak into
+//! anything observable: they are compared only for *equality* during
+//! matching, trie children are looked up by key (never iterated into
+//! output), and every destination list the broker emits is ordered by
+//! [`Destination`](../../nb_broker/topics/enum.Destination.html)'s own
+//! `Ord`, not by segment id. The lookup index is a `BTreeMap`, so there
+//! is no hash-iteration order to leak either (nb-lint rule D002 applies
+//! to this module — `crates/wire/src/` is a deterministic zone).
+//!
+//! Wildcard filter segments are represented by two reserved sentinel ids
+//! at the top of the id space ([`SegId::STAR`], [`SegId::MULTI`]);
+//! concrete segments can never collide with them because the table
+//! refuses to grow that far (a process would need ~4.29 billion distinct
+//! segments first).
+
+use std::collections::BTreeMap;
+use std::sync::{OnceLock, RwLock};
+
+use crate::topic::TopicError;
+
+/// Maximum number of segments in a topic or filter. Hostile frames with
+/// absurdly deep topics are rejected at decode time ([`TopicError::TooDeep`])
+/// instead of ballooning tries and match walks; the paper's well-known
+/// topics are depth 3.
+pub const MAX_TOPIC_DEPTH: usize = 32;
+
+/// An interned topic segment (or a wildcard sentinel).
+///
+/// `Ord`/`Hash` follow the raw id — adequate for map keys, but note the
+/// id order is interning order, not lexicographic order of the segment
+/// text; nothing observable may be ordered by it (see the module docs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegId(u32);
+
+impl SegId {
+    /// The `*` single-segment wildcard (filters only).
+    pub const STAR: SegId = SegId(u32::MAX);
+    /// The `**` zero-or-more-trailing-segments wildcard (filters only).
+    pub const MULTI: SegId = SegId(u32::MAX - 1);
+
+    /// Whether this id is one of the two wildcard sentinels.
+    pub fn is_wildcard(self) -> bool {
+        self == SegId::STAR || self == SegId::MULTI
+    }
+
+    /// The raw id value (diagnostics).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Debug for SegId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SegId::STAR => f.write_str("SegId(*)"),
+            SegId::MULTI => f.write_str("SegId(**)"),
+            SegId(id) => write!(f, "SegId({id})"),
+        }
+    }
+}
+
+fn table() -> &'static RwLock<BTreeMap<Box<str>, u32>> {
+    static TABLE: OnceLock<RwLock<BTreeMap<Box<str>, u32>>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+/// Interns one segment, returning its id. Existing segments take only a
+/// read lock (the overwhelmingly common case after warm-up).
+pub fn intern(seg: &str) -> SegId {
+    let t = table();
+    {
+        let read = t.read().unwrap_or_else(|p| p.into_inner());
+        if let Some(&id) = read.get(seg) {
+            return SegId(id);
+        }
+    }
+    let mut write = t.write().unwrap_or_else(|p| p.into_inner());
+    let next = write.len() as u32;
+    assert!(
+        next < SegId::MULTI.0,
+        "segment interner exhausted the id space below the wildcard sentinels"
+    );
+    SegId(*write.entry(seg.into()).or_insert(next))
+}
+
+/// Number of distinct segments interned so far (diagnostics).
+pub fn interned_count() -> usize {
+    table().read().unwrap_or_else(|p| p.into_inner()).len()
+}
+
+/// A `SmallVec`-style segment-id sequence: topics up to `INLINE`
+/// segments deep (every well-known topic, and the proptest corpus) live
+/// entirely inline; deeper ones spill to the heap once at parse time.
+#[derive(Clone)]
+pub struct SegVec {
+    len: u8,
+    inline: [SegId; SegVec::INLINE],
+    spill: Vec<SegId>,
+}
+
+impl SegVec {
+    const INLINE: usize = 6;
+
+    /// An empty sequence.
+    pub fn new() -> SegVec {
+        SegVec { len: 0, inline: [SegId(0); SegVec::INLINE], spill: Vec::new() }
+    }
+
+    /// Appends one id (spilling to the heap past the inline capacity).
+    pub fn push(&mut self, id: SegId) {
+        let len = self.len as usize;
+        if self.spill.is_empty() && len < SegVec::INLINE {
+            self.inline[len] = id;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.inline[..len]);
+            }
+            self.spill.push(id);
+        }
+        self.len += 1;
+    }
+
+    /// The ids as a slice.
+    pub fn as_slice(&self) -> &[SegId] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Number of ids.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl PartialEq for SegVec {
+    fn eq(&self, other: &SegVec) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for SegVec {}
+
+impl Default for SegVec {
+    fn default() -> Self {
+        SegVec::new()
+    }
+}
+
+impl std::fmt::Debug for SegVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+/// Resolves a concrete topic string in one pass: split, validate (empty
+/// segments, wildcards, depth cap) and intern together, so wire decode
+/// touches each byte once.
+pub fn resolve_topic(s: &str) -> Result<SegVec, TopicError> {
+    if s.is_empty() {
+        return Err(TopicError::EmptySegment);
+    }
+    let mut segs = SegVec::new();
+    for seg in s.split('/') {
+        if seg.is_empty() {
+            return Err(TopicError::EmptySegment);
+        }
+        if seg == "*" || seg == "**" {
+            return Err(TopicError::WildcardInTopic);
+        }
+        if segs.len() == MAX_TOPIC_DEPTH {
+            return Err(TopicError::TooDeep);
+        }
+        segs.push(intern(seg));
+    }
+    Ok(segs)
+}
+
+/// Resolves a filter string in one pass; wildcards become the sentinel
+/// ids and `**` is checked for final position on the fly.
+pub fn resolve_filter(s: &str) -> Result<SegVec, TopicError> {
+    if s.is_empty() {
+        return Err(TopicError::EmptySegment);
+    }
+    let mut segs = SegVec::new();
+    let mut multi_seen = false;
+    for seg in s.split('/') {
+        if seg.is_empty() {
+            return Err(TopicError::EmptySegment);
+        }
+        if multi_seen {
+            return Err(TopicError::MultiWildcardNotLast);
+        }
+        if segs.len() == MAX_TOPIC_DEPTH {
+            return Err(TopicError::TooDeep);
+        }
+        match seg {
+            "*" => segs.push(SegId::STAR),
+            "**" => {
+                segs.push(SegId::MULTI);
+                multi_seen = true;
+            }
+            _ => segs.push(intern(seg)),
+        }
+    }
+    Ok(segs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_distinct() {
+        let a1 = intern("intern-test-alpha");
+        let b = intern("intern-test-beta");
+        let a2 = intern("intern-test-alpha");
+        assert_eq!(a1, a2, "same segment, same id");
+        assert_ne!(a1, b, "distinct segments, distinct ids");
+        assert!(!a1.is_wildcard());
+        assert!(interned_count() >= 2);
+    }
+
+    #[test]
+    fn sentinels_are_wildcards_and_reserved() {
+        assert!(SegId::STAR.is_wildcard());
+        assert!(SegId::MULTI.is_wildcard());
+        assert_ne!(SegId::STAR, SegId::MULTI);
+        // A literal asterisk *inside* a segment is an ordinary segment.
+        assert!(!intern("a*b").is_wildcard());
+    }
+
+    #[test]
+    fn segvec_spills_past_inline_capacity() {
+        let mut v = SegVec::new();
+        assert!(v.is_empty());
+        let ids: Vec<SegId> = (0..SegVec::INLINE + 3)
+            .map(|i| intern(&format!("segvec-spill-{i}")))
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            v.push(id);
+            assert_eq!(v.len(), i + 1);
+            assert_eq!(v.as_slice(), &ids[..=i], "slice stable across the spill boundary");
+        }
+        let clone = v.clone();
+        assert_eq!(clone.as_slice(), v.as_slice());
+    }
+
+    #[test]
+    fn resolve_topic_validates_in_one_pass() {
+        assert!(resolve_topic("a/b/c").is_ok());
+        assert_eq!(resolve_topic(""), Err(TopicError::EmptySegment));
+        assert_eq!(resolve_topic("a//b"), Err(TopicError::EmptySegment));
+        assert_eq!(resolve_topic("a/*"), Err(TopicError::WildcardInTopic));
+        let deep = vec!["d"; MAX_TOPIC_DEPTH + 1].join("/");
+        assert_eq!(resolve_topic(&deep), Err(TopicError::TooDeep));
+        let at_cap = vec!["d"; MAX_TOPIC_DEPTH].join("/");
+        assert_eq!(resolve_topic(&at_cap).unwrap().len(), MAX_TOPIC_DEPTH);
+    }
+
+    #[test]
+    fn resolve_filter_places_sentinels() {
+        let segs = resolve_filter("a/*/b/**").unwrap();
+        let s = segs.as_slice();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[1], SegId::STAR);
+        assert_eq!(s[3], SegId::MULTI);
+        assert_eq!(resolve_filter("a/**/b"), Err(TopicError::MultiWildcardNotLast));
+        assert_eq!(resolve_filter("**/"), Err(TopicError::EmptySegment));
+        let deep = vec!["d"; MAX_TOPIC_DEPTH + 1].join("/");
+        assert_eq!(resolve_filter(&deep), Err(TopicError::TooDeep));
+    }
+}

@@ -8,6 +8,9 @@
 //!   transports, network realms and multicast groups,
 //! * [`topic`] — `/`-separated topic names and subscription filters with
 //!   single-segment (`*`) and multi-segment (`**`) wildcards,
+//! * [`intern`] — the deterministic segment interner: topics/filters
+//!   carry pre-resolved segment-id slices so matching never re-splits
+//!   strings,
 //! * [`message`] — the full protocol message set: pub/sub events and
 //!   subscriptions, broker link management, broker advertisements,
 //!   discovery requests/acks/responses, UDP pings, NTP exchanges and
@@ -20,12 +23,14 @@
 pub mod addr;
 pub mod codec;
 pub mod frame;
+pub mod intern;
 pub mod message;
 pub mod topic;
 
 pub use addr::{Endpoint, GroupId, NodeId, Port, RealmId, TransportKind};
 pub use codec::{Wire, WireError, WireReader, WireWriter};
 pub use frame::{FrameDecoder, MAX_FRAME_LEN};
+pub use intern::{SegId, MAX_TOPIC_DEPTH};
 pub use message::{
     BrokerAdvertisement, Credential, DiscoveryRequest, DiscoveryResponse, Event, Message,
     UsageMetrics,

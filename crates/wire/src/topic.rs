@@ -9,10 +9,15 @@
 //! * `**` — matches zero or more trailing segments (only legal as the
 //!   final segment).
 //!
-//! The well-known discovery topics of the paper are exported as
+//! Both carry their segments pre-resolved to interned [`SegId`]s (see
+//! [`crate::intern`]), computed exactly once at parse/decode time, so
+//! [`TopicFilter::matches`], [`TopicFilter::subsumes`] and
+//! [`Topic::depth`] are integer-slice walks that never re-split the
+//! string. The well-known discovery topics of the paper are exported as
 //! constants.
 
 use crate::codec::{Wire, WireError, WireReader, WireWriter};
+use crate::intern::{self, SegId, SegVec};
 use std::fmt;
 
 /// The public topic every BDN subscribes to for broker advertisements
@@ -37,6 +42,8 @@ pub enum TopicError {
     WildcardInTopic,
     /// `**` appeared somewhere other than the final segment.
     MultiWildcardNotLast,
+    /// More than [`intern::MAX_TOPIC_DEPTH`] segments (hostile frames).
+    TooDeep,
 }
 
 impl fmt::Display for TopicError {
@@ -45,6 +52,7 @@ impl fmt::Display for TopicError {
             TopicError::EmptySegment => f.write_str("topic has an empty segment"),
             TopicError::WildcardInTopic => f.write_str("concrete topic may not contain wildcards"),
             TopicError::MultiWildcardNotLast => f.write_str("`**` is only legal as the final segment"),
+            TopicError::TooDeep => f.write_str("topic exceeds the maximum segment depth"),
         }
     }
 }
@@ -52,21 +60,27 @@ impl fmt::Display for TopicError {
 impl std::error::Error for TopicError {}
 
 /// A concrete (wildcard-free) `/`-separated topic.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Equality, ordering and hashing follow the raw string (segment ids are
+/// a derived cache), so map/set ordering over topics is byte-stable
+/// across processes regardless of interning order.
+#[derive(Debug, Clone)]
 pub struct Topic {
     raw: String,
+    segs: SegVec,
 }
 
 impl Topic {
     /// Parses and validates a concrete topic.
     pub fn parse(s: &str) -> Result<Topic, TopicError> {
-        validate_segments(s)?;
-        for seg in s.split('/') {
-            if seg == "*" || seg == "**" {
-                return Err(TopicError::WildcardInTopic);
-            }
-        }
-        Ok(Topic { raw: s.to_string() })
+        Topic::parse_owned(s.to_string())
+    }
+
+    /// Like [`Topic::parse`] but takes ownership of the string — wire
+    /// decode uses this so the buffer's copy is the only allocation.
+    pub fn parse_owned(raw: String) -> Result<Topic, TopicError> {
+        let segs = intern::resolve_topic(&raw)?;
+        Ok(Topic { raw, segs })
     }
 
     /// The raw topic string.
@@ -74,14 +88,41 @@ impl Topic {
         &self.raw
     }
 
+    /// The interned segment ids (wildcard-free by construction).
+    pub fn seg_ids(&self) -> &[SegId] {
+        self.segs.as_slice()
+    }
+
     /// Iterates over the `/`-separated segments.
     pub fn segments(&self) -> impl Iterator<Item = &str> {
         self.raw.split('/')
     }
 
-    /// Number of segments.
+    /// Number of segments (pre-computed; no splitting).
     pub fn depth(&self) -> usize {
-        self.segments().count()
+        self.segs.len()
+    }
+}
+
+impl PartialEq for Topic {
+    fn eq(&self, other: &Topic) -> bool {
+        self.raw == other.raw
+    }
+}
+impl Eq for Topic {}
+impl PartialOrd for Topic {
+    fn partial_cmp(&self, other: &Topic) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Topic {
+    fn cmp(&self, other: &Topic) -> std::cmp::Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+impl std::hash::Hash for Topic {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
     }
 }
 
@@ -103,27 +144,27 @@ impl fmt::Display for Topic {
 /// assert!(!one_level.matches(&topic)); // `*` spans exactly one segment
 /// assert!(all_services.subsumes(&one_level));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone)]
 pub struct TopicFilter {
     raw: String,
+    segs: SegVec,
 }
 
 impl TopicFilter {
     /// Parses and validates a filter.
     pub fn parse(s: &str) -> Result<TopicFilter, TopicError> {
-        validate_segments(s)?;
-        let segs: Vec<&str> = s.split('/').collect();
-        for (i, seg) in segs.iter().enumerate() {
-            if *seg == "**" && i + 1 != segs.len() {
-                return Err(TopicError::MultiWildcardNotLast);
-            }
-        }
-        Ok(TopicFilter { raw: s.to_string() })
+        TopicFilter::parse_owned(s.to_string())
+    }
+
+    /// Like [`TopicFilter::parse`] but takes ownership of the string.
+    pub fn parse_owned(raw: String) -> Result<TopicFilter, TopicError> {
+        let segs = intern::resolve_filter(&raw)?;
+        Ok(TopicFilter { raw, segs })
     }
 
     /// A filter that matches exactly one concrete topic.
     pub fn exact(topic: &Topic) -> TopicFilter {
-        TopicFilter { raw: topic.as_str().to_string() }
+        TopicFilter { raw: topic.raw.clone(), segs: topic.segs.clone() }
     }
 
     /// The raw filter string.
@@ -131,50 +172,62 @@ impl TopicFilter {
         &self.raw
     }
 
+    /// The interned segment ids; wildcards are the sentinel ids
+    /// [`SegId::STAR`] and [`SegId::MULTI`].
+    pub fn seg_ids(&self) -> &[SegId] {
+        self.segs.as_slice()
+    }
+
     /// Whether this filter matches `topic`.
     pub fn matches(&self, topic: &Topic) -> bool {
-        let mut fsegs = self.raw.split('/');
-        let mut tsegs = topic.segments();
+        self.matches_ids(topic.seg_ids())
+    }
+
+    /// [`TopicFilter::matches`] against a pre-resolved (wildcard-free)
+    /// topic id slice — the form the broker's trie and memo operate on.
+    pub fn matches_ids(&self, topic: &[SegId]) -> bool {
+        let f = self.segs.as_slice();
+        let mut i = 0;
         loop {
-            match (fsegs.next(), tsegs.next()) {
+            match (f.get(i), topic.get(i)) {
                 (None, None) => return true,
-                (Some("**"), _) => return true, // `**` swallows the rest (incl. zero)
+                (Some(&SegId::MULTI), _) => return true, // `**` swallows the rest (incl. zero)
                 (Some(_), None) | (None, Some(_)) => return false,
-                (Some(f), Some(t)) => {
-                    if f != "*" && f != t {
+                (Some(&fs), Some(&ts)) => {
+                    if fs != SegId::STAR && fs != ts {
                         return false;
                     }
                 }
             }
+            i += 1;
         }
     }
 
     /// Whether this filter contains any wildcard.
     pub fn is_wildcard(&self) -> bool {
-        self.raw.split('/').any(|s| s == "*" || s == "**")
+        self.segs.as_slice().iter().any(|s| s.is_wildcard())
     }
 
     /// Whether every topic matched by `other` is also matched by `self`
     /// (filter covering). Brokers can use this to skip propagating a
     /// subscription already covered by a broader one.
     pub fn subsumes(&self, other: &TopicFilter) -> bool {
-        fn go(f: &[&str], g: &[&str]) -> bool {
+        fn go(f: &[SegId], g: &[SegId]) -> bool {
             match (f.first(), g.first()) {
                 (None, None) => true,
                 // `**` swallows anything g may still produce.
-                (Some(&"**"), _) => true,
+                (Some(&SegId::MULTI), _) => true,
                 // f is exhausted but g still requires segments (g == "**"
                 // could also match zero further segments only if f is
                 // also done — handled above by (None, None)).
-                (None, Some(&"**")) => false,
                 (None, Some(_)) => false,
                 (Some(_), None) => false,
                 (Some(&fs), Some(&gs)) => {
-                    if gs == "**" {
+                    if gs == SegId::MULTI {
                         // g matches arbitrarily long suffixes; only `**`
                         // on f's side can cover that (handled above).
                         false
-                    } else if fs == "*" || fs == gs {
+                    } else if fs == SegId::STAR || fs == gs {
                         go(&f[1..], &g[1..])
                     } else {
                         false
@@ -182,9 +235,29 @@ impl TopicFilter {
                 }
             }
         }
-        let f: Vec<&str> = self.raw.split('/').collect();
-        let g: Vec<&str> = other.raw.split('/').collect();
-        go(&f, &g)
+        go(self.segs.as_slice(), other.segs.as_slice())
+    }
+}
+
+impl PartialEq for TopicFilter {
+    fn eq(&self, other: &TopicFilter) -> bool {
+        self.raw == other.raw
+    }
+}
+impl Eq for TopicFilter {}
+impl PartialOrd for TopicFilter {
+    fn partial_cmp(&self, other: &TopicFilter) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TopicFilter {
+    fn cmp(&self, other: &TopicFilter) -> std::cmp::Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+impl std::hash::Hash for TopicFilter {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
     }
 }
 
@@ -194,22 +267,12 @@ impl fmt::Display for TopicFilter {
     }
 }
 
-fn validate_segments(s: &str) -> Result<(), TopicError> {
-    if s.is_empty() {
-        return Err(TopicError::EmptySegment);
-    }
-    if s.split('/').any(str::is_empty) {
-        return Err(TopicError::EmptySegment);
-    }
-    Ok(())
-}
-
 impl Wire for Topic {
     fn encode(&self, w: &mut WireWriter) {
         w.put_str(&self.raw);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Topic::parse(&r.get_str()?).map_err(|_| WireError::Invalid("topic"))
+        Topic::parse_owned(r.get_str()?).map_err(|_| WireError::Invalid("topic"))
     }
 }
 
@@ -218,13 +281,14 @@ impl Wire for TopicFilter {
         w.put_str(&self.raw);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        TopicFilter::parse(&r.get_str()?).map_err(|_| WireError::Invalid("topic filter"))
+        TopicFilter::parse_owned(r.get_str()?).map_err(|_| WireError::Invalid("topic filter"))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::MAX_TOPIC_DEPTH;
 
     fn t(s: &str) -> Topic {
         Topic::parse(s).unwrap()
@@ -310,6 +374,45 @@ mod tests {
         let mut w = WireWriter::new();
         w.put_str("a//b");
         assert!(matches!(Topic::from_bytes(&w.finish()), Err(WireError::Invalid("topic"))));
+    }
+
+    #[test]
+    fn wire_decode_rejects_over_deep_topics() {
+        use crate::codec::WireWriter;
+        // A hostile frame with one segment over the depth cap must be a
+        // decode error for both topics and filters…
+        let deep = vec!["s"; MAX_TOPIC_DEPTH + 1].join("/");
+        let mut w = WireWriter::new();
+        w.put_str(&deep);
+        let bytes = w.finish();
+        assert!(matches!(Topic::from_bytes(&bytes), Err(WireError::Invalid("topic"))));
+        assert!(matches!(
+            TopicFilter::from_bytes(&bytes),
+            Err(WireError::Invalid("topic filter"))
+        ));
+        assert_eq!(Topic::parse(&deep), Err(TopicError::TooDeep));
+        // …while exactly the cap is legal.
+        let at_cap = vec!["s"; MAX_TOPIC_DEPTH].join("/");
+        let topic = Topic::parse(&at_cap).unwrap();
+        assert_eq!(topic.depth(), MAX_TOPIC_DEPTH);
+        assert_eq!(Topic::from_bytes(&topic.to_bytes()).unwrap(), topic);
+    }
+
+    #[test]
+    fn seg_ids_align_with_segments() {
+        let topic = t("Services/BrokerDiscoveryNodes/BrokerAdvertisement");
+        assert_eq!(topic.depth(), 3);
+        assert_eq!(topic.seg_ids().len(), 3);
+        assert!(topic.seg_ids().iter().all(|s| !s.is_wildcard()));
+        // Shared segments intern to the same ids across values.
+        let other = t("Services/BrokerDiscoveryNodes/DiscoveryRequest");
+        assert_eq!(topic.seg_ids()[..2], other.seg_ids()[..2]);
+        assert_ne!(topic.seg_ids()[2], other.seg_ids()[2]);
+        // Filters share the same table; sentinel wildcards are distinct.
+        let filter = f("Services/*/BrokerAdvertisement");
+        assert_eq!(filter.seg_ids()[0], topic.seg_ids()[0]);
+        assert_eq!(filter.seg_ids()[1], crate::intern::SegId::STAR);
+        assert_eq!(filter.seg_ids()[2], topic.seg_ids()[2]);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 #   tools/bench.sh lint             # nb-lint static analysis (D001–D006),
 #                                   # writes LINT_report.json; exit 1 on
 #                                   # new findings
+#   tools/bench.sh routing          # routing micro-suite (trie+memo vs
+#                                   # linear oracle), writes
+#                                   # BENCH_routing.json; exit 1 unless
+#                                   # trie ≥ 3x / memo ≥ 10x at 1e4 filters
 #
 # All other flags are forwarded to `repro bench`. The parallel speedup
 # is bounded by visible cores (recorded in the JSON as "cores");
@@ -39,6 +43,17 @@ if [[ "${1:-}" == "lint" ]]; then
     # fast dev path (debug build, no release compile).
     cargo build --release -p nb-bench
     ./target/release/repro lint --lint-json LINT_report.json "$@"
+    exit 0
+fi
+
+if [[ "${1:-}" == "routing" ]]; then
+    shift
+    # Subscription-matching gate: the segment-id trie must beat the
+    # pre-trie linear scan ≥ 3x cold (and ≥ 10x memo-warm) at 1e4
+    # filters, pinned seed so reruns measure the same population.
+    cargo build --release -p nb-bench
+    ./target/release/repro routing --seed 11 --min-speedup 3 \
+        --routing-json BENCH_routing.json "$@"
     exit 0
 fi
 
