@@ -18,18 +18,29 @@
 //!                           # restart + randomized scenarios), writes CHAOS_campaign.json
 //!                           # (see --scenarios/--chaos-json); exit 1 if any invariant fails
 //! repro lint                # nb-lint static analysis (determinism + protocol-safety
-//!                           # rules D001–D006), writes LINT_report.json (see --lint-json);
+//!                           # rules D001–D007), writes LINT_report.json (see --lint-json);
 //!                           # exit 1 on new findings
 //! repro routing             # routing micro-bench: trie+memo vs linear-scan oracle at
 //!                           # 1e3/1e4/1e5 filters, writes BENCH_routing.json (see
 //!                           # --routing-json); with --min-speedup X, exit 1 unless the
 //!                           # trie is ≥ Xx (and memo-warm ≥ 10x) at 1e4 filters
+//! repro codec               # codec micro-bench: header peek vs full decode, byte
+//!                           # forwarding vs re-encode, allocations per fan-out delivery,
+//!                           # writes BENCH_codec.json (see --codec-json); with
+//!                           # --min-peek-speedup / --min-forward-speedup, exit 1 when
+//!                           # the zero-copy path falls below either gate
 //! repro all --runs 30 --seed 7    # faster smoke reproduction
 //! repro all --csv out/            # also write machine-readable CSVs
 //! ```
 
 use nb_bench::*;
 use nb_broker::TopologyKind;
+
+/// Counts allocations so `repro codec` can report allocations per
+/// delivered copy. Library tests run without it (their per-delivery
+/// numbers read 0 and are flagged `alloc_counting: false`).
+#[global_allocator]
+static ALLOC: nb_bench::codec::CountingAlloc = nb_bench::codec::CountingAlloc;
 
 struct Args {
     cmd: String,
@@ -43,6 +54,9 @@ struct Args {
     lint_json: std::path::PathBuf,
     routing_json: std::path::PathBuf,
     min_speedup: Option<f64>,
+    codec_json: std::path::PathBuf,
+    min_peek_speedup: Option<f64>,
+    min_forward_speedup: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +72,9 @@ fn parse_args() -> Args {
         lint_json: std::path::PathBuf::from("LINT_report.json"),
         routing_json: std::path::PathBuf::from("BENCH_routing.json"),
         min_speedup: None,
+        codec_json: std::path::PathBuf::from("BENCH_codec.json"),
+        min_peek_speedup: None,
+        min_forward_speedup: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -123,6 +140,28 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 };
                 args.routing_json = std::path::PathBuf::from(path);
+            }
+            "--codec-json" => {
+                i += 1;
+                let Some(path) = argv.get(i) else {
+                    eprintln!("--codec-json needs a path");
+                    std::process::exit(2);
+                };
+                args.codec_json = std::path::PathBuf::from(path);
+            }
+            "--min-peek-speedup" => {
+                i += 1;
+                args.min_peek_speedup = argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
+                    eprintln!("--min-peek-speedup needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--min-forward-speedup" => {
+                i += 1;
+                args.min_forward_speedup = argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
+                    eprintln!("--min-forward-speedup needs a number");
+                    std::process::exit(2);
+                });
             }
             "--min-speedup" => {
                 i += 1;
@@ -495,9 +534,16 @@ fn run(cmd: &str, runs: usize, seed: u64, csv: &Option<std::path::PathBuf>) {
 fn run_bench_cmd(args: &Args) {
     let report = nb_bench::report::run_bench(args.seed, args.runs, args.threads);
     println!(
-        "=== Perf baseline: figure suite, {} runs per figure, seed {}, {} workers ===",
-        report.runs, report.seed, report.workers
+        "=== Perf baseline: figure suite, {} runs per figure, seed {}, {} workers, \
+         {} mode ===",
+        report.runs, report.seed, report.workers, report.mode
     );
+    if report.mode == "serial-fallback" {
+        println!(
+            "note: 1 worker — the parallel column reuses the serial path, so a ~1.00x \
+             speedup here is expected, not a regression"
+        );
+    }
     println!(
         "{:<28} {:>10} {:>12} {:>12} {:>8}",
         "figure", "events", "serial ms", "parallel ms", "speedup"
@@ -592,6 +638,67 @@ fn run_routing_cmd(args: &Args) {
     }
 }
 
+/// `repro codec`: the wire-path micro-suite (header peek vs full
+/// decode, byte forwarding vs re-encode, allocations per fan-out
+/// delivery) behind `BENCH_codec.json`. With `--min-peek-speedup` /
+/// `--min-forward-speedup`, exits 1 when the zero-copy path falls below
+/// either gate.
+fn run_codec_cmd(args: &Args) {
+    use nb_bench::codec::{run_codec_bench, CodecReport, FAN_OUT};
+    let report: CodecReport = run_codec_bench(args.seed);
+    println!(
+        "=== Codec micro-bench: zero-copy wire path vs full-decode oracle, \
+         {} frames, seed {} ===",
+        report.frames, report.seed
+    );
+    println!(
+        "{:<26} {:>14} {:>14} {:>8}",
+        "path", "zero-copy", "oracle", "speedup"
+    );
+    println!(
+        "{:<26} {:>11.1} ns {:>11.1} ns {:>7.1}x",
+        "header peek vs decode",
+        report.peek_ns_per_frame,
+        report.decode_ns_per_frame,
+        report.peek_speedup()
+    );
+    println!(
+        "{:<26} {:>11.1} ns {:>11.1} ns {:>7.1}x",
+        "forward vs re-encode",
+        report.forward_ns_per_hop,
+        report.reencode_ns_per_hop,
+        report.forward_speedup()
+    );
+    if report.alloc_counting {
+        println!(
+            "allocations per delivery ({FAN_OUT}-way fan-out): {:.2} encode-once, \
+             {:.2} re-encode per recipient",
+            report.allocs_per_delivery_forward, report.allocs_per_delivery_reencode
+        );
+    } else {
+        println!("allocations per delivery: counting allocator not installed, skipped");
+    }
+    if let Err(e) = std::fs::write(&args.codec_json, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.codec_json.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", args.codec_json.display());
+    if args.min_peek_speedup.is_some() || args.min_forward_speedup.is_some() {
+        let min_peek = args.min_peek_speedup.unwrap_or(0.0);
+        let min_forward = args.min_forward_speedup.unwrap_or(0.0);
+        println!(
+            "gate: peek {:.1}x (need {min_peek:.1}x), forward {:.1}x (need {min_forward:.1}x)",
+            report.peek_speedup(),
+            report.forward_speedup()
+        );
+        if report.peek_speedup() < min_peek || report.forward_speedup() < min_forward {
+            eprintln!("codec speedup gate FAILED");
+            std::process::exit(1);
+        }
+        println!("codec speedup gate passed");
+    }
+}
+
 /// `repro chaos`: runs the seeded fault-injection campaign and writes
 /// the deterministic JSON report. Exits 1 when an invariant fails.
 fn run_chaos_cmd(args: &Args) {
@@ -672,6 +779,10 @@ fn main() {
     }
     if args.cmd == "routing" {
         run_routing_cmd(&args);
+        return;
+    }
+    if args.cmd == "codec" {
+        run_codec_cmd(&args);
         return;
     }
     if args.cmd == "lint" {

@@ -8,6 +8,7 @@
 //! standard deviation, maximum, minimum, error).
 
 pub mod chaos;
+pub mod codec;
 pub mod hotpath;
 pub mod parallel;
 pub mod report;

@@ -11,9 +11,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
+use bytes::Bytes;
 use nb_util::{BoundedDedup, Uuid};
 use nb_wire::addr::well_known;
-use nb_wire::{Endpoint, Event, Message, NodeId, Topic, TopicFilter};
+use nb_wire::{Endpoint, Event, Message, NodeId, Topic, TopicFilter, WireMsg};
 
 use nb_net::{impl_actor_any, Actor, Context, Incoming, SimTime};
 
@@ -238,11 +239,11 @@ impl Broker {
     pub fn publish_local(
         &mut self,
         topic: Topic,
-        payload: Vec<u8>,
+        payload: impl Into<Bytes>,
         ctx: &mut dyn Context,
     ) -> Vec<Event> {
         let id = Uuid::random(ctx.rng());
-        let ev = Event { id, topic, source: ctx.me(), payload };
+        let ev = Event { id, topic, source: ctx.me(), payload: payload.into() };
         self.route_event(ev, None, ctx)
     }
 
@@ -264,13 +265,28 @@ impl Broker {
     fn handle_stream(
         &mut self,
         from: Endpoint,
-        msg: Message,
+        msg: WireMsg,
         ctx: &mut dyn Context,
     ) -> Vec<Event> {
         if let Some(link) = self.links.get_mut(&from.node) {
             link.last_heard = ctx.now();
         }
-        match msg {
+        // Peek-dedup fast path (paper §4's last-1000 cache): a `Publish`
+        // frame carries its event UUID at a fixed header offset, so a
+        // duplicate is recognised and dropped from the header alone —
+        // no traversal of the decoded event, no per-field work. A fresh
+        // event continues into `route_deduped`, which must NOT insert
+        // into the cache again.
+        let header = msg.peek();
+        if header.is_publish() {
+            let id = header.uuid.expect("publish frames carry an event id");
+            if !self.event_dedup.check_and_insert(id) {
+                self.duplicates_suppressed += 1;
+                return Vec::new();
+            }
+            return self.route_deduped(msg, Some(from.node), ctx);
+        }
+        match msg.into_message() {
             Message::LinkHello { from: peer, .. } => {
                 let accept = Message::LinkAccept { from: ctx.me(), realm: ctx.realm() };
                 ctx.send_stream(well_known::BROKER, Endpoint::new(peer, well_known::BROKER), &accept);
@@ -329,10 +345,6 @@ impl Broker {
                         self.interest_lost(filter, None, ctx);
                     }
                 }
-            Message::Publish(ev) => {
-                let source = from.node;
-                return self.route_event(ev, Some(source), ctx);
-            }
             _ => {}
         }
         Vec::new()
@@ -450,6 +462,8 @@ impl Broker {
         self.cfg.flood_topics.iter().any(|f| f.matches(topic))
     }
 
+    /// Routes a locally originated event: dedup-inserts its UUID, then
+    /// hands off to the shared zero-copy dispatch.
     fn route_event(
         &mut self,
         ev: Event,
@@ -460,13 +474,33 @@ impl Broker {
             self.duplicates_suppressed += 1;
             return Vec::new();
         }
+        self.route_deduped(WireMsg::new(Message::Publish(ev)), source, ctx)
+    }
+
+    /// Dispatches an event already admitted past the duplicate cache.
+    /// The frame is encoded (at most) once: local client deliveries
+    /// reuse `msg`'s handle verbatim, and every link forward shares one
+    /// hop-bumped copy whose body bytes are the original frame's — only
+    /// the 4-byte prelude is re-stamped.
+    fn route_deduped(
+        &mut self,
+        msg: WireMsg,
+        source: Option<NodeId>,
+        ctx: &mut dyn Context,
+    ) -> Vec<Event> {
         self.events_routed += 1;
         self.meter.record_message(ctx.now());
 
+        let Message::Publish(ev) = msg.message() else {
+            return Vec::new();
+        };
         let flood = self.is_flood_topic(&ev.topic);
         // One memoized trie lookup; the shared set detaches the borrow on
         // `subs` so dispatch below can consult clients/links freely.
         let matched = self.subs.matches(&ev.topic);
+        // `None` when the TTL is spent: local deliveries still happen
+        // (they are terminal), link forwards stop.
+        let fwd = msg.forward_hop();
         // Local clients whose filters match always get a copy.
         for &dest in matched.iter() {
             match dest {
@@ -475,7 +509,7 @@ impl Broker {
                         continue;
                     }
                     if let Some(client) = self.clients.get(&c) {
-                        ctx.send_stream(well_known::BROKER, client.endpoint, &Message::Publish(ev.clone()));
+                        ctx.send_stream_wire(well_known::BROKER, client.endpoint, &msg);
                     }
                 }
                 Destination::Link(l) => {
@@ -485,21 +519,26 @@ impl Broker {
                     if Some(l) == source {
                         continue;
                     }
-                    if let Some(link) = self.links.get(&l) {
+                    if let (Some(link), Some(fwd)) = (self.links.get(&l), fwd.as_ref()) {
                         if link.established {
-                            ctx.send_stream(well_known::BROKER, link.endpoint, &Message::Publish(ev.clone()));
+                            ctx.send_stream_wire(well_known::BROKER, link.endpoint, fwd);
                         }
                     }
                 }
             }
         }
         if flood {
-            for (&peer, link) in &self.links {
-                if !link.established || Some(peer) == source {
-                    continue;
+            if let Some(fwd) = fwd.as_ref() {
+                for (&peer, link) in &self.links {
+                    if !link.established || Some(peer) == source {
+                        continue;
+                    }
+                    ctx.send_stream_wire(well_known::BROKER, link.endpoint, fwd);
                 }
-                ctx.send_stream(well_known::BROKER, link.endpoint, &Message::Publish(ev.clone()));
             }
+            let Message::Publish(ev) = msg.into_message() else {
+                unreachable!("checked above");
+            };
             return vec![ev];
         }
         Vec::new()
@@ -656,7 +695,7 @@ mod tests {
         let s = sim.actor::<PubSubClient>(subscriber).unwrap();
         assert_eq!(s.received.len(), 1, "only the matching event arrives");
         assert_eq!(s.received[0].topic.as_str(), "sports/nba");
-        assert_eq!(s.received[0].payload, b"42");
+        assert_eq!(&s.received[0].payload[..], b"42");
     }
 
     #[test]

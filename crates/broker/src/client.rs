@@ -74,7 +74,8 @@ impl PubSubClient {
 
     fn flush(&mut self, ctx: &mut dyn Context) {
         while let Some((topic, payload)) = self.outbox.pop_front() {
-            let ev = Event { id: Uuid::random(ctx.rng()), topic, source: ctx.me(), payload };
+            let ev =
+                Event { id: Uuid::random(ctx.rng()), topic, source: ctx.me(), payload: payload.into() };
             ctx.send_stream(well_known::BROKER, self.broker_endpoint(), &Message::Publish(ev));
             self.published += 1;
         }
@@ -89,7 +90,7 @@ impl Actor for PubSubClient {
 
     fn on_incoming(&mut self, event: Incoming, ctx: &mut dyn Context) {
         match event {
-            Incoming::Stream { msg, .. } => match msg {
+            Incoming::Stream { msg, .. } => match msg.into_message() {
                 Message::ClientConnectAck { accepted, .. } => {
                     self.awaiting_ack = false;
                     if accepted && !self.connected {

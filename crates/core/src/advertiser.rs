@@ -104,7 +104,7 @@ impl Advertiser {
         }
         if self.use_topic {
             let topic = Topic::parse(BROKER_ADVERTISEMENT_TOPIC).expect("well-known topic");
-            let payload = Message::Advertisement(ad).to_bytes().to_vec();
+            let payload = Message::Advertisement(ad).to_bytes();
             let _ = broker.publish_local(topic, payload, ctx);
             self.ads_sent += 1;
         }

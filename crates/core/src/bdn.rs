@@ -22,6 +22,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Duration;
 
+use bytes::Bytes;
 use nb_util::{BoundedDedup, Uuid};
 use nb_wire::addr::well_known;
 use nb_wire::topic::{BDN_ADVERTISEMENT_TOPIC, BROKER_ADVERTISEMENT_TOPIC, DISCOVERY_REQUEST_TOPIC};
@@ -157,8 +158,10 @@ pub struct Bdn {
     flood_topic: Topic,
     ad_filter: TopicFilter,
     bdn_ad_topic: Topic,
-    /// Injections queued behind the per-send processing delay.
-    inject_queue: VecDeque<(NodeId, DiscoveryRequest)>,
+    /// Injections queued behind the per-send processing delay. The
+    /// request body is encoded once when the queue is filled; each
+    /// queued entry shares the same payload bytes.
+    inject_queue: VecDeque<(NodeId, Bytes)>,
     inject_timer_armed: bool,
     /// Requests accepted for dissemination.
     pub requests_handled: u64,
@@ -324,8 +327,11 @@ impl Bdn {
                 None => targets.push((b, None)),
             }
         }
+        // Encode the flooded request body once; every queued injection
+        // (closest, farthest, the rest) shares the same bytes.
+        let payload = Message::Discovery(req).to_bytes();
         for target in injection_order(&targets) {
-            self.inject_queue.push_back((target, req.clone()));
+            self.inject_queue.push_back((target, payload.clone()));
         }
         self.pump_injections(ctx);
     }
@@ -336,14 +342,14 @@ impl Bdn {
         if self.inject_timer_armed {
             return;
         }
-        let Some((target, req)) = self.inject_queue.pop_front() else {
+        let Some((target, payload)) = self.inject_queue.pop_front() else {
             return;
         };
         let event = Event {
             id: Uuid::random(ctx.rng()),
             topic: self.flood_topic.clone(),
             source: ctx.me(),
-            payload: Message::Discovery(req).to_bytes().to_vec(),
+            payload,
         };
         ctx.send_stream(
             well_known::BDN,
@@ -378,7 +384,7 @@ impl Actor for Bdn {
                 self.inject_timer_armed = false;
                 self.pump_injections(ctx);
             }
-            Incoming::Datagram { msg, .. } | Incoming::Stream { msg, .. } => match msg {
+            Incoming::Datagram { msg, .. } | Incoming::Stream { msg, .. } => match msg.into_message() {
                 Message::Advertisement(ad) => self.register_ad(ad, ctx),
                 Message::Discovery(req) => self.on_discovery_request(req, ctx),
                 Message::Secure(env) => {
@@ -429,7 +435,7 @@ impl Actor for Bdn {
                                 id: Uuid::random(ctx.rng()),
                                 topic,
                                 source: ctx.me(),
-                                payload: announce.to_bytes().to_vec(),
+                                payload: announce.to_bytes(),
                             };
                             ctx.send_stream(
                                 well_known::BDN,
@@ -444,7 +450,7 @@ impl Actor for Bdn {
                     if ev.topic.as_str() == BROKER_ADVERTISEMENT_TOPIC => {
                         // Malformed payloads on the advertisement topic
                         // are counted, never panicked on (lint D004).
-                        match Message::from_bytes(&ev.payload) {
+                        match Message::from_shared(&ev.payload) {
                             Ok(Message::Advertisement(ad)) => self.register_ad(ad, ctx),
                             _ => self.malformed_messages += 1,
                         }

@@ -48,11 +48,17 @@ impl DiscoveryBrokerActor {
     fn process_surfaced(&mut self, events: Vec<Event>, ctx: &mut dyn Context) {
         for ev in events {
             if ev.topic.as_str() == DISCOVERY_REQUEST_TOPIC {
+                // Peek gate: an already-handled request is dropped on its
+                // header UUID, skipping the full payload decode.
+                if self.responder.suppress_flooded(&ev.payload) {
+                    continue;
+                }
                 if let Some(req) = Responder::decode_flooded_request(&ev.payload) {
                     self.responder.on_request(req, &mut self.broker, ctx);
                 }
             } else if ev.topic.as_str() == BDN_ADVERTISEMENT_TOPIC {
-                if let Ok(Message::BdnAdvertisement { bdn, .. }) = Message::from_bytes(&ev.payload)
+                if let Ok(Message::BdnAdvertisement { bdn, .. }) =
+                    Message::from_shared(&ev.payload)
                 {
                     self.advertiser.on_bdn_advertisement(bdn, &mut self.broker, ctx);
                 }
@@ -64,7 +70,7 @@ impl DiscoveryBrokerActor {
     /// (used by BDNs co-located with a broker, and in tests).
     pub fn inject_request(&mut self, req: nb_wire::DiscoveryRequest, ctx: &mut dyn Context) {
         let topic = Topic::parse(DISCOVERY_REQUEST_TOPIC).expect("well-known topic");
-        let payload = Message::Discovery(req).to_bytes().to_vec();
+        let payload = Message::Discovery(req).to_bytes();
         let surfaced = self.broker.publish_local(topic, payload, ctx);
         self.process_surfaced(surfaced, ctx);
     }

@@ -676,7 +676,7 @@ impl Actor for DiscoveryClient {
                     }
                 _ => {}
             },
-            Incoming::Datagram { msg, .. } => match msg {
+            Incoming::Datagram { msg, .. } => match msg.into_message() {
                 Message::DiscoveryAck { request_id, bdn } => {
                     let current = self.request.as_ref().map(|r| r.request_id);
                     if self.phase == Phase::AwaitingAck && Some(request_id) == current {
@@ -688,7 +688,7 @@ impl Actor for DiscoveryClient {
                 Message::Pong { nonce, .. } => self.on_pong(nonce, ctx),
                 _ => {}
             },
-            Incoming::Stream { msg, .. } => match msg {
+            Incoming::Stream { msg, .. } => match msg.into_message() {
                 Message::ClientConnectAck { broker, accepted } => {
                     self.on_connect_ack(broker, accepted, ctx);
                 }
@@ -833,7 +833,7 @@ mod state_machine_tests {
         Incoming::Datagram {
             from: Endpoint::new(NodeId(100), well_known::BDN),
             to_port: well_known::DISCOVERY_REPLY,
-            msg,
+            msg: msg.into(),
         }
     }
 
@@ -898,7 +898,7 @@ mod state_machine_tests {
             Incoming::Stream {
                 from: Endpoint::new(NodeId(1), well_known::BROKER),
                 to_port: well_known::BROKER,
-                msg: Message::ClientConnectAck { broker: NodeId(1), accepted: true },
+                msg: Message::ClientConnectAck { broker: NodeId(1), accepted: true }.into(),
             },
             &mut ctx,
         );
@@ -1039,7 +1039,7 @@ mod state_machine_tests {
             Incoming::Stream {
                 from: Endpoint::new(first, well_known::BROKER),
                 to_port: well_known::BROKER,
-                msg: Message::ClientConnectAck { broker: first, accepted: false },
+                msg: Message::ClientConnectAck { broker: first, accepted: false }.into(),
             },
             &mut ctx,
         );

@@ -187,7 +187,8 @@ impl Entity {
             return;
         };
         while let Some((topic, payload)) = self.outbox.pop_front() {
-            let ev = Event { id: Uuid::random(ctx.rng()), topic, source: ctx.me(), payload };
+            let ev =
+                Event { id: Uuid::random(ctx.rng()), topic, source: ctx.me(), payload: payload.into() };
             ctx.send_stream(well_known::BROKER, ep, &Message::Publish(ev));
             self.published += 1;
         }
@@ -286,23 +287,26 @@ impl Actor for Entity {
                 self.check_discovery_progress(ctx);
                 return;
             }
-            Incoming::Stream { msg: Message::Publish(ev), .. } => {
-                if self.dedup.check_and_insert(ev.id) {
-                    self.received.push(ev.clone());
-                } else {
-                    self.duplicates_dropped += 1;
+            Incoming::Stream { msg, .. } => {
+                if let Message::Publish(ev) = msg.message() {
+                    if self.dedup.check_and_insert(ev.id) {
+                        self.received.push(ev.clone());
+                    } else {
+                        self.duplicates_dropped += 1;
+                    }
+                    self.last_heard = ctx.now();
+                    self.missed = 0;
+                    return;
                 }
-                self.last_heard = ctx.now();
-                self.missed = 0;
-                return;
             }
-            Incoming::Datagram { msg: Message::Pong { nonce, .. }, .. }
-                if self.ping_nonces.contains_key(nonce) =>
-            {
-                self.ping_nonces.remove(nonce);
-                self.last_heard = ctx.now();
-                self.missed = 0;
-                return;
+            Incoming::Datagram { msg, .. } => {
+                if let Message::Pong { nonce, .. } = msg.message() {
+                    if self.ping_nonces.remove(nonce).is_some() {
+                        self.last_heard = ctx.now();
+                        self.missed = 0;
+                        return;
+                    }
+                }
             }
             _ => {}
         }

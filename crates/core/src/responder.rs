@@ -107,21 +107,40 @@ impl Responder {
         let Incoming::Datagram { to_port, msg, .. } = event else {
             return false;
         };
-        match (to_port, msg) {
-            (&p, Message::Ping { nonce, sent_at, reply_to }) if p == well_known::PING => {
+        match (*to_port, msg.message()) {
+            (p, &Message::Ping { nonce, sent_at, reply_to }) if p == well_known::PING => {
                 self.pings_answered += 1;
-                let pong =
-                    Message::Pong { nonce: *nonce, echoed_sent_at: *sent_at, responder: ctx.me() };
-                ctx.send_udp(well_known::PING, *reply_to, &pong);
+                let pong = Message::Pong { nonce, echoed_sent_at: sent_at, responder: ctx.me() };
+                ctx.send_udp(well_known::PING, reply_to, &pong);
                 true
             }
-            (&p, Message::Discovery(req)) if p == well_known::MULTICAST_DISCOVERY => {
+            (p, Message::Discovery(req)) if p == well_known::MULTICAST_DISCOVERY => {
                 // Multicast path: answer, then propagate through the
                 // overlay on the predefined topic (paper §7).
                 let req = req.clone();
                 self.reflood(&req, broker, ctx);
                 self.on_request(req, broker, ctx);
                 true
+            }
+            _ => false,
+        }
+    }
+
+    /// Header-peek gate for surfaced flood events (the zero-copy dedup
+    /// fast path): reads the nested request's UUID at its fixed body
+    /// offset and suppresses the event — without decoding the request —
+    /// when it was already handled. State-equivalent to the full-decode
+    /// path: `check_and_insert` on a present key does not mutate the
+    /// cache, so `contains` plus early-out leaves identical dedup state
+    /// and the same suppression count.
+    pub fn suppress_flooded(&mut self, event_payload: &[u8]) -> bool {
+        match nb_wire::frame::peek_body(event_payload) {
+            Ok(h) if h.is_discovery() => {
+                let dup = h.uuid.is_some_and(|id| self.dedup.contains(&id));
+                if dup {
+                    self.duplicates_suppressed += 1;
+                }
+                dup
             }
             _ => false,
         }
@@ -134,7 +153,7 @@ impl Responder {
             return;
         }
         let topic = self.flood_topic.clone();
-        let payload = Message::Discovery(req.clone()).to_bytes().to_vec();
+        let payload = Message::Discovery(req.clone()).to_bytes();
         // Flood-topic events surface back to the owning actor, which
         // routes them to `on_request`; dedup keeps us idempotent.
         let _ = broker.publish_local(topic, payload, ctx);
@@ -336,7 +355,8 @@ mod tests {
                     nonce: 44,
                     sent_at: 9_000,
                     reply_to: Endpoint::new(NodeId(9), well_known::PING),
-                },
+                }
+                .into(),
             },
             &mut broker,
             &mut ctx,
@@ -361,7 +381,7 @@ mod tests {
             &Incoming::Datagram {
                 from: Endpoint::new(NodeId(9), well_known::MULTICAST_DISCOVERY),
                 to_port: well_known::MULTICAST_DISCOVERY,
-                msg: Message::Discovery(request(3)),
+                msg: Message::Discovery(request(3)).into(),
             },
             &mut broker,
             &mut ctx,
@@ -382,7 +402,7 @@ mod tests {
             &Incoming::Datagram {
                 from: Endpoint::new(NodeId(1), Port(9)),
                 to_port: Port(9),
-                msg: Message::Heartbeat { from: NodeId(1), seq: 0 },
+                msg: Message::Heartbeat { from: NodeId(1), seq: 0 }.into(),
             },
             &mut broker,
             &mut ctx,

@@ -10,6 +10,7 @@
 //! | D004 | core receive paths    | no `unwrap()`/`expect()`/index/`panic!`        |
 //! | D005 | deterministic zones   | no float folds over hash-ordered iteration     |
 //! | D006 | all but wall-clock    | seeded `pub fn`s read no ambient state         |
+//! | D007 | wire receive crates   | no decode-for-one-field, no `Bytes.to_vec()`   |
 //! | L001 | everywhere scanned    | suppressions must carry a justification        |
 
 use crate::lexer::{lex, LineComment, Tok, TokKind};
@@ -82,6 +83,16 @@ pub fn is_protocol_handler_zone(path: &str) -> bool {
     )
 }
 
+/// Wire receive crates: everything that takes frames off the (simulated
+/// or real) network. The zero-copy path (DESIGN.md §12) makes full
+/// decodes and defensive byte copies avoidable here, so D007 flags the
+/// two regressions that would quietly reintroduce them.
+pub fn is_wire_receive_zone(path: &str) -> bool {
+    path.starts_with("crates/broker/src/")
+        || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/net/src/")
+}
+
 /// Whether a whole file is test code (integration-test trees).
 fn is_test_file(path: &str) -> bool {
     path.starts_with("tests/") || path.contains("/tests/")
@@ -124,6 +135,7 @@ pub fn scan_file(path: &str, src: &str) -> FileScan {
     s.rule_d003();
     s.rule_d004();
     s.rule_d006();
+    s.rule_d007();
     let (allows, mut directive_findings) = parse_allows(path, &s.comments, &s.toks, &s.lines);
     s.findings.append(&mut directive_findings);
     s.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -676,6 +688,104 @@ impl<'a> Scanner<'a> {
                 );
             }
             i = params_end;
+        }
+    }
+
+    /// Skips the narrowing bridge after a decode call: `?`, tuple
+    /// indices, and `.unwrap()`/`.expect(..)`/`.ok()` all still carry
+    /// the whole decoded message forward. Returns the index of the
+    /// first token that consumes the result.
+    fn skip_result_bridge(&self, mut j: usize) -> usize {
+        loop {
+            if self.punct(j, '?') {
+                j += 1;
+                continue;
+            }
+            if self.punct(j, '.') {
+                if let Some(next) = self.toks.get(j + 1) {
+                    if next.kind == TokKind::Num {
+                        // Tuple access, e.g. `decode_framed(&f)?.1`.
+                        j += 2;
+                        continue;
+                    }
+                    if matches!(next.text.as_str(), "unwrap" | "expect" | "ok")
+                        && self.punct(j + 2, '(')
+                    {
+                        j = self.skip_balanced(j + 2, '(', ')');
+                        continue;
+                    }
+                }
+            }
+            return j;
+        }
+    }
+
+    // D007: wire-path hygiene in the receive crates (DESIGN.md §12).
+    fn rule_d007(&mut self) {
+        if !is_wire_receive_zone(self.path) {
+            return;
+        }
+        /// Field names that are `Bytes` on the wire structs: copying
+        /// them out defeats the zero-copy payload path.
+        const BYTES_FIELDS: [&str; 6] =
+            ["payload", "ciphertext", "signature", "frame", "body", "bytes"];
+        for i in 0..self.toks.len() {
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let line = t.line;
+            if self.in_test(line) {
+                continue;
+            }
+            let is_to_vec = t.text == "to_vec";
+            // (a) Full decode immediately narrowed to a single id/kind
+            // read: `Message::from_bytes(&b)?.kind()` and friends parse
+            // every field just to look at one — `frame::peek` reads it
+            // at a fixed offset instead.
+            let is_decode_call = (matches!(t.text.as_str(), "from_bytes" | "from_shared")
+                && i >= 3
+                && self.ident(i - 3, "Message")
+                && self.punct(i - 2, ':')
+                && self.punct(i - 1, ':'))
+                || t.text == "decode_framed";
+            if is_decode_call && self.punct(i + 1, '(') {
+                let after = self.skip_result_bridge(self.skip_balanced(i + 1, '(', ')'));
+                if self.punct(after, '.')
+                    && (self.ident(after + 1, "id") || self.ident(after + 1, "kind"))
+                {
+                    let field =
+                        self.toks.get(after + 1).map(|t| t.text.clone()).unwrap_or_default();
+                    self.emit(
+                        "D007",
+                        line,
+                        format!(
+                            "full decode read only for `.{field}`: peek the frame header \
+                             (`nb_wire::frame::peek`) instead of decoding the body"
+                        ),
+                    );
+                }
+            }
+            // (b) Copying a Bytes payload field back into a Vec: the
+            // receive path hands out refcounted slices precisely so this
+            // copy never happens per delivery.
+            if is_to_vec && i > 0 && self.punct(i - 1, '.') && self.punct(i + 1, '(') {
+                let chain = self.receiver_chain(i - 1);
+                if let Some(name) = chain
+                    .iter()
+                    .find(|n| BYTES_FIELDS.contains(&n.to_lowercase().as_str()))
+                    .map(|n| n.to_string())
+                {
+                    self.emit(
+                        "D007",
+                        line,
+                        format!(
+                            "`{name}.to_vec()` copies a refcounted `Bytes` payload; clone \
+                             the handle (or slice it) instead"
+                        ),
+                    );
+                }
+            }
         }
     }
 }

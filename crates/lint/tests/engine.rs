@@ -206,6 +206,48 @@ fn d006_seeded_pub_fn_purity() {
 }
 
 #[test]
+fn d007_decode_for_one_field_and_bytes_copies() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/broker/src/broker.rs",
+        concat!(
+            "pub fn on_frame(buf: &[u8]) -> bool {\n",
+            "    let dup = Message::from_bytes(buf).unwrap().id;\n",
+            "    let _kind = decode_framed(&frame)?.1.kind();\n",
+            "    let copy = ev.payload.to_vec();\n",
+            "    let _ = (dup, copy);\n",
+            "    false\n",
+            "}\n",
+            "pub fn full_use(buf: &[u8]) {\n",
+            "    // Decoding for the whole message is fine.\n",
+            "    let msg = Message::from_bytes(buf).unwrap();\n",
+            "    route(msg);\n",
+            "    // And copying a non-payload slice is fine.\n",
+            "    let _t = token.to_vec();\n",
+            "}\n",
+        ),
+    );
+    let report = fx.run();
+    assert_eq!(rules(&report), vec!["D007", "D007", "D007"]);
+}
+
+#[test]
+fn d007_only_fires_in_wire_receive_crates() {
+    let fx = Fixture::new();
+    // Same patterns outside broker/core/net: not D007's business.
+    fx.write(
+        "crates/security/src/envelope.rs",
+        "pub fn peek(buf: &[u8]) -> u8 { Message::from_bytes(buf).unwrap().kind() }\n",
+    );
+    fx.write(
+        "crates/services/src/replay.rs",
+        "pub fn copy(ev: &Event) -> Vec<u8> { ev.payload.to_vec() }\n",
+    );
+    let report = fx.run();
+    assert_eq!(rules(&report), Vec::<&str>::new());
+}
+
+#[test]
 fn suppression_same_line_and_next_line() {
     let fx = Fixture::new();
     fx.write(

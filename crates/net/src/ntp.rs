@@ -36,22 +36,19 @@ pub struct NtpServer {
 
 impl Actor for NtpServer {
     fn on_incoming(&mut self, event: Incoming, ctx: &mut dyn Context) {
-        if let Incoming::Datagram {
-            msg: Message::NtpRequest { client_transmit, reply_to },
-            to_port,
-            ..
-        } = event
-        {
-            self.served += 1;
-            let server_receive = ctx.utc_micros();
-            // Transmit immediately; receive and transmit are one reading
-            // apart in this model (service time is negligible vs. path).
-            let resp = Message::NtpResponse {
-                client_transmit,
-                server_receive,
-                server_transmit: ctx.utc_micros(),
-            };
-            ctx.send_udp(to_port, reply_to, &resp);
+        if let Incoming::Datagram { msg, to_port, .. } = event {
+            if let Message::NtpRequest { client_transmit, reply_to } = *msg.message() {
+                self.served += 1;
+                let server_receive = ctx.utc_micros();
+                // Transmit immediately; receive and transmit are one reading
+                // apart in this model (service time is negligible vs. path).
+                let resp = Message::NtpResponse {
+                    client_transmit,
+                    server_receive,
+                    server_transmit: ctx.utc_micros(),
+                };
+                ctx.send_udp(to_port, reply_to, &resp);
+            }
         }
     }
     impl_actor_any!();
@@ -143,13 +140,15 @@ impl NtpClient {
             return false;
         }
         match event {
-            Incoming::Datagram {
-                msg: Message::NtpResponse { client_transmit, server_receive, server_transmit },
-                ..
-            } => {
-                let t0 = *client_transmit as i64;
-                let t1 = *server_receive as i64;
-                let t2 = *server_transmit as i64;
+            Incoming::Datagram { msg, .. } => {
+                let Message::NtpResponse { client_transmit, server_receive, server_transmit } =
+                    *msg.message()
+                else {
+                    return false;
+                };
+                let t0 = client_transmit as i64;
+                let t1 = server_receive as i64;
+                let t2 = server_transmit as i64;
                 let t3 = ctx.raw_local_micros() as i64;
                 let delay = (t3 - t0) - (t2 - t1);
                 let offset = ((t1 - t0) + (t2 - t3)) / 2;

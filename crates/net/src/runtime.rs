@@ -9,7 +9,7 @@
 use std::any::Any;
 use std::time::Duration;
 
-use nb_wire::{Endpoint, GroupId, Message, NodeId, Port, RealmId};
+use nb_wire::{Endpoint, GroupId, Message, NodeId, Port, RealmId, WireMsg};
 use rand::RngCore;
 
 use crate::time::SimTime;
@@ -23,8 +23,9 @@ pub enum Incoming {
         from: Endpoint,
         /// The local port it arrived on.
         to_port: Port,
-        /// The decoded payload.
-        msg: Message,
+        /// The decoded payload, still attached to its wire frame so the
+        /// receiver can peek or re-forward without re-encoding.
+        msg: WireMsg,
     },
     /// One framed message arrived on a reliable (TCP-like) stream.
     Stream {
@@ -32,8 +33,8 @@ pub enum Incoming {
         from: Endpoint,
         /// The local port it arrived on.
         to_port: Port,
-        /// The decoded payload.
-        msg: Message,
+        /// The decoded payload, still attached to its wire frame.
+        msg: WireMsg,
     },
     /// A timer set via [`Context::set_timer`] fired.
     Timer {
@@ -81,6 +82,20 @@ pub trait Context {
     /// Connection setup (one extra RTT) is modelled on first use of a
     /// `(local endpoint, remote endpoint)` pair.
     fn send_stream(&mut self, from_port: Port, to: Endpoint, msg: &Message);
+
+    /// Sends an already-wrapped [`WireMsg`] as a datagram. Fan-out paths
+    /// use this so the frame is encoded once and every send clones the
+    /// handle. The default delegates to [`Context::send_udp`] (decoded
+    /// message, legacy encode) so test doubles keep working unmodified;
+    /// both runtimes override it with a zero-copy path.
+    fn send_udp_wire(&mut self, from_port: Port, to: Endpoint, msg: &WireMsg) {
+        self.send_udp(from_port, to, msg.message());
+    }
+
+    /// Stream counterpart of [`Context::send_udp_wire`].
+    fn send_stream_wire(&mut self, from_port: Port, to: Endpoint, msg: &WireMsg) {
+        self.send_stream(from_port, to, msg.message());
+    }
 
     /// Multicasts `msg` to every member of `group` within this node's
     /// realm. Cross-realm members never receive it (paper §9: "multicast

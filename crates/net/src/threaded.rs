@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use nb_wire::{Endpoint, GroupId, Message, NodeId, Port, RealmId, Wire};
+use nb_wire::{frame_message, Endpoint, GroupId, Message, NodeId, Port, RealmId, WireMsg, DEFAULT_TTL};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -30,6 +30,9 @@ enum NodeMsg {
     Stop,
 }
 
+/// Wire-thread operations. Message ops carry the full wire frame
+/// (4-byte prelude + body); senders that already hold a [`WireMsg`]
+/// clone its cached frame instead of encoding again.
 enum WireOp {
     Datagram { from: Endpoint, to: Endpoint, bytes: Bytes },
     Stream { from: Endpoint, to: Endpoint, bytes: Bytes },
@@ -288,7 +291,7 @@ fn wire_thread(shared: Arc<Shared>, rx: Receiver<WireOp>, seed: u64) {
                     }
                 }
                 if let DatagramFate::Deliver(lat) = fate {
-                    if let Ok(msg) = Message::from_bytes(&bytes) {
+                    if let Ok(msg) = WireMsg::from_frame(bytes) {
                         *shared.stats.lock().by_kind.entry(msg.kind()).or_insert(0) += 1;
                         let at = Instant::now() + shared.scaled(lat + tx);
                         push(
@@ -312,11 +315,12 @@ fn wire_thread(shared: Arc<Shared>, rx: Receiver<WireOp>, seed: u64) {
                     )
                 };
                 if let Some(lat) = lat.map(|l| l + tx) {
-                    if let Ok(msg) = Message::from_bytes(&bytes) {
+                    let frame_len = bytes.len();
+                    if let Ok(msg) = WireMsg::from_frame(bytes) {
                         {
                             let mut st = shared.stats.lock();
                             st.stream_delivered += 1;
-                            st.bytes_delivered += bytes.len() as u64;
+                            st.bytes_delivered += frame_len as u64;
                             *st.by_kind.entry(msg.kind()).or_insert(0) += 1;
                         }
                         let now_sim = shared.now();
@@ -339,19 +343,22 @@ fn wire_thread(shared: Arc<Shared>, rx: Receiver<WireOp>, seed: u64) {
                     let net = shared.network.lock();
                     net.multicast_recipients(group, from.node)
                 };
+                // Decode once for the whole fan-out; each recipient gets
+                // a refcount clone of the same WireMsg.
+                let Ok(msg) = WireMsg::from_frame(bytes) else {
+                    continue;
+                };
                 for r in recipients {
                     let fate = shared.network.lock().datagram_fate(from.node, r, &mut rng);
                     if let DatagramFate::Deliver(lat) = fate {
-                        if let Ok(msg) = Message::from_bytes(&bytes) {
-                            let at = Instant::now() + shared.scaled(lat);
-                            push(
-                                &mut heap,
-                                &mut seq,
-                                at,
-                                r,
-                                Incoming::Datagram { from, to_port, msg },
-                            );
-                        }
+                        let at = Instant::now() + shared.scaled(lat);
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            at,
+                            r,
+                            Incoming::Datagram { from, to_port, msg: msg.clone() },
+                        );
                     }
                 }
             }
@@ -476,7 +483,7 @@ impl Context for ThreadCtx<'_> {
         let _ = self.wire_tx.send(WireOp::Datagram {
             from: Endpoint::new(self.node, from_port),
             to,
-            bytes: msg.to_bytes(),
+            bytes: frame_message(msg, DEFAULT_TTL, 0),
         });
     }
 
@@ -484,7 +491,23 @@ impl Context for ThreadCtx<'_> {
         let _ = self.wire_tx.send(WireOp::Stream {
             from: Endpoint::new(self.node, from_port),
             to,
-            bytes: msg.to_bytes(),
+            bytes: frame_message(msg, DEFAULT_TTL, 0),
+        });
+    }
+
+    fn send_udp_wire(&mut self, from_port: Port, to: Endpoint, msg: &WireMsg) {
+        let _ = self.wire_tx.send(WireOp::Datagram {
+            from: Endpoint::new(self.node, from_port),
+            to,
+            bytes: msg.frame().clone(),
+        });
+    }
+
+    fn send_stream_wire(&mut self, from_port: Port, to: Endpoint, msg: &WireMsg) {
+        let _ = self.wire_tx.send(WireOp::Stream {
+            from: Endpoint::new(self.node, from_port),
+            to,
+            bytes: msg.frame().clone(),
         });
     }
 
@@ -493,7 +516,7 @@ impl Context for ThreadCtx<'_> {
             from: Endpoint::new(self.node, from_port),
             group,
             to_port,
-            bytes: msg.to_bytes(),
+            bytes: frame_message(msg, DEFAULT_TTL, 0),
         });
     }
 
@@ -590,15 +613,15 @@ mod tests {
     }
     impl Actor for Echo {
         fn on_incoming(&mut self, event: Incoming, ctx: &mut dyn Context) {
-            if let Incoming::Datagram { to_port, msg: Message::Ping { nonce, sent_at, reply_to }, .. } =
-                event
-            {
-                self.pings += 1;
-                ctx.send_udp(
-                    to_port,
-                    reply_to,
-                    &Message::Pong { nonce, echoed_sent_at: sent_at, responder: ctx.me() },
-                );
+            if let Incoming::Datagram { to_port, msg, .. } = event {
+                if let Message::Ping { nonce, sent_at, reply_to } = *msg.message() {
+                    self.pings += 1;
+                    ctx.send_udp(
+                        to_port,
+                        reply_to,
+                        &Message::Pong { nonce, echoed_sent_at: sent_at, responder: ctx.me() },
+                    );
+                }
             }
         }
         impl_actor_any!();
@@ -625,9 +648,11 @@ mod tests {
             }
         }
         fn on_incoming(&mut self, event: Incoming, ctx: &mut dyn Context) {
-            if let Incoming::Datagram { msg: Message::Pong { nonce, .. }, .. } = event {
-                let rtt = ctx.now() - self.sent[&nonce];
-                self.rtts_us.push(rtt.as_micros() as u64);
+            if let Incoming::Datagram { msg, .. } = event {
+                if let Message::Pong { nonce, .. } = msg.message() {
+                    let rtt = ctx.now() - self.sent[nonce];
+                    self.rtts_us.push(rtt.as_micros() as u64);
+                }
             }
         }
         impl_actor_any!();
@@ -696,8 +721,10 @@ mod tests {
                 ctx.join_group(GroupId(5));
             }
             fn on_incoming(&mut self, event: Incoming, _ctx: &mut dyn Context) {
-                if matches!(event, Incoming::Datagram { msg: Message::Heartbeat { .. }, .. }) {
-                    self.got += 1;
+                if let Incoming::Datagram { msg, .. } = &event {
+                    if matches!(msg.message(), Message::Heartbeat { .. }) {
+                        self.got += 1;
+                    }
                 }
             }
             impl_actor_any!();

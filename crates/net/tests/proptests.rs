@@ -229,7 +229,7 @@ mod bandwidth_end_to_end {
                 id: Uuid::from_u128(1),
                 topic: Topic::parse("bulk").unwrap(),
                 source: ctx.me(),
-                payload: vec![0u8; 125_000],
+                payload: vec![0u8; 125_000].into(),
             });
             ctx.send_udp(Port(1), Endpoint::new(self.peer, Port(1)), &bulk);
             let ping = Message::Ping {

@@ -132,9 +132,9 @@ pub fn seal_envelope<R: Rng + ?Sized>(
     let signature = sign(&sender.keys, &ciphertext, rng);
     SecureEnvelope {
         sender: sender.name.clone(),
-        cert_chain: sender.chain.iter().map(Certificate::encode).collect(),
-        ciphertext,
-        signature: signature.to_bytes().to_vec(),
+        cert_chain: sender.chain.iter().map(|c| c.encode().into()).collect(),
+        ciphertext: ciphertext.into(),
+        signature: signature.to_bytes().to_vec().into(),
     }
 }
 
@@ -237,7 +237,9 @@ mod tests {
     fn tampered_ciphertext_fails_signature() {
         let (ca, alice, broker, mut rng) = setup();
         let mut env = seal_envelope(&sample_request(), &alice, broker.public(), &mut rng);
-        env.ciphertext[10] ^= 0x80;
+        let mut tampered = env.ciphertext.to_vec();
+        tampered[10] ^= 0x80;
+        env.ciphertext = tampered.into();
         assert_eq!(
             open_envelope(&env, &broker, &ca.root_cert, NOW).unwrap_err(),
             EnvelopeError::BadSignature

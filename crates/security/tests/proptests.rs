@@ -116,7 +116,7 @@ proptest! {
             id: Uuid::from_u128(9),
             topic: Topic::parse("x/y").unwrap(),
             source: NodeId(1),
-            payload,
+            payload: payload.into(),
         });
         let env = seal_envelope(&inner, &alice, bob.public(), &mut rng);
         let opened = open_envelope(&env, &bob, &ca.root_cert, 5).unwrap();
@@ -135,7 +135,9 @@ proptest! {
         let inner = Message::Heartbeat { from: NodeId(1), seq: 1 };
         let mut env = seal_envelope(&inner, &alice, bob.public(), &mut rng);
         let i = flip.index(env.ciphertext.len());
-        env.ciphertext[i] ^= 0xFF;
+        let mut tampered = env.ciphertext.to_vec();
+        tampered[i] ^= 0xFF;
+        env.ciphertext = tampered.into();
         prop_assert!(open_envelope(&env, &bob, &ca.root_cert, 5).is_err());
     }
 

@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use bytes::Bytes;
 use nb_util::Uuid;
 use nb_wire::{Endpoint, Message, Port};
 
@@ -25,7 +26,7 @@ pub struct ReliableSender {
     retransmit_after: Duration,
     timer_token: u64,
     next_seq: u64,
-    unacked: BTreeMap<u64, Vec<u8>>,
+    unacked: BTreeMap<u64, Bytes>,
     timer_armed: bool,
     /// Payloads handed to [`ReliableSender::send`].
     pub sent: u64,
@@ -71,8 +72,11 @@ impl ReliableSender {
         self.unacked.is_empty()
     }
 
-    /// Sends `payload` with the next sequence number.
-    pub fn send(&mut self, payload: Vec<u8>, ctx: &mut dyn Context) -> u64 {
+    /// Sends `payload` with the next sequence number. The bytes are
+    /// stored behind a refcounted handle, so retransmissions and the
+    /// retained copy share one buffer.
+    pub fn send(&mut self, payload: impl Into<Bytes>, ctx: &mut dyn Context) -> u64 {
+        let payload: Bytes = payload.into();
         let seq = self.next_seq;
         self.next_seq += 1;
         self.sent += 1;
@@ -93,10 +97,14 @@ impl ReliableSender {
     /// Feeds an event; returns `true` if it belonged to this channel.
     pub fn handle(&mut self, event: &Incoming, ctx: &mut dyn Context) -> bool {
         match event {
-            Incoming::Datagram { msg: Message::ReliableAck { channel, cumulative }, .. }
-                if *channel == self.channel =>
+            Incoming::Datagram { msg, .. }
+                if matches!(*msg.message(),
+                    Message::ReliableAck { channel, .. } if channel == self.channel) =>
             {
-                self.acked_through = self.acked_through.max(*cumulative);
+                let Message::ReliableAck { cumulative, .. } = *msg.message() else {
+                    return false;
+                };
+                self.acked_through = self.acked_through.max(cumulative);
                 self.unacked = self.unacked.split_off(&(cumulative + 1));
                 true
             }
@@ -127,7 +135,7 @@ pub struct ReliableReceiver {
     channel: Uuid,
     from_port: Port,
     expected: u64,
-    out_of_order: BTreeMap<u64, Vec<u8>>,
+    out_of_order: BTreeMap<u64, Bytes>,
     /// Payloads delivered in order.
     pub delivered: u64,
     /// Duplicate transmissions discarded.
@@ -154,13 +162,11 @@ impl ReliableReceiver {
 
     /// Feeds an event; returns the in-order payloads this datagram
     /// released (empty for out-of-order/duplicate/foreign traffic).
-    pub fn handle(&mut self, event: &Incoming, ctx: &mut dyn Context) -> Vec<Vec<u8>> {
-        let Incoming::Datagram {
-            from,
-            msg: Message::ReliableData { channel, seq, payload },
-            ..
-        } = event
-        else {
+    pub fn handle(&mut self, event: &Incoming, ctx: &mut dyn Context) -> Vec<Bytes> {
+        let Incoming::Datagram { from, msg, .. } = event else {
+            return Vec::new();
+        };
+        let Message::ReliableData { channel, seq, payload } = msg.message() else {
             return Vec::new();
         };
         if *channel != self.channel {
@@ -221,7 +227,7 @@ mod tests {
 
     struct ReceiverActor {
         rx: ReliableReceiver,
-        got: Vec<Vec<u8>>,
+        got: Vec<Bytes>,
     }
     impl Actor for ReceiverActor {
         fn on_incoming(&mut self, event: Incoming, ctx: &mut dyn Context) {
@@ -230,7 +236,7 @@ mod tests {
         impl_actor_any!();
     }
 
-    fn run(loss: f64, count: u32, seed: u64) -> (Vec<Vec<u8>>, u64, u64) {
+    fn run(loss: f64, count: u32, seed: u64) -> (Vec<Bytes>, u64, u64) {
         let mut sim = Sim::with_clock_profile(seed, ClockProfile::perfect());
         sim.network_mut().intra_realm_spec =
             LinkSpec::lan().with_loss(loss).with_jitter(Duration::from_millis(5));

@@ -103,10 +103,10 @@ impl ReplayService {
     /// Offers an incoming event; returns `true` when it was a replay
     /// request this service answered.
     pub fn handle(&mut self, event: &Incoming, ctx: &mut dyn Context) -> bool {
-        let (Incoming::Datagram { msg: Message::ReplayRequest { filter, limit, reply_to }, .. }
-        | Incoming::Stream { msg: Message::ReplayRequest { filter, limit, reply_to }, .. }) =
-            event
-        else {
+        let (Incoming::Datagram { msg, .. } | Incoming::Stream { msg, .. }) = event else {
+            return false;
+        };
+        let Message::ReplayRequest { filter, limit, reply_to } = msg.message() else {
             return false;
         };
         self.requests_served += 1;
@@ -129,7 +129,7 @@ mod tests {
             id: Uuid::from_u128(n),
             topic: Topic::parse(topic).unwrap(),
             source: NodeId(1),
-            payload: vec![n as u8],
+            payload: vec![n as u8].into(),
         }
     }
 

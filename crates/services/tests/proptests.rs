@@ -96,7 +96,7 @@ proptest! {
                 id: Uuid::from_u128(id),
                 topic: Topic::parse(topics[*t as usize]).unwrap(),
                 source: NodeId(0),
-                payload: vec![],
+                payload: vec![].into(),
             });
             per_topic[*t as usize].push(id);
         }

@@ -12,6 +12,13 @@ use nb_util::Uuid;
 /// against hostile or corrupt length prefixes causing huge allocations.
 pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
 
+/// Maximum total encoded size of one [`Message`](crate::Message). The
+/// per-field cap alone is not enough: nested repeated fields (e.g. a
+/// certificate chain of `MAX_FIELD_LEN`-sized entries) could multiply
+/// [`MAX_FIELD_LEN`] many times over before any single field tripped its
+/// limit. Decoding rejects any buffer larger than this up front.
+pub const MAX_MESSAGE_LEN: usize = 64 * 1024 * 1024;
+
 /// Errors raised while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -23,6 +30,8 @@ pub enum WireError {
     InvalidUtf8,
     /// A length prefix exceeded [`MAX_FIELD_LEN`].
     FieldTooLong(usize),
+    /// A whole message exceeded [`MAX_MESSAGE_LEN`].
+    MessageTooLong(usize),
     /// A decoded value violated a domain constraint (e.g. a bad topic).
     Invalid(&'static str),
     /// Trailing bytes remained after a complete top-level decode.
@@ -38,6 +47,7 @@ impl std::fmt::Display for WireError {
             }
             WireError::InvalidUtf8 => f.write_str("invalid UTF-8 in string field"),
             WireError::FieldTooLong(n) => write!(f, "field length {n} exceeds limit"),
+            WireError::MessageTooLong(n) => write!(f, "message length {n} exceeds limit"),
             WireError::Invalid(what) => write!(f, "invalid value: {what}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
         }
@@ -61,6 +71,26 @@ impl WireWriter {
     /// Consumes the writer, yielding the encoded bytes.
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
+    }
+
+    /// Resets the writer for reuse, keeping the allocated capacity. A
+    /// pooled writer cleared between messages reaches a steady state
+    /// where encoding performs no growth reallocations.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Freezes the current contents into a [`Bytes`] without consuming
+    /// the writer, so a pooled writer can emit message after message.
+    /// (One buffer copy per snapshot; the pooled win is eliminating the
+    /// growth reallocations of a fresh writer, not this final copy.)
+    pub fn snapshot(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.buf)
+    }
+
+    /// The bytes written so far, borrowed.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Bytes written so far.
@@ -142,16 +172,31 @@ impl WireWriter {
 }
 
 /// Deserialises values from a byte slice, tracking a cursor.
+///
+/// Constructed over a plain slice ([`WireReader::new`]) it copies byte
+/// fields out; constructed over a shared buffer ([`WireReader::shared`])
+/// [`take_bytes`](WireReader::take_bytes) returns zero-copy windows of
+/// the backing allocation instead.
 #[derive(Debug)]
 pub struct WireReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// The shared backing buffer, when reading out of a `Bytes`; enables
+    /// zero-copy `take_bytes`.
+    shared: Option<&'a Bytes>,
 }
 
 impl<'a> WireReader<'a> {
     /// Reads from `buf` starting at offset zero.
     pub fn new(buf: &'a [u8]) -> Self {
-        WireReader { buf, pos: 0 }
+        WireReader { buf, pos: 0, shared: None }
+    }
+
+    /// Reads from a shared buffer: length-prefixed byte fields taken via
+    /// [`take_bytes`](WireReader::take_bytes) alias the backing
+    /// allocation (refcount bump + window) instead of copying.
+    pub fn shared(buf: &'a Bytes) -> Self {
+        WireReader { buf, pos: 0, shared: Some(buf) }
     }
 
     /// Bytes not yet consumed.
@@ -226,6 +271,25 @@ impl<'a> WireReader<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
+    /// Length-prefixed byte string as a [`Bytes`]. Zero-copy (a window
+    /// over the backing allocation) when the reader was built with
+    /// [`WireReader::shared`]; one copy otherwise.
+    pub fn take_bytes(&mut self) -> Result<Bytes, WireError> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::FieldTooLong(len));
+        }
+        if self.remaining() < len {
+            return Err(WireError::UnexpectedEof);
+        }
+        let start = self.pos;
+        self.pos += len;
+        Ok(match self.shared {
+            Some(backing) => backing.slice(start..start + len),
+            None => Bytes::copy_from_slice(&self.buf[start..start + len]),
+        })
+    }
+
     /// Length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<String, WireError> {
         String::from_utf8(self.get_bytes()?).map_err(|_| WireError::InvalidUtf8)
@@ -275,6 +339,15 @@ pub trait Wire: Sized {
         r.expect_end()?;
         Ok(v)
     }
+
+    /// Strict decode from a shared buffer: byte-string fields come out
+    /// as zero-copy slices of `buf` instead of fresh allocations.
+    fn from_shared(buf: &Bytes) -> Result<Self, WireError> {
+        let mut r = WireReader::shared(buf);
+        let v = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
 }
 
 impl Wire for u32 {
@@ -301,6 +374,15 @@ impl Wire for String {
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         r.get_str()
+    }
+}
+
+impl Wire for Bytes {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_bytes(self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.take_bytes()
     }
 }
 
@@ -396,5 +478,58 @@ mod tests {
     fn bool_rejects_junk_tag() {
         let mut r = WireReader::new(&[7]);
         assert!(matches!(r.get_bool(), Err(WireError::InvalidTag { .. })));
+    }
+
+    #[test]
+    fn take_bytes_matches_get_bytes_on_both_backings() {
+        let mut w = WireWriter::new();
+        w.put_bytes(b"abc");
+        w.put_bytes(&[]);
+        let bytes = w.finish();
+        let mut copied = WireReader::new(&bytes);
+        let mut zero_copy = WireReader::shared(&bytes);
+        for _ in 0..2 {
+            let a = copied.take_bytes().unwrap();
+            let b = zero_copy.take_bytes().unwrap();
+            assert_eq!(a, b);
+        }
+        copied.expect_end().unwrap();
+        zero_copy.expect_end().unwrap();
+    }
+
+    #[test]
+    fn take_bytes_rejects_bogus_length_and_truncation() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.finish();
+        let mut r = WireReader::shared(&bytes);
+        assert!(matches!(r.take_bytes(), Err(WireError::FieldTooLong(_))));
+        let mut w = WireWriter::new();
+        w.put_u32(10);
+        w.put_u8(1); // only 1 of the promised 10 bytes
+        let bytes = w.finish();
+        let mut r = WireReader::shared(&bytes);
+        assert_eq!(r.take_bytes(), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bytes_wire_roundtrip() {
+        let b = Bytes::copy_from_slice(&[5, 6, 7]);
+        let enc = b.to_bytes();
+        assert_eq!(Bytes::from_bytes(&enc).unwrap(), b);
+    }
+
+    #[test]
+    fn pooled_writer_clear_and_snapshot() {
+        let mut w = WireWriter::new();
+        w.put_u32(1);
+        assert_eq!(w.as_slice(), &[0, 0, 0, 1]);
+        let first = w.snapshot();
+        w.clear();
+        assert!(w.is_empty());
+        w.put_u32(2);
+        let second = w.snapshot();
+        assert_eq!(first.as_ref(), &[0, 0, 0, 1]);
+        assert_eq!(second.as_ref(), &[0, 0, 0, 2]);
     }
 }

@@ -1,12 +1,26 @@
-//! Length-delimited framing for stream transports.
+//! Framing for the wire path.
 //!
-//! The TCP-like transport delivers a byte stream; [`FrameDecoder`]
-//! reassembles it into discrete message frames. Each frame is a `u32`
-//! big-endian length followed by that many payload bytes.
+//! Two layers live here:
+//!
+//! * **Stream reassembly** — the TCP-like transport delivers a byte
+//!   stream; [`FrameDecoder`] reassembles it into discrete message
+//!   frames. Each frame is a `u32` big-endian length followed by that
+//!   many payload bytes.
+//! * **The wire frame** — the unit the runtime hands each actor: a
+//!   fixed 4-byte prelude (`[ttl, hops, flags, reserved]`) followed by
+//!   the legacy message body. The prelude holds exactly the fields a
+//!   forwarder mutates per hop, so forwarding is [`patch_prelude`] on
+//!   the first two bytes instead of decode→mutate→re-encode, and
+//!   [`peek`] reads kind/UUID/topic-length at fixed offsets without
+//!   decoding the body at all.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nb_util::Uuid;
 
-use crate::codec::WireError;
+use crate::codec::{Wire, WireError, WireWriter};
+use crate::message::{
+    Message, TAG_DISCOVERY, TAG_DISCOVERY_ACK, TAG_PUBLISH, TAG_RELIABLE_ACK, TAG_RELIABLE_DATA,
+};
 
 /// Maximum frame payload accepted (16 MiB), matching the codec's field cap.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
@@ -63,6 +77,137 @@ impl FrameDecoder {
     }
 }
 
+// ------------------------------------------------------------------
+// Wire frame: 4-byte prelude + legacy body.
+// ------------------------------------------------------------------
+
+/// Length of the mutable per-hop prelude: `[ttl, hops, flags, reserved]`.
+pub const PRELUDE_LEN: usize = 4;
+
+/// TTL stamped on locally originated frames. Overlay diameters in the
+/// paper's deployments are single-digit; 32 hops is comfortably past any
+/// legitimate forwarding chain while still bounding routing loops.
+pub const DEFAULT_TTL: u8 = 32;
+
+/// Everything a receive path can learn about a frame without decoding
+/// its body: the per-hop prelude plus the fixed-offset body fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Hops this frame may still travel (decremented by forwarders).
+    pub ttl: u8,
+    /// Hops travelled so far (incremented by forwarders).
+    pub hops: u8,
+    /// The message's wire tag (first body byte).
+    pub tag: u8,
+    /// The dedup UUID, for the message kinds that carry one at a fixed
+    /// offset: `Publish` (event id), `Discovery`/`DiscoveryAck`
+    /// (request id), `ReliableData`/`ReliableAck` (channel).
+    pub uuid: Option<Uuid>,
+    /// For `Publish` frames, the byte length of the topic string.
+    pub topic_len: Option<usize>,
+}
+
+impl FrameHeader {
+    /// Whether this frame carries a `Publish` (the broker's peek-dedup
+    /// fast path keys off this plus [`FrameHeader::uuid`]).
+    pub fn is_publish(&self) -> bool {
+        self.tag == TAG_PUBLISH
+    }
+
+    /// Whether this frame carries a `Discovery` request.
+    pub fn is_discovery(&self) -> bool {
+        self.tag == TAG_DISCOVERY
+    }
+
+    /// Whether this frame carries a `DiscoveryAck`.
+    pub fn is_discovery_ack(&self) -> bool {
+        self.tag == TAG_DISCOVERY_ACK
+    }
+}
+
+/// Reads the fixed-offset fields of a message *body* (no prelude).
+///
+/// The body layout guarantees: tag at offset 0; for the UUID-bearing
+/// tags the UUID is the 16 bytes at `body[1..17]` (big-endian `u128`,
+/// matching `WireWriter::put_uuid`); for `Publish` the topic's `u32`
+/// length prefix sits at `body[17..21]`.
+fn peek_fields(body: &[u8]) -> Result<(u8, Option<Uuid>, Option<usize>), WireError> {
+    let Some(&tag) = body.first() else {
+        return Err(WireError::UnexpectedEof);
+    };
+    let uuid = match tag {
+        TAG_PUBLISH | TAG_DISCOVERY | TAG_DISCOVERY_ACK | TAG_RELIABLE_DATA | TAG_RELIABLE_ACK => {
+            let raw: [u8; 16] =
+                body.get(1..17).ok_or(WireError::UnexpectedEof)?.try_into().unwrap();
+            Some(Uuid::from_u128(u128::from_be_bytes(raw)))
+        }
+        _ => None,
+    };
+    let topic_len = if tag == TAG_PUBLISH {
+        let raw: [u8; 4] = body.get(17..21).ok_or(WireError::UnexpectedEof)?.try_into().unwrap();
+        Some(u32::from_be_bytes(raw) as usize)
+    } else {
+        None
+    };
+    Ok((tag, uuid, topic_len))
+}
+
+/// Peeks a full wire frame (prelude + body) without decoding the body.
+pub fn peek(framed: &[u8]) -> Result<FrameHeader, WireError> {
+    if framed.len() < PRELUDE_LEN {
+        return Err(WireError::UnexpectedEof);
+    }
+    let (tag, uuid, topic_len) = peek_fields(&framed[PRELUDE_LEN..])?;
+    Ok(FrameHeader { ttl: framed[0], hops: framed[1], tag, uuid, topic_len })
+}
+
+/// Peeks a bare message body that never grew a prelude — e.g. the
+/// encoded messages nested inside `Event::payload` on the well-known
+/// flooding topics. TTL/hops report their local-origin defaults.
+pub fn peek_body(body: &[u8]) -> Result<FrameHeader, WireError> {
+    let (tag, uuid, topic_len) = peek_fields(body)?;
+    Ok(FrameHeader { ttl: DEFAULT_TTL, hops: 0, tag, uuid, topic_len })
+}
+
+thread_local! {
+    /// Per-thread encode pool: `frame_message` reuses this writer's
+    /// buffer so steady-state encodes stop growing the allocation.
+    static FRAME_POOL: std::cell::RefCell<WireWriter> = std::cell::RefCell::new(WireWriter::new());
+}
+
+/// Encodes `msg` into a wire frame (`[ttl, hops, 0, 0]` prelude + body)
+/// using the per-thread pooled writer.
+pub fn frame_message(msg: &Message, ttl: u8, hops: u8) -> Bytes {
+    FRAME_POOL.with(|pool| {
+        let mut w = pool.borrow_mut();
+        w.clear();
+        w.put_u8(ttl);
+        w.put_u8(hops);
+        w.put_u8(0); // flags
+        w.put_u8(0); // reserved
+        msg.encode(&mut w);
+        w.snapshot()
+    })
+}
+
+/// Rewrites the per-hop prelude fields in place. The body bytes after
+/// the prelude are untouched — this is the whole point of keeping TTL
+/// and hop count out of the encoded message.
+pub fn patch_prelude(frame: &mut [u8], ttl: u8, hops: u8) {
+    assert!(frame.len() >= PRELUDE_LEN, "frame shorter than prelude");
+    frame[0] = ttl;
+    frame[1] = hops;
+}
+
+/// Fully decodes a wire frame: peeked header + decoded body. Payload
+/// fields borrow the backing buffer (zero-copy) via the shared reader.
+pub fn decode_framed(frame: &Bytes) -> Result<(FrameHeader, Message), WireError> {
+    let header = peek(frame)?;
+    let body = frame.slice(PRELUDE_LEN..);
+    let msg = Message::from_shared(&body)?;
+    Ok((header, msg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +257,115 @@ mod tests {
         assert_eq!(d.next_frame().unwrap(), None); // 2 of 3 payload bytes
         d.feed(b"c");
         assert_eq!(d.next_frame().unwrap().unwrap().as_ref(), b"abc");
+    }
+
+    // -------------------------------------------- wire frame ----------
+
+    use crate::addr::{Endpoint, NodeId, Port};
+    use crate::message::Event;
+    use crate::topic::Topic;
+    use crate::Wire;
+
+    fn publish() -> Message {
+        Message::Publish(Event {
+            id: Uuid::from_u128(0xDEAD_BEEF),
+            topic: Topic::parse("sports/scores").unwrap(),
+            source: NodeId(6),
+            payload: Bytes::from_static(b"3-1"),
+        })
+    }
+
+    #[test]
+    fn frame_is_prelude_plus_legacy_body() {
+        let msg = publish();
+        let frame = frame_message(&msg, 17, 3);
+        assert_eq!(&frame[..PRELUDE_LEN], &[17, 3, 0, 0]);
+        assert_eq!(&frame[PRELUDE_LEN..], msg.to_bytes().as_ref());
+    }
+
+    #[test]
+    fn peek_reads_without_decoding() {
+        let frame = frame_message(&publish(), DEFAULT_TTL, 0);
+        let h = peek(&frame).unwrap();
+        assert_eq!(h.ttl, DEFAULT_TTL);
+        assert_eq!(h.hops, 0);
+        assert_eq!(h.tag, TAG_PUBLISH);
+        assert_eq!(h.uuid, Some(Uuid::from_u128(0xDEAD_BEEF)));
+        assert_eq!(h.topic_len, Some("sports/scores".len()));
+    }
+
+    #[test]
+    fn peek_covers_every_uuid_bearing_kind() {
+        let reply = Endpoint::new(NodeId(9), Port(1));
+        let cases: Vec<(Message, Option<Uuid>)> = vec![
+            (publish(), Some(Uuid::from_u128(0xDEAD_BEEF))),
+            (
+                Message::DiscoveryAck { request_id: Uuid::from_u128(7), bdn: NodeId(2) },
+                Some(Uuid::from_u128(7)),
+            ),
+            (
+                Message::ReliableData {
+                    channel: Uuid::from_u128(9),
+                    seq: 1,
+                    payload: Bytes::from_static(b"x"),
+                },
+                Some(Uuid::from_u128(9)),
+            ),
+            (
+                Message::ReliableAck { channel: Uuid::from_u128(9), cumulative: 1 },
+                Some(Uuid::from_u128(9)),
+            ),
+            (Message::Heartbeat { from: NodeId(1), seq: 4 }, None),
+            (Message::Ping { nonce: 1, sent_at: 2, reply_to: reply }, None),
+        ];
+        for (msg, want) in cases {
+            let h = peek(&frame_message(&msg, 1, 0)).unwrap();
+            assert_eq!(h.tag, msg.tag(), "{}", msg.kind());
+            assert_eq!(h.uuid, want, "{}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn peek_body_matches_peek_modulo_prelude() {
+        let msg = publish();
+        let framed = peek(&frame_message(&msg, 5, 2)).unwrap();
+        let bare = peek_body(&msg.to_bytes()).unwrap();
+        assert_eq!((bare.tag, bare.uuid, bare.topic_len), (framed.tag, framed.uuid, framed.topic_len));
+        assert_eq!((bare.ttl, bare.hops), (DEFAULT_TTL, 0));
+    }
+
+    #[test]
+    fn patch_prelude_leaves_body_untouched() {
+        let msg = publish();
+        let frame = frame_message(&msg, 8, 0);
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&frame);
+        patch_prelude(&mut buf, 7, 1);
+        let patched = buf.freeze();
+        let h = peek(&patched).unwrap();
+        assert_eq!((h.ttl, h.hops), (7, 1));
+        assert_eq!(&patched[PRELUDE_LEN..], msg.to_bytes().as_ref());
+    }
+
+    #[test]
+    fn decode_framed_roundtrips_header_and_message() {
+        let msg = publish();
+        let frame = frame_message(&msg, 3, 9);
+        let (h, back) = decode_framed(&frame).unwrap();
+        assert_eq!((h.ttl, h.hops), (3, 9));
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn truncated_frames_peek_to_errors_not_panics() {
+        // A Publish peek needs prelude + tag + uuid + topic length
+        // prefix = PRELUDE_LEN + 21 bytes; every shorter cut must error.
+        let frame = frame_message(&publish(), 1, 0);
+        assert!(frame.len() > PRELUDE_LEN + 21);
+        for cut in 0..PRELUDE_LEN + 21 {
+            assert!(peek(&frame[..cut]).is_err(), "cut {cut} peeked successfully");
+        }
+        assert!(peek(&frame[..PRELUDE_LEN + 21]).is_ok());
+        assert!(peek_body(&[]).is_err());
     }
 }

@@ -15,7 +15,13 @@
 //!   subscriptions, broker link management, broker advertisements,
 //!   discovery requests/acks/responses, UDP pings, NTP exchanges and
 //!   secured envelopes,
-//! * [`frame`] — length-delimited framing for stream transports.
+//! * [`frame`] — length-delimited framing for stream transports, plus
+//!   the prelude-framed wire format ([`frame::peek`], [`frame_message`],
+//!   [`patch_prelude`]) that receive paths header-peek and forwarders
+//!   patch in place,
+//! * [`wiremsg`] — [`WireMsg`]: a decoded message sharing its encoded
+//!   frame across clones, so fan-out encodes once and forwards by
+//!   refcount.
 //!
 //! Every message crosses the (simulated or real) network as bytes encoded
 //! by this crate, in both runtimes, so the codec is exercised on every hop.
@@ -26,13 +32,22 @@ pub mod frame;
 pub mod intern;
 pub mod message;
 pub mod topic;
+pub mod wiremsg;
+
+/// Re-exported so downstream crates name the payload byte type without
+/// depending on the `bytes` crate directly.
+pub use bytes::Bytes;
 
 pub use addr::{Endpoint, GroupId, NodeId, Port, RealmId, TransportKind};
-pub use codec::{Wire, WireError, WireReader, WireWriter};
-pub use frame::{FrameDecoder, MAX_FRAME_LEN};
+pub use codec::{Wire, WireError, WireReader, WireWriter, MAX_FIELD_LEN, MAX_MESSAGE_LEN};
+pub use frame::{
+    decode_framed, frame_message, patch_prelude, peek_body, FrameDecoder, FrameHeader,
+    DEFAULT_TTL, MAX_FRAME_LEN, PRELUDE_LEN,
+};
 pub use intern::{SegId, MAX_TOPIC_DEPTH};
 pub use message::{
     BrokerAdvertisement, Credential, DiscoveryRequest, DiscoveryResponse, Event, Message,
     UsageMetrics,
 };
 pub use topic::{Topic, TopicError, TopicFilter};
+pub use wiremsg::WireMsg;

@@ -7,8 +7,9 @@
 //! "anatomy" sections (§2.2 advertisements, §3 requests, §5.1 responses).
 
 use crate::addr::{Endpoint, NodeId, Port, RealmId, TransportKind};
-use crate::codec::{Wire, WireError, WireReader, WireWriter};
+use crate::codec::{Wire, WireError, WireReader, WireWriter, MAX_MESSAGE_LEN};
 use crate::topic::{Topic, TopicFilter};
+use bytes::Bytes;
 use nb_util::Uuid;
 
 /// One advertised transport: protocol kind plus its service port
@@ -60,8 +61,10 @@ pub struct Event {
     pub topic: Topic,
     /// The originating entity.
     pub source: NodeId,
-    /// Opaque application payload.
-    pub payload: Vec<u8>,
+    /// Opaque application payload. Held as [`Bytes`] so forwarding an
+    /// event is a refcount bump, and decoding from a shared buffer
+    /// borrows rather than copies.
+    pub payload: Bytes,
 }
 
 impl Wire for Event {
@@ -76,7 +79,7 @@ impl Wire for Event {
             id: r.get_uuid()?,
             topic: Topic::decode(r)?,
             source: NodeId::decode(r)?,
-            payload: r.get_bytes()?,
+            payload: r.take_bytes()?,
         })
     }
 }
@@ -298,11 +301,11 @@ pub struct SecureEnvelope {
     /// Principal name of the sender.
     pub sender: String,
     /// Encoded certificate chain, leaf first.
-    pub cert_chain: Vec<Vec<u8>>,
+    pub cert_chain: Vec<Bytes>,
     /// Ciphertext of the encoded inner [`Message`].
-    pub ciphertext: Vec<u8>,
+    pub ciphertext: Bytes,
     /// Signature over the ciphertext.
-    pub signature: Vec<u8>,
+    pub signature: Bytes,
 }
 
 impl Wire for Vec<u8> {
@@ -325,8 +328,8 @@ impl Wire for SecureEnvelope {
         Ok(SecureEnvelope {
             sender: r.get_str()?,
             cert_chain: r.get_vec()?,
-            ciphertext: r.get_bytes()?,
-            signature: r.get_bytes()?,
+            ciphertext: r.take_bytes()?,
+            signature: r.take_bytes()?,
         })
     }
 }
@@ -388,7 +391,7 @@ pub enum Message {
 
     // ------------------------------------------------ services ----------
     /// Sequenced payload on a reliable channel (`nb-services`).
-    ReliableData { channel: Uuid, seq: u64, payload: Vec<u8> },
+    ReliableData { channel: Uuid, seq: u64, payload: Bytes },
     /// Cumulative acknowledgement for a reliable channel.
     ReliableAck { channel: Uuid, cumulative: u64 },
     /// Ask a replay service for stored events matching `filter`.
@@ -430,33 +433,66 @@ impl Message {
             Message::Secure(_) => "secure",
         }
     }
+
+    /// The wire tag this message encodes with — the first body byte.
+    /// Lets [`crate::wiremsg::WireMsg`] synthesise a peeked header from
+    /// an already-decoded message without encoding it.
+    pub(crate) fn tag(&self) -> u8 {
+        match self {
+            Message::LinkHello { .. } => TAG_LINK_HELLO,
+            Message::LinkAccept { .. } => TAG_LINK_ACCEPT,
+            Message::LinkClose { .. } => TAG_LINK_CLOSE,
+            Message::Heartbeat { .. } => TAG_HEARTBEAT,
+            Message::Subscribe { .. } => TAG_SUBSCRIBE,
+            Message::Unsubscribe { .. } => TAG_UNSUBSCRIBE,
+            Message::Publish(_) => TAG_PUBLISH,
+            Message::ClientConnect { .. } => TAG_CLIENT_CONNECT,
+            Message::ClientConnectAck { .. } => TAG_CLIENT_CONNECT_ACK,
+            Message::ClientSubscribe { .. } => TAG_CLIENT_SUBSCRIBE,
+            Message::ClientUnsubscribe { .. } => TAG_CLIENT_UNSUBSCRIBE,
+            Message::ClientDisconnect { .. } => TAG_CLIENT_DISCONNECT,
+            Message::Advertisement(_) => TAG_ADVERTISEMENT,
+            Message::BdnAdvertisement { .. } => TAG_BDN_ADVERTISEMENT,
+            Message::Discovery(_) => TAG_DISCOVERY,
+            Message::DiscoveryAck { .. } => TAG_DISCOVERY_ACK,
+            Message::Response(_) => TAG_RESPONSE,
+            Message::Ping { .. } => TAG_PING,
+            Message::Pong { .. } => TAG_PONG,
+            Message::NtpRequest { .. } => TAG_NTP_REQUEST,
+            Message::NtpResponse { .. } => TAG_NTP_RESPONSE,
+            Message::ReliableData { .. } => TAG_RELIABLE_DATA,
+            Message::ReliableAck { .. } => TAG_RELIABLE_ACK,
+            Message::ReplayRequest { .. } => TAG_REPLAY_REQUEST,
+            Message::Secure(_) => TAG_SECURE,
+        }
+    }
 }
 
-const TAG_LINK_HELLO: u8 = 1;
-const TAG_LINK_ACCEPT: u8 = 2;
-const TAG_LINK_CLOSE: u8 = 3;
-const TAG_HEARTBEAT: u8 = 4;
-const TAG_SUBSCRIBE: u8 = 5;
-const TAG_UNSUBSCRIBE: u8 = 6;
-const TAG_PUBLISH: u8 = 7;
-const TAG_CLIENT_CONNECT: u8 = 8;
-const TAG_CLIENT_CONNECT_ACK: u8 = 9;
-const TAG_CLIENT_SUBSCRIBE: u8 = 10;
-const TAG_CLIENT_UNSUBSCRIBE: u8 = 11;
-const TAG_CLIENT_DISCONNECT: u8 = 12;
-const TAG_ADVERTISEMENT: u8 = 13;
-const TAG_BDN_ADVERTISEMENT: u8 = 14;
-const TAG_DISCOVERY: u8 = 15;
-const TAG_DISCOVERY_ACK: u8 = 16;
-const TAG_RESPONSE: u8 = 17;
-const TAG_PING: u8 = 18;
-const TAG_PONG: u8 = 19;
-const TAG_NTP_REQUEST: u8 = 20;
-const TAG_NTP_RESPONSE: u8 = 21;
-const TAG_SECURE: u8 = 22;
-const TAG_RELIABLE_DATA: u8 = 23;
-const TAG_RELIABLE_ACK: u8 = 24;
-const TAG_REPLAY_REQUEST: u8 = 25;
+pub(crate) const TAG_LINK_HELLO: u8 = 1;
+pub(crate) const TAG_LINK_ACCEPT: u8 = 2;
+pub(crate) const TAG_LINK_CLOSE: u8 = 3;
+pub(crate) const TAG_HEARTBEAT: u8 = 4;
+pub(crate) const TAG_SUBSCRIBE: u8 = 5;
+pub(crate) const TAG_UNSUBSCRIBE: u8 = 6;
+pub(crate) const TAG_PUBLISH: u8 = 7;
+pub(crate) const TAG_CLIENT_CONNECT: u8 = 8;
+pub(crate) const TAG_CLIENT_CONNECT_ACK: u8 = 9;
+pub(crate) const TAG_CLIENT_SUBSCRIBE: u8 = 10;
+pub(crate) const TAG_CLIENT_UNSUBSCRIBE: u8 = 11;
+pub(crate) const TAG_CLIENT_DISCONNECT: u8 = 12;
+pub(crate) const TAG_ADVERTISEMENT: u8 = 13;
+pub(crate) const TAG_BDN_ADVERTISEMENT: u8 = 14;
+pub(crate) const TAG_DISCOVERY: u8 = 15;
+pub(crate) const TAG_DISCOVERY_ACK: u8 = 16;
+pub(crate) const TAG_RESPONSE: u8 = 17;
+pub(crate) const TAG_PING: u8 = 18;
+pub(crate) const TAG_PONG: u8 = 19;
+pub(crate) const TAG_NTP_REQUEST: u8 = 20;
+pub(crate) const TAG_NTP_RESPONSE: u8 = 21;
+pub(crate) const TAG_SECURE: u8 = 22;
+pub(crate) const TAG_RELIABLE_DATA: u8 = 23;
+pub(crate) const TAG_RELIABLE_ACK: u8 = 24;
+pub(crate) const TAG_REPLAY_REQUEST: u8 = 25;
 
 impl Wire for Message {
     fn encode(&self, w: &mut WireWriter) {
@@ -589,6 +625,9 @@ impl Wire for Message {
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        if r.remaining() > MAX_MESSAGE_LEN {
+            return Err(WireError::MessageTooLong(r.remaining()));
+        }
         let tag = r.get_u8()?;
         Ok(match tag {
             TAG_LINK_HELLO => {
@@ -657,7 +696,7 @@ impl Wire for Message {
             TAG_RELIABLE_DATA => Message::ReliableData {
                 channel: r.get_uuid()?,
                 seq: r.get_u64()?,
-                payload: r.get_bytes()?,
+                payload: r.take_bytes()?,
             },
             TAG_RELIABLE_ACK => {
                 Message::ReliableAck { channel: r.get_uuid()?, cumulative: r.get_u64()? }
@@ -735,7 +774,7 @@ mod tests {
                 id: Uuid::from_u128(1),
                 topic: Topic::parse("sports/scores").unwrap(),
                 source: NodeId(6),
-                payload: b"3-1".to_vec(),
+                payload: Bytes::from_static(b"3-1"),
             }),
             Message::ClientConnect { client: NodeId(9), reply_port: Port(4000) },
             Message::ClientConnectAck { broker: NodeId(5), accepted: true },
@@ -775,11 +814,15 @@ mod tests {
             Message::NtpResponse { client_transmit: 1, server_receive: 2, server_transmit: 3 },
             Message::Secure(SecureEnvelope {
                 sender: "alice".into(),
-                cert_chain: vec![vec![1, 2], vec![3]],
-                ciphertext: vec![9; 64],
-                signature: vec![7; 32],
+                cert_chain: vec![vec![1, 2].into(), vec![3].into()],
+                ciphertext: vec![9; 64].into(),
+                signature: vec![7; 32].into(),
             }),
-            Message::ReliableData { channel: Uuid::from_u128(3), seq: 9, payload: vec![1, 2, 3] },
+            Message::ReliableData {
+                channel: Uuid::from_u128(3),
+                seq: 9,
+                payload: vec![1, 2, 3].into(),
+            },
             Message::ReliableAck { channel: Uuid::from_u128(3), cumulative: 9 },
             Message::ReplayRequest {
                 filter: TopicFilter::parse("a/**").unwrap(),
@@ -826,6 +869,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tag_matches_first_encoded_byte() {
+        for msg in all_messages() {
+            assert_eq!(msg.tag(), msg.to_bytes()[0], "{}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn oversized_message_rejected_at_boundary() {
+        // One byte over the cap: rejected before any field parsing.
+        let over = vec![0u8; MAX_MESSAGE_LEN + 1];
+        assert!(matches!(
+            Message::from_bytes(&over),
+            Err(WireError::MessageTooLong(n)) if n == MAX_MESSAGE_LEN + 1
+        ));
+        // Exactly at the cap: the size gate passes and decoding proceeds
+        // far enough to reject the bogus tag instead.
+        let mut at = vec![0u8; MAX_MESSAGE_LEN];
+        at[0] = 200;
+        assert!(matches!(
+            Message::from_bytes(&at),
+            Err(WireError::InvalidTag { context: "Message", tag: 200 })
+        ));
+    }
+
+    #[test]
+    fn nested_fields_cannot_multiply_past_message_cap() {
+        // Each cert element stays under MAX_FIELD_LEN, but the envelope
+        // total exceeds MAX_MESSAGE_LEN — the per-message cap catches it.
+        let chunk: Bytes = vec![0xAB; 8 * 1024 * 1024].into();
+        let env = SecureEnvelope {
+            sender: "mallory".into(),
+            cert_chain: vec![chunk; 9], // 72 MiB total
+            ciphertext: Bytes::new(),
+            signature: Bytes::new(),
+        };
+        let bytes = Message::Secure(env).to_bytes();
+        assert!(bytes.len() > MAX_MESSAGE_LEN);
+        assert!(matches!(
+            Message::from_bytes(&bytes),
+            Err(WireError::MessageTooLong(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! A message plus its wire bytes, shared and encoded at most once.
+//!
+//! [`WireMsg`] is what the runtimes move around: the decoded
+//! [`Message`] behind an `Arc`, the per-hop TTL/hop counters, and a
+//! lazily materialised wire frame shared by every clone. The invariants
+//! the zero-copy path rests on:
+//!
+//! * **Encode once.** The frame is built on first use and cached in an
+//!   `Arc<OnceLock<Bytes>>`; fan-out to N recipients clones the `Bytes`
+//!   handle N times instead of re-encoding N times.
+//! * **Decode once.** [`WireMsg::from_frame`] decodes eagerly — exactly
+//!   what today's receive path does, so malformed bytes are rejected at
+//!   the wire boundary and never reach an actor — but it *keeps* the
+//!   frame, so re-forwarding what was just received never re-encodes.
+//! * **Forwarding never rebuilds the body.** [`WireMsg::forward_hop`]
+//!   bumps the hop counters in the 4-byte prelude and reuses the body
+//!   bytes verbatim. With a vector-backed `bytes` shim this costs one
+//!   memcpy of the frame; with the real `bytes` crate the same code is
+//!   a true in-place patch on uniquely owned buffers.
+
+use std::sync::{Arc, OnceLock};
+
+use bytes::{Bytes, BytesMut};
+
+use crate::codec::WireError;
+use crate::frame::{
+    decode_framed, frame_message, patch_prelude, FrameHeader, DEFAULT_TTL, PRELUDE_LEN,
+};
+use crate::message::{Event, Message};
+
+/// A [`Message`] bundled with its (lazily encoded) wire frame and the
+/// per-hop prelude fields. Cheap to clone: two `Arc` bumps.
+#[derive(Debug, Clone)]
+pub struct WireMsg {
+    msg: Arc<Message>,
+    ttl: u8,
+    hops: u8,
+    /// The materialised frame, shared across clones so whichever copy
+    /// encodes first pays for all of them.
+    frame: Arc<OnceLock<Bytes>>,
+}
+
+impl WireMsg {
+    /// Wraps a locally originated message (fresh TTL, zero hops).
+    pub fn new(msg: Message) -> Self {
+        WireMsg { msg: Arc::new(msg), ttl: DEFAULT_TTL, hops: 0, frame: Arc::new(OnceLock::new()) }
+    }
+
+    /// Decodes a received frame, retaining the bytes for re-forwarding.
+    pub fn from_frame(frame: Bytes) -> Result<Self, WireError> {
+        let (header, msg) = decode_framed(&frame)?;
+        let cell = OnceLock::new();
+        let _ = cell.set(frame);
+        Ok(WireMsg {
+            msg: Arc::new(msg),
+            ttl: header.ttl,
+            hops: header.hops,
+            frame: Arc::new(cell),
+        })
+    }
+
+    /// The decoded message.
+    pub fn message(&self) -> &Message {
+        &self.msg
+    }
+
+    /// Unwraps the message, cloning only if other handles are alive.
+    pub fn into_message(self) -> Message {
+        Arc::try_unwrap(self.msg).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// Short kind label (delegates to [`Message::kind`]).
+    pub fn kind(&self) -> &'static str {
+        self.msg.kind()
+    }
+
+    /// Remaining hop budget.
+    pub fn ttl(&self) -> u8 {
+        self.ttl
+    }
+
+    /// Hops travelled so far.
+    pub fn hops(&self) -> u8 {
+        self.hops
+    }
+
+    /// The header a receiver would [`frame::peek`] off this message's
+    /// frame — synthesised from the decoded fields, so calling it never
+    /// forces an encode.
+    pub fn peek(&self) -> FrameHeader {
+        let (uuid, topic_len) = match &*self.msg {
+            Message::Publish(Event { id, topic, .. }) => (Some(*id), Some(topic.as_str().len())),
+            Message::Discovery(req) => (Some(req.request_id), None),
+            Message::DiscoveryAck { request_id, .. } => (Some(*request_id), None),
+            Message::ReliableData { channel, .. } | Message::ReliableAck { channel, .. } => {
+                (Some(*channel), None)
+            }
+            _ => (None, None),
+        };
+        FrameHeader { ttl: self.ttl, hops: self.hops, tag: self.msg.tag(), uuid, topic_len }
+    }
+
+    /// The wire frame, encoding it (once, via the pooled writer) if no
+    /// handle has yet.
+    pub fn frame(&self) -> &Bytes {
+        self.frame.get_or_init(|| frame_message(&self.msg, self.ttl, self.hops))
+    }
+
+    /// Length of the legacy message body (frame minus prelude). The sim
+    /// charges transmission delay on this, so it is byte-identical to
+    /// the pre-frame `Message::to_bytes().len()`.
+    pub fn body_len(&self) -> usize {
+        self.frame().len() - PRELUDE_LEN
+    }
+
+    /// The frame this message would be forwarded as: TTL spent, hop
+    /// recorded, body bytes reused verbatim. `None` when the TTL is
+    /// exhausted — the caller must drop the message, not forward it.
+    pub fn forward_hop(&self) -> Option<WireMsg> {
+        let ttl = self.ttl.checked_sub(1)?;
+        let hops = self.hops.saturating_add(1);
+        let cell = OnceLock::new();
+        if let Some(parent) = self.frame.get() {
+            // Re-stamp the prelude on a copy of the already-encoded
+            // frame — no decode, no re-encode of the body.
+            let mut buf = BytesMut::with_capacity(parent.len());
+            buf.extend_from_slice(parent);
+            patch_prelude(&mut buf, ttl, hops);
+            let _ = cell.set(buf.freeze());
+        }
+        Some(WireMsg { msg: Arc::clone(&self.msg), ttl, hops, frame: Arc::new(cell) })
+    }
+}
+
+impl From<Message> for WireMsg {
+    fn from(msg: Message) -> Self {
+        WireMsg::new(msg)
+    }
+}
+
+impl PartialEq for WireMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.msg == other.msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::NodeId;
+    use crate::codec::Wire;
+    use crate::topic::Topic;
+    use nb_util::Uuid;
+
+    fn publish() -> Message {
+        Message::Publish(Event {
+            id: Uuid::from_u128(42),
+            topic: Topic::parse("a/b").unwrap(),
+            source: NodeId(1),
+            payload: Bytes::from_static(b"hi"),
+        })
+    }
+
+    #[test]
+    fn frame_is_cached_and_shared_across_clones() {
+        let wire = WireMsg::new(publish());
+        let a = wire.frame().clone();
+        let b = wire.clone();
+        // The clone sees the already-materialised frame without encoding.
+        assert_eq!(b.frame(), &a);
+    }
+
+    #[test]
+    fn from_frame_retains_bytes_and_counters() {
+        let original = WireMsg::new(publish());
+        let frame = original.frame().clone();
+        let back = WireMsg::from_frame(frame.clone()).unwrap();
+        assert_eq!(back.message(), original.message());
+        assert_eq!((back.ttl(), back.hops()), (DEFAULT_TTL, 0));
+        // No re-encode needed: the retained frame is the input.
+        assert_eq!(back.frame(), &frame);
+    }
+
+    #[test]
+    fn body_len_matches_legacy_encoding() {
+        let msg = publish();
+        let legacy = msg.to_bytes().len();
+        assert_eq!(WireMsg::new(msg).body_len(), legacy);
+    }
+
+    #[test]
+    fn peek_agrees_with_frame_peek() {
+        for msg in [
+            publish(),
+            Message::Heartbeat { from: NodeId(3), seq: 9 },
+            Message::ReliableAck { channel: Uuid::from_u128(5), cumulative: 2 },
+        ] {
+            let wire = WireMsg::new(msg);
+            assert_eq!(wire.peek(), crate::frame::peek(wire.frame()).unwrap());
+        }
+    }
+
+    #[test]
+    fn forward_hop_patches_prelude_and_reuses_body() {
+        let wire = WireMsg::from_frame(WireMsg::new(publish()).frame().clone()).unwrap();
+        let next = wire.forward_hop().unwrap();
+        assert_eq!((next.ttl(), next.hops()), (DEFAULT_TTL - 1, 1));
+        assert_eq!(&next.frame()[PRELUDE_LEN..], &wire.frame()[PRELUDE_LEN..]);
+        assert_eq!(next.message(), wire.message());
+    }
+
+    #[test]
+    fn exhausted_ttl_stops_forwarding() {
+        let mut wire = WireMsg::new(publish());
+        let mut hops = 0;
+        while let Some(next) = wire.forward_hop() {
+            wire = next;
+            hops += 1;
+            assert!(hops <= DEFAULT_TTL, "forwarded past the TTL budget");
+        }
+        assert_eq!(hops, DEFAULT_TTL);
+        assert_eq!(wire.ttl(), 0);
+    }
+
+    #[test]
+    fn into_message_avoids_clone_when_unique() {
+        let wire = WireMsg::new(publish());
+        assert_eq!(wire.into_message(), publish());
+    }
+}

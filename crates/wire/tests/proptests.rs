@@ -166,7 +166,12 @@ fn arb_response() -> impl Strategy<Value = DiscoveryResponse> {
 
 fn arb_event() -> impl Strategy<Value = Event> {
     (arb_uuid(), arb_topic(), arb_node(), prop::collection::vec(any::<u8>(), 0..128))
-        .prop_map(|(id, topic, source, payload)| Event { id, topic, source, payload })
+        .prop_map(|(id, topic, source, payload)| Event {
+            id,
+            topic,
+            source,
+            payload: payload.into(),
+        })
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -197,9 +202,30 @@ fn arb_message() -> impl Strategy<Value = Message> {
             prop::collection::vec(any::<u8>(), 0..64)
         )
             .prop_map(|(sender, cert_chain, ciphertext, signature)| Message::Secure(
-                SecureEnvelope { sender, cert_chain, ciphertext, signature }
+                SecureEnvelope {
+                    sender,
+                    cert_chain: cert_chain.into_iter().map(Into::into).collect(),
+                    ciphertext: ciphertext.into(),
+                    signature: signature.into(),
+                }
             )),
+        (arb_uuid(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(
+            |(channel, seq, payload)| Message::ReliableData {
+                channel,
+                seq,
+                payload: payload.into()
+            }
+        ),
+        (arb_uuid(), any::<u64>())
+            .prop_map(|(channel, cumulative)| Message::ReliableAck { channel, cumulative }),
     ]
+}
+
+/// The pre-frame decode path — [`Message::from_bytes`] over a plain
+/// slice, every field freshly allocated — kept as the oracle the
+/// zero-copy peek/forward paths must agree with.
+fn full_decode_oracle(body: &[u8]) -> Result<Message, nb_wire::WireError> {
+    Message::from_bytes(body)
 }
 
 proptest! {
@@ -274,5 +300,82 @@ proptest! {
             }
         }
         prop_assert_eq!(out, payloads);
+    }
+
+    // ---------------------------------------- zero-copy wire path -----
+
+    #[test]
+    fn peek_agrees_with_full_decode(msg in arb_message(), ttl in any::<u8>(), hops in any::<u8>()) {
+        let frame = nb_wire::frame_message(&msg, ttl, hops);
+        let h = nb_wire::frame::peek(&frame).unwrap();
+        prop_assert_eq!((h.ttl, h.hops), (ttl, hops));
+
+        // Oracle: the old decode-everything path on the body bytes.
+        let body = &frame[nb_wire::PRELUDE_LEN..];
+        let oracle = full_decode_oracle(body).unwrap();
+        prop_assert_eq!(h.tag, oracle.to_bytes()[0]);
+        let (want_uuid, want_topic_len) = match &oracle {
+            Message::Publish(ev) => (Some(ev.id), Some(ev.topic.as_str().len())),
+            Message::Discovery(req) => (Some(req.request_id), None),
+            Message::DiscoveryAck { request_id, .. } => (Some(*request_id), None),
+            Message::ReliableData { channel, .. }
+            | Message::ReliableAck { channel, .. } => (Some(*channel), None),
+            _ => (None, None),
+        };
+        prop_assert_eq!(h.uuid, want_uuid);
+        prop_assert_eq!(h.topic_len, want_topic_len);
+
+        // peek_body sees the same fixed-offset fields.
+        let hb = nb_wire::peek_body(body).unwrap();
+        prop_assert_eq!((hb.tag, hb.uuid, hb.topic_len), (h.tag, h.uuid, h.topic_len));
+    }
+
+    #[test]
+    fn framed_decode_agrees_with_oracle(msg in arb_message()) {
+        let frame = nb_wire::frame_message(&msg, nb_wire::DEFAULT_TTL, 0);
+        let (_, zero_copy) = nb_wire::decode_framed(&frame).unwrap();
+        let oracle = full_decode_oracle(&frame[nb_wire::PRELUDE_LEN..]).unwrap();
+        prop_assert_eq!(&zero_copy, &oracle);
+        prop_assert_eq!(zero_copy, msg);
+    }
+
+    #[test]
+    fn forwarded_frame_agrees_with_reencode_oracle(msg in arb_message(), ttl in 1u8..=255, hops in 0u8..255) {
+        let wire = nb_wire::WireMsg::from_frame(nb_wire::frame_message(&msg, ttl, hops)).unwrap();
+        let fwd = wire.forward_hop().unwrap();
+        // Oracle: decode, then re-encode from scratch at the bumped counters.
+        let oracle = nb_wire::frame_message(&full_decode_oracle(&wire.frame()[nb_wire::PRELUDE_LEN..]).unwrap(), ttl - 1, hops + 1);
+        prop_assert_eq!(fwd.frame().as_ref(), oracle.as_ref());
+    }
+
+    #[test]
+    fn truncated_frames_error_never_panic(msg in arb_message(), cut_frac in 0.0f64..1.0) {
+        let frame = nb_wire::frame_message(&msg, nb_wire::DEFAULT_TTL, 0);
+        let cut = ((frame.len() as f64) * cut_frac) as usize;
+        let truncated = frame.slice(..cut);
+        prop_assert!(nb_wire::decode_framed(&truncated).is_err());
+        let _ = nb_wire::frame::peek(&truncated); // may succeed (header-only) but must not panic
+        if cut < frame.len() {
+            prop_assert!(Message::from_bytes(&truncated[nb_wire::PRELUDE_LEN.min(cut)..]).is_err());
+        }
+    }
+
+    #[test]
+    fn bitflipped_frames_error_or_decode_never_panic(
+        msg in arb_message(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), 0u8..8), 1..8),
+    ) {
+        let frame = nb_wire::frame_message(&msg, nb_wire::DEFAULT_TTL, 0);
+        let mut bytes = frame.to_vec();
+        for (idx, bit) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= 1 << bit;
+        }
+        // Corruption must surface as a WireError (or a clean decode of
+        // some other valid message when the flip lands in payload bytes)
+        // — never a panic.
+        let _ = nb_wire::decode_framed(&bytes.clone().into());
+        let _ = nb_wire::frame::peek(&bytes);
+        let _ = Message::from_bytes(&bytes[nb_wire::PRELUDE_LEN..]);
     }
 }

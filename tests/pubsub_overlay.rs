@@ -110,7 +110,7 @@ fn unsubscribe_stops_delivery_overlay_wide() {
         Incoming::Stream {
             from: Endpoint::new(sub, nb::wire::addr::well_known::BROKER),
             to_port: nb::wire::addr::well_known::BROKER,
-            msg: Message::ClientUnsubscribe { filter: filter.clone() },
+            msg: Message::ClientUnsubscribe { filter: filter.clone() }.into(),
         },
     );
     sim.run_for(Duration::from_secs(2));

@@ -73,7 +73,7 @@ struct ReliablePipe {
     tx: Option<ReliableSender>,
     rx: ReliableReceiver,
     payloads_to_send: Vec<Vec<u8>>,
-    received: Vec<Vec<u8>>,
+    received: Vec<nb::wire::Bytes>,
 }
 
 impl Actor for ReliablePipe {
@@ -175,7 +175,7 @@ impl Actor for ReplayPublisher {
                 id: Uuid::random(ctx.rng()),
                 topic,
                 source: ctx.me(),
-                payload,
+                payload: payload.into(),
             };
             self.service.store.record(ev);
         }
@@ -202,8 +202,10 @@ impl Actor for LateJoiner {
         ctx.send_udp(well_known::BROKER, Endpoint::new(self.publisher, well_known::BROKER), &req);
     }
     fn on_incoming(&mut self, event: Incoming, _ctx: &mut dyn Context) {
-        if let Incoming::Datagram { msg: Message::Publish(ev), .. } = event {
-            self.got.push(ev);
+        if let Incoming::Datagram { msg, .. } = event {
+            if let Message::Publish(ev) = msg.into_message() {
+                self.got.push(ev);
+            }
         }
     }
     impl_actor_any!();

@@ -9,13 +9,17 @@
 #   tools/bench.sh --threads 8      # pin the parallel worker count
 #   tools/bench.sh chaos-smoke      # 3-seed chaos campaign (<30 s),
 #                                   # writes CHAOS_campaign.json
-#   tools/bench.sh lint             # nb-lint static analysis (D001–D006),
+#   tools/bench.sh lint             # nb-lint static analysis (D001–D007),
 #                                   # writes LINT_report.json; exit 1 on
 #                                   # new findings
 #   tools/bench.sh routing          # routing micro-suite (trie+memo vs
 #                                   # linear oracle), writes
 #                                   # BENCH_routing.json; exit 1 unless
 #                                   # trie ≥ 3x / memo ≥ 10x at 1e4 filters
+#   tools/bench.sh codec            # wire-path micro-suite (peek vs full
+#                                   # decode, forward vs re-encode, allocs
+#                                   # per delivery), writes BENCH_codec.json;
+#                                   # exit 1 unless peek ≥ 5x and forward ≥ 3x
 #
 # All other flags are forwarded to `repro bench`. The parallel speedup
 # is bounded by visible cores (recorded in the JSON as "cores");
@@ -54,6 +58,17 @@ if [[ "${1:-}" == "routing" ]]; then
     cargo build --release -p nb-bench
     ./target/release/repro routing --seed 11 --min-speedup 3 \
         --routing-json BENCH_routing.json "$@"
+    exit 0
+fi
+
+if [[ "${1:-}" == "codec" ]]; then
+    shift
+    # Zero-copy wire-path gate: header peek must beat the full decode
+    # ≥ 5x and byte-forwarding must beat decode+re-encode ≥ 3x, pinned
+    # seed so reruns measure the same frame population.
+    cargo build --release -p nb-bench
+    ./target/release/repro codec --seed 11 --min-peek-speedup 5 \
+        --min-forward-speedup 3 --codec-json BENCH_codec.json "$@"
     exit 0
 fi
 
