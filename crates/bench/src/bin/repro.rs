@@ -12,13 +12,18 @@
 //! repro ablation-scale | ablation-loss | ablation-clock
 //! repro check               # self-verify every qualitative claim (exit 1 on failure)
 //! repro trace               # message-flow trace of one discovery
-//! repro bench               # perf baseline: figure suite serial vs parallel,
-//!                           # writes BENCH_discovery.json (see --bench-json/--threads)
+//! repro bench               # perf baseline: figure suite serial vs parallel plus the
+//!                           # intra-run shard-scaling A/B, writes BENCH_discovery.json
+//!                           # (see --bench-json/--workers); hard-fails if the sharded
+//!                           # engine's digests diverge across worker counts
+//! repro shards              # the shard-scaling gate alone: times the sharded engine at
+//!                           # 1/2/4 intra-run workers, exit 1 unless every worker count
+//!                           # produces byte-identical digests (speedup recorded, not gated)
 //! repro chaos               # seeded fault-injection campaign (scripted BDN state-loss
 //!                           # restart + randomized scenarios), writes CHAOS_campaign.json
 //!                           # (see --scenarios/--chaos-json); exit 1 if any invariant fails
 //! repro lint                # nb-lint static analysis (determinism + protocol-safety
-//!                           # rules D001–D007), writes LINT_report.json (see --lint-json);
+//!                           # rules D001–D008), writes LINT_report.json (see --lint-json);
 //!                           # exit 1 on new findings
 //! repro routing             # routing micro-bench: trie+memo vs linear-scan oracle at
 //!                           # 1e3/1e4/1e5 filters, writes BENCH_routing.json (see
@@ -170,10 +175,12 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
-            "--threads" => {
+            // `--workers` is the documented spelling; `--threads` stays
+            // as a compatibility alias for older scripts.
+            flag @ ("--workers" | "--threads") => {
                 i += 1;
                 args.threads = argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
-                    eprintln!("--threads needs a number");
+                    eprintln!("{flag} needs a number");
                     std::process::exit(2);
                 });
             }
@@ -534,9 +541,15 @@ fn run(cmd: &str, runs: usize, seed: u64, csv: &Option<std::path::PathBuf>) {
 fn run_bench_cmd(args: &Args) {
     let report = nb_bench::report::run_bench(args.seed, args.runs, args.threads);
     println!(
-        "=== Perf baseline: figure suite, {} runs per figure, seed {}, {} workers, \
-         {} mode ===",
-        report.runs, report.seed, report.workers, report.mode
+        "=== Perf baseline: figure suite, {} runs per figure, seed {} ===",
+        report.runs, report.seed
+    );
+    println!(
+        "cores detected: {}, workers used: {} ({} mode{})",
+        report.cores,
+        report.workers,
+        report.mode,
+        if args.threads.is_some() { ", --workers override" } else { "" }
     );
     if report.mode == "serial-fallback" {
         println!(
@@ -580,13 +593,59 @@ fn run_bench_cmd(args: &Args) {
         report.hot_path.slab_ns_per_event,
         report.hot_path.speedup()
     );
+    print_shard_scaling(&report.shard_scaling);
     if let Err(e) = std::fs::write(&args.bench_json, report.to_json()) {
         eprintln!("cannot write {}: {e}", args.bench_json.display());
         std::process::exit(2);
     }
     println!("wrote {}", args.bench_json.display());
+    // Digest divergence across worker counts means the sharded engine
+    // broke its determinism contract — never publish a baseline off it.
+    if !report.shard_scaling.digests_equal() {
+        eprintln!("shard determinism gate FAILED: digests diverge across worker counts");
+        std::process::exit(1);
+    }
     // The routing baseline rides along with every full bench run.
     run_routing_cmd(args);
+}
+
+/// Renders the shard-scaling A/B table shared by `repro bench` and
+/// `repro shards`.
+fn print_shard_scaling(scaling: &nb_bench::report::ShardScaling) {
+    println!(
+        "=== Shard scaling: {} on the sharded engine, {} runs, {} shards ===",
+        scaling.workload, scaling.runs, scaling.shards
+    );
+    println!("{:>8} {:>12} {:>18} {:>8}", "workers", "wall ms", "digest", "speedup");
+    for p in &scaling.points {
+        println!(
+            "{:>8} {:>12.1} {:>18} {:>7.2}x",
+            p.workers,
+            p.wall_ms,
+            format!("{:016x}", p.digest),
+            scaling.speedup_at(p.workers).unwrap_or(0.0)
+        );
+    }
+    println!(
+        "digests {} across worker counts; speedup at 4 workers {:.2}x (recorded, not gated)",
+        if scaling.digests_equal() { "IDENTICAL" } else { "DIVERGED" },
+        scaling.speedup_at(4).unwrap_or(0.0)
+    );
+}
+
+/// `repro shards`: the shard-scaling determinism gate alone. Exit 1
+/// unless every intra-run worker count produced byte-identical engine
+/// digests. Wall-time speedup is recorded for the baseline but never
+/// gated — on a 1-core container the sharded path cannot beat serial.
+fn run_shards_cmd(args: &Args) {
+    let runs = args.runs.clamp(1, 12);
+    let scaling = nb_bench::report::run_shard_scaling(args.seed, runs);
+    print_shard_scaling(&scaling);
+    if !scaling.digests_equal() {
+        eprintln!("shard determinism gate FAILED: digests diverge across worker counts");
+        std::process::exit(1);
+    }
+    println!("shard determinism gate passed");
 }
 
 /// `repro routing`: the subscription-matching micro-suite (trie + memo
@@ -702,11 +761,18 @@ fn run_codec_cmd(args: &Args) {
 /// `repro chaos`: runs the seeded fault-injection campaign and writes
 /// the deterministic JSON report. Exits 1 when an invariant fails.
 fn run_chaos_cmd(args: &Args) {
-    let report = nb_bench::chaos::run_campaign(args.seed, args.scenarios.max(1));
+    // Scenarios are independent, so the campaign shards across workers;
+    // the report bytes are identical whatever count is used.
+    let workers = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, |n| n.get().min(16))
+    });
+    let report =
+        nb_bench::chaos::run_campaign_with_workers(args.seed, args.scenarios.max(1), workers);
     println!(
-        "=== Chaos campaign: {} scenarios from base seed {} ===",
+        "=== Chaos campaign: {} scenarios from base seed {}, {} workers ===",
         report.scenarios.len(),
-        report.base_seed
+        report.base_seed,
+        workers
     );
     println!(
         "{:<20} {:>6} {:>8} {:>18} {:>10} {:>8} {:>7}",
@@ -771,6 +837,10 @@ fn main() {
     let args = parse_args();
     if args.cmd == "bench" {
         run_bench_cmd(&args);
+        return;
+    }
+    if args.cmd == "shards" {
+        run_shards_cmd(&args);
         return;
     }
     if args.cmd == "chaos" {

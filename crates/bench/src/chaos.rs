@@ -424,32 +424,50 @@ pub fn run_scenario(name: &str, seed: u64, make_plan: &dyn Fn(&ChaosDeployment) 
     }
 }
 
+/// Runs scenario `i` of a campaign rooted at `base_seed`: scenario 0
+/// is the scripted acceptance plan, scenario `i > 0` draws a
+/// randomized plan from seed `base_seed + i`, alternating the light
+/// and heavy profiles. Each scenario is a pure function of
+/// `(base_seed, i)` alone — the property that lets campaigns shard
+/// across worker threads without changing a byte of the report.
+pub fn run_campaign_scenario(base_seed: u64, i: usize) -> ScenarioResult {
+    let seed = base_seed.wrapping_add(i as u64);
+    if i == 0 {
+        run_scenario("scripted_bdn_loss", seed, &acceptance_plan)
+    } else {
+        let profile = if i % 2 == 1 { ChaosProfile::light() } else { ChaosProfile::heavy() };
+        let name = if i % 2 == 1 { "generated_light" } else { "generated_heavy" };
+        run_scenario(name, seed, &move |dep: &ChaosDeployment| {
+            let targets = ChaosTargets {
+                bdns: vec![dep.bdn],
+                brokers: dep.brokers.clone(),
+                clients: dep.entities.clone(),
+            };
+            FaultPlan::generate(seed, &profile, &targets, GEN_HORIZON)
+        })
+    }
+}
+
 /// Runs a campaign of `scenarios` runs from `base_seed`: scenario 0 is
 /// the scripted acceptance plan, scenario `i > 0` draws a randomized
 /// plan from seed `base_seed + i`, alternating the light and heavy
 /// profiles.
 pub fn run_campaign(base_seed: u64, scenarios: usize) -> CampaignReport {
-    let mut results = Vec::with_capacity(scenarios);
-    for i in 0..scenarios {
-        let seed = base_seed.wrapping_add(i as u64);
-        let result = if i == 0 {
-            run_scenario("scripted_bdn_loss", seed, &acceptance_plan)
-        } else {
-            let profile =
-                if i % 2 == 1 { ChaosProfile::light() } else { ChaosProfile::heavy() };
-            let name =
-                if i % 2 == 1 { "generated_light" } else { "generated_heavy" };
-            run_scenario(name, seed, &move |dep: &ChaosDeployment| {
-                let targets = ChaosTargets {
-                    bdns: vec![dep.bdn],
-                    brokers: dep.brokers.clone(),
-                    clients: dep.entities.clone(),
-                };
-                FaultPlan::generate(seed, &profile, &targets, GEN_HORIZON)
-            })
-        };
-        results.push(result);
-    }
+    run_campaign_with_workers(base_seed, scenarios, 1)
+}
+
+/// Scenario-parallel campaign: scenarios are independent deployments,
+/// so they shard across `workers` threads and merge back in scenario
+/// order. The report is a pure function of `(base_seed, scenarios)` —
+/// byte-identical for every worker count — which the worker-pinned
+/// digest test in `tests/chaos_campaign.rs` asserts at 1 and 4 workers.
+pub fn run_campaign_with_workers(
+    base_seed: u64,
+    scenarios: usize,
+    workers: usize,
+) -> CampaignReport {
+    let results = crate::parallel::ParallelExecutor::with_workers(workers)
+        .run(scenarios, |i| run_campaign_scenario(base_seed, i));
     CampaignReport { base_seed, scenarios: results }
 }
 

@@ -42,6 +42,53 @@ impl FigureBench {
     }
 }
 
+/// One row of the shard-scaling A/B: the sharded engine timed at a
+/// fixed intra-run worker count.
+#[derive(Debug, Clone)]
+pub struct ShardScalePoint {
+    /// Event workers inside each simulated run.
+    pub workers: usize,
+    /// Best-of-3 wall time for the whole workload, milliseconds.
+    pub wall_ms: f64,
+    /// FNV-1a fold of every run's engine digest. The determinism
+    /// witness: identical on every row or the baseline is invalid.
+    pub digest: u64,
+}
+
+/// Shard-scaling A/B: the same figure workload re-timed on the
+/// conservative-lookahead sharded engine at increasing intra-run
+/// worker counts, shard count held fixed. Wall time may move with the
+/// worker count; the digest column must not.
+#[derive(Debug, Clone)]
+pub struct ShardScaling {
+    /// Workload the rows share (one of [`bench_workloads`]).
+    pub workload: &'static str,
+    /// Discovery runs per row.
+    pub runs: usize,
+    /// LP groups the topology is partitioned into (fixed across rows).
+    pub shards: usize,
+    /// Engine events per row (identical across rows — checked).
+    pub events: u64,
+    /// One row per worker count, ascending.
+    pub points: Vec<ShardScalePoint>,
+}
+
+impl ShardScaling {
+    /// Do all rows agree on the digest? `repro bench` and the
+    /// `repro shards` gate treat `false` as a hard failure.
+    pub fn digests_equal(&self) -> bool {
+        self.points.windows(2).all(|w| w[0].digest == w[1].digest)
+    }
+
+    /// Wall-time speedup of the `workers`-worker row over the 1-worker
+    /// row. Recorded, never gated: on a 1-core box it sits below 1.
+    pub fn speedup_at(&self, workers: usize) -> Option<f64> {
+        let base = self.points.iter().find(|p| p.workers == 1)?;
+        let row = self.points.iter().find(|p| p.workers == workers)?;
+        if row.wall_ms > 0.0 { Some(base.wall_ms / row.wall_ms) } else { None }
+    }
+}
+
 /// The full baseline: every figure workload plus suite totals.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -61,6 +108,8 @@ pub struct BenchReport {
     pub mode: &'static str,
     /// Per-figure timings.
     pub figures: Vec<FigureBench>,
+    /// Intra-run shard-scaling A/B on the sharded engine.
+    pub shard_scaling: ShardScaling,
     /// Isolated old-vs-new event-loop layout comparison.
     pub hot_path: HotPathBench,
 }
@@ -105,8 +154,8 @@ impl BenchReport {
         out.push_str("  \"suite\": \"discovery-figures\",\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"runs_per_figure\": {},\n", self.runs));
-        out.push_str(&format!("  \"workers\": {},\n", self.workers));
-        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"cores_detected\": {},\n", self.cores));
+        out.push_str(&format!("  \"workers_used\": {},\n", self.workers));
         out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         out.push_str(&format!("  \"events\": {},\n", self.events()));
         out.push_str(&format!("  \"serial_wall_ms\": {:.1},\n", self.serial_ms()));
@@ -136,6 +185,28 @@ impl BenchReport {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"shard_scaling\": {{\"workload\": \"{}\", \"runs\": {}, \"shards\": {}, \
+             \"events\": {}, \"digests_equal\": {},\n",
+            self.shard_scaling.workload,
+            self.shard_scaling.runs,
+            self.shard_scaling.shards,
+            self.shard_scaling.events,
+            self.shard_scaling.digests_equal(),
+        ));
+        out.push_str("    \"points\": [\n");
+        for (i, p) in self.shard_scaling.points.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"workers\": {}, \"wall_ms\": {:.1}, \"digest\": \"{:016x}\", \
+                 \"speedup\": {:.2}}}{}\n",
+                p.workers,
+                p.wall_ms,
+                p.digest,
+                self.shard_scaling.speedup_at(p.workers).unwrap_or(0.0),
+                if i + 1 < self.shard_scaling.points.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    ]},\n");
         out.push_str(&format!(
             "  \"hot_path\": {{\"events\": {}, \"legacy_ns_per_event\": {:.1}, \
              \"slab_ns_per_event\": {:.1}, \"speedup\": {:.2}}}\n",
@@ -170,6 +241,56 @@ pub fn bench_workloads() -> Vec<(&'static str, ScenarioBuilder)> {
         ("fig11_linear_breakdown", topo(TopologyKind::Linear, BLOOMINGTON, 0)),
         ("fig12_multicast", ScenarioBuilder::multicast(0, 2)),
     ]
+}
+
+/// Intra-run worker counts the shard-scaling A/B samples.
+pub const SHARD_SCALE_WORKERS: [usize; 3] = [1, 2, 4];
+/// LP groups the shard-scaling A/B partitions each run into. Fixed so
+/// every row times the same partition; the digest is invariant to it
+/// regardless (RNG streams key on node id, not group id).
+pub const SHARD_SCALE_SHARDS: usize = 4;
+
+/// Times one figure workload on the sharded engine at each of
+/// [`SHARD_SCALE_WORKERS`] intra-run worker counts (best of 3, outer
+/// executor serial so only intra-run parallelism is measured).
+///
+/// Panics if the rows disagree on outcomes or event counts; digest
+/// agreement is *recorded* (`digests_equal`) and gated by the callers,
+/// so the report can still be inspected when the contract breaks.
+pub fn run_shard_scaling(seed: u64, runs: usize) -> ShardScaling {
+    let workload = "fig9_star_breakdown";
+    let builder = bench_workloads()
+        .into_iter()
+        .find(|(n, _)| *n == workload)
+        .expect("star workload present")
+        .1;
+    let outer = ParallelExecutor::serial();
+    let mut points = Vec::new();
+    let mut events = 0u64;
+    let mut reference: Option<Vec<nb_discovery::DiscoveryOutcome>> = None;
+    for &w in &SHARD_SCALE_WORKERS {
+        let mut best_ms = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let r = outer.run_discoveries_sharded(seed, runs, w, SHARD_SCALE_SHARDS, &builder);
+            best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            last = Some(r);
+        }
+        let (outcomes, row_events, digest) = last.expect("three samples taken");
+        match &reference {
+            None => {
+                events = row_events;
+                reference = Some(outcomes);
+            }
+            Some(r) => {
+                assert_eq!(r, &outcomes, "{w}-worker outcomes diverged from 1-worker");
+                assert_eq!(events, row_events, "{w}-worker event count diverged");
+            }
+        }
+        points.push(ShardScalePoint { workers: w, wall_ms: best_ms, digest });
+    }
+    ShardScaling { workload, runs, shards: SHARD_SCALE_SHARDS, events, points }
 }
 
 /// Times the figure suite serial vs parallel and assembles the report.
@@ -215,9 +336,19 @@ pub fn run_bench(seed: u64, runs: usize, workers: Option<usize>) -> BenchReport 
         figures.push(FigureBench { name, runs, events: events_s, serial_ms, parallel_ms });
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let shard_scaling = run_shard_scaling(seed, runs);
     let hot_path = run_hotpath_bench(HOTPATH_EVENTS);
     let mode = if serial_fallback { "serial-fallback" } else { "parallel" };
-    BenchReport { seed, runs, workers: parallel.workers(), cores, mode, figures, hot_path }
+    BenchReport {
+        seed,
+        runs,
+        workers: parallel.workers(),
+        cores,
+        mode,
+        figures,
+        shard_scaling,
+        hot_path,
+    }
 }
 
 #[cfg(test)]
@@ -242,9 +373,19 @@ mod tests {
         assert_eq!(report.mode, "parallel");
         assert!(report.events() > 0);
         assert!(report.serial_ms() > 0.0);
+        assert_eq!(report.shard_scaling.points.len(), SHARD_SCALE_WORKERS.len());
+        assert!(
+            report.shard_scaling.digests_equal(),
+            "shard digests diverged across worker counts"
+        );
+        assert!(report.shard_scaling.speedup_at(4).is_some());
         let json = report.to_json();
         assert!(json.contains("\"suite\": \"discovery-figures\""));
         assert!(json.contains("\"mode\": \"parallel\""));
+        assert!(json.contains("\"cores_detected\""));
+        assert!(json.contains("\"workers_used\": 2"));
+        assert!(json.contains("\"shard_scaling\""));
+        assert!(json.contains("\"digests_equal\": true"));
         assert!(json.contains("fig12_multicast"));
         // Balanced braces — cheap structural sanity for the hand-rolled JSON.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

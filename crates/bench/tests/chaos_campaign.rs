@@ -8,7 +8,9 @@
 //! * chaos-smoke — the three-seed tier-1 wrapper behind
 //!   `tools/bench.sh chaos-smoke`.
 
-use nb_bench::chaos::{acceptance_plan, build_deployment, run_campaign};
+use nb_bench::chaos::{
+    acceptance_plan, build_deployment, run_campaign, run_campaign_with_workers,
+};
 
 #[test]
 fn same_seed_produces_byte_identical_schedule_and_report() {
@@ -85,4 +87,25 @@ fn campaign_report_unchanged_by_ordered_state() {
         h, PINNED_FNV1A64,
         "chaos report bytes drifted (got {h:016x}) — sim-visible ordering changed"
     );
+}
+
+/// The same pin, now also held at 1 and 4 campaign workers: scenarios
+/// shard across threads but merge in scenario order, so the report —
+/// and therefore its digest — must not move a byte when the campaign
+/// runs scenario-parallel.
+#[test]
+fn campaign_report_pinned_at_one_and_four_workers() {
+    const PINNED_FNV1A64: u64 = 0x495b_4add_df3f_44fe;
+    for workers in [1, 4] {
+        let json = run_campaign_with_workers(11, 3, workers).to_json();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in json.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(
+            h, PINNED_FNV1A64,
+            "chaos report bytes drifted at {workers} workers (got {h:016x})"
+        );
+    }
 }

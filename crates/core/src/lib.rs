@@ -67,5 +67,5 @@ pub use entity::{Entity, EntityState};
 pub use joining::JoiningBroker;
 pub use policy::ResponsePolicy;
 pub use responder::Responder;
-pub use scenario::Scenario;
+pub use scenario::{Scenario, ScenarioBuilder, ShardedScenario};
 pub use selection::{estimate_delay_us, shortlist, weigh, Candidate};

@@ -23,7 +23,7 @@ use nb_broker::{BrokerConfig, MachineProfile, Topology, TopologyKind};
 use nb_wire::{NodeId, RealmId};
 
 use nb_net::wan::{SiteIdx, WanModel, BLOOMINGTON, CARDIFF, FSU, INDIANAPOLIS, NCSA, UMN};
-use nb_net::{ClockProfile, Sim, SimTime};
+use nb_net::{ClockProfile, DiscoveryEngine, ShardedSim, Sim, SimTime};
 
 use crate::bdn::{Bdn, BdnConfig};
 use crate::broker_actor::DiscoveryBrokerActor;
@@ -98,10 +98,62 @@ impl ScenarioBuilder {
         b
     }
 
-    /// Builds the simulator, nodes and links.
+    /// Builds the simulator, nodes and links (reference serial engine).
     pub fn build(self) -> Scenario {
         let wan = WanModel::paper();
         let mut sim = Sim::with_clock_profile(self.seed, self.clock);
+        let (bdn, brokers, client, topology) = self.build_into(&mut sim, &wan);
+        let warmup = self.warmup;
+        let mut scenario = Scenario {
+            sim,
+            wan,
+            topology,
+            kind: self.kind,
+            bdn,
+            brokers,
+            client,
+            broker_sites: self.broker_sites,
+            client_site: self.client_site,
+        };
+        scenario.sim.run_for(warmup);
+        scenario
+    }
+
+    /// Builds the same testbed on the conservative-lookahead sharded
+    /// engine. Results are byte-identical for every `workers`/`shards`
+    /// combination (pass `0` for `shards` to default to one group per
+    /// worker); only wall time changes.
+    pub fn build_sharded(self, workers: usize, shards: usize) -> ShardedScenario {
+        let wan = WanModel::paper();
+        let mut sim = ShardedSim::with_clock_profile(self.seed, self.clock);
+        sim.set_workers(workers.max(1));
+        if shards > 0 {
+            sim.set_shards(shards);
+        }
+        let (bdn, brokers, client, topology) = self.build_into(&mut sim, &wan);
+        let warmup = self.warmup;
+        let mut scenario = ShardedScenario {
+            sim,
+            wan,
+            topology,
+            kind: self.kind,
+            bdn,
+            brokers,
+            client,
+            broker_sites: self.broker_sites,
+            client_site: self.client_site,
+        };
+        scenario.sim.run_for(warmup);
+        scenario
+    }
+
+    /// Engine-agnostic node/link construction, shared between
+    /// [`ScenarioBuilder::build`] and [`ScenarioBuilder::build_sharded`].
+    fn build_into<E: DiscoveryEngine>(
+        &self,
+        sim: &mut E,
+        wan: &WanModel,
+    ) -> (Option<NodeId>, Vec<NodeId>, NodeId, Topology) {
         let n = self.broker_sites.len();
         let topology = Topology::build(self.kind, n);
         let dial_lists = topology.dial_lists();
@@ -156,7 +208,10 @@ impl ScenarioBuilder {
             let attached: Vec<NodeId> = attached_idx.iter().map(|&i| brokers[i]).collect();
             let bdn_cfg =
                 BdnConfig { attached_brokers: attached, auto_attach: false, ..self.bdn.clone() };
-            let actor = sim.actor_mut::<Bdn>(bdn_id).expect("bdn actor");
+            let actor = sim
+                .actor_dyn_mut(bdn_id)
+                .and_then(|a| a.as_any_mut().downcast_mut::<Bdn>())
+                .expect("bdn actor");
             *actor = Bdn::new(bdn_cfg);
         }
 
@@ -184,20 +239,7 @@ impl ScenarioBuilder {
             sim.network_mut().scale_loss(self.loss_factor);
         }
 
-        let warmup = self.warmup;
-        let mut scenario = Scenario {
-            sim,
-            wan,
-            topology,
-            kind: self.kind,
-            bdn,
-            brokers,
-            client,
-            broker_sites: self.broker_sites,
-            client_site: self.client_site,
-        };
-        scenario.sim.run_for(warmup);
-        scenario
+        (bdn, brokers, client, topology)
     }
 }
 
@@ -289,6 +331,92 @@ impl Scenario {
     }
 }
 
+/// A built testbed on the sharded engine: same roles as [`Scenario`],
+/// plus the run digest and worker/shard knobs the determinism gates
+/// compare across configurations.
+pub struct ShardedScenario {
+    /// The sharded simulator.
+    pub sim: ShardedSim,
+    /// The WAN model used.
+    pub wan: WanModel,
+    /// The overlay topology.
+    pub topology: Topology,
+    /// The topology kind.
+    pub kind: TopologyKind,
+    /// The BDN node (absent in multicast-only scenarios).
+    pub bdn: Option<NodeId>,
+    /// Broker nodes, index-aligned with `broker_sites`.
+    pub brokers: Vec<NodeId>,
+    /// The discovery client node.
+    pub client: NodeId,
+    /// Site of each broker.
+    pub broker_sites: Vec<SiteIdx>,
+    /// Site of the client.
+    pub client_site: SiteIdx,
+}
+
+impl ShardedScenario {
+    /// Runs one discovery and returns its outcome.
+    pub fn run_discovery_once(&mut self) -> DiscoveryOutcome {
+        self.run_discovery(1).pop().expect("one outcome")
+    }
+
+    /// Runs `count` back-to-back discoveries, mirroring
+    /// [`Scenario::run_discovery`].
+    pub fn run_discovery(&mut self, count: usize) -> Vec<DiscoveryOutcome> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let before = self.client_actor().completed.len();
+            self.sim.inject(
+                self.client,
+                Duration::from_millis(1),
+                nb_net::Incoming::Timer { token: TIMER_START },
+            );
+            let cap = self.sim.now() + Duration::from_secs(60);
+            loop {
+                self.sim.run_for(Duration::from_millis(100));
+                if self.client_actor().completed.len() > before {
+                    break;
+                }
+                if self.sim.now() > cap {
+                    panic!(
+                        "discovery run did not complete within 60s of virtual time (phase {:?})",
+                        self.client_actor().phase()
+                    );
+                }
+            }
+            self.sim.run_for(Duration::from_millis(200));
+            out.push(self.client_actor().completed.last().expect("outcome").clone());
+        }
+        out
+    }
+
+    fn client_actor(&self) -> &DiscoveryClient {
+        self.sim.actor::<DiscoveryClient>(self.client).expect("client actor")
+    }
+
+    /// The client's discovery state (for assertions).
+    pub fn client_phase(&self) -> Phase {
+        self.client_actor().phase()
+    }
+
+    /// Maps a broker node id back to its site index.
+    pub fn site_of_broker(&self, broker: NodeId) -> Option<SiteIdx> {
+        self.brokers.iter().position(|&b| b == broker).map(|i| self.broker_sites[i])
+    }
+
+    /// The run digest (see [`ShardedSim::digest`]): byte-identical
+    /// across worker and shard counts for a fixed builder + seed.
+    pub fn digest(&self) -> u64 {
+        self.sim.digest()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +466,20 @@ mod tests {
         assert_eq!(s.site_of_broker(chosen), Some(BLOOMINGTON));
         // Remote brokers are unreachable by multicast and unconnected.
         assert!(outcome.responses_received <= 2, "got {}", outcome.responses_received);
+    }
+
+    #[test]
+    fn sharded_build_discovers_and_is_worker_invariant() {
+        let run = |workers, shards| {
+            let mut s = ScenarioBuilder::new(TopologyKind::Star, BLOOMINGTON, 47)
+                .build_sharded(workers, shards);
+            let o = s.run_discovery_once();
+            (o.chosen.is_some(), s.digest(), s.sim.events_processed())
+        };
+        let reference = run(1, 1);
+        assert!(reference.0, "sharded discovery completes");
+        assert_eq!(reference, run(2, 2));
+        assert_eq!(reference, run(4, 0));
     }
 
     #[test]

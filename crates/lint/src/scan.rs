@@ -11,6 +11,7 @@
 //! | D005 | deterministic zones   | no float folds over hash-ordered iteration     |
 //! | D006 | all but wall-clock    | seeded `pub fn`s read no ambient state         |
 //! | D007 | wire receive crates   | no decode-for-one-field, no `Bytes.to_vec()`   |
+//! | D008 | single-threaded zones | no threads/locks/atomics outside the runtimes  |
 //! | L001 | everywhere scanned    | suppressions must carry a justification        |
 
 use crate::lexer::{lex, LineComment, Tok, TokKind};
@@ -93,6 +94,19 @@ pub fn is_wire_receive_zone(path: &str) -> bool {
         || path.starts_with("crates/net/src/")
 }
 
+/// Single-threaded engine zones: `crates/net` and `crates/core` code
+/// runs its event loops on one logical thread per LP, and every
+/// determinism proof in DESIGN.md §13 leans on that. Ad-hoc
+/// `thread::spawn`, locks or atomics here would let wall-clock
+/// scheduling leak into protocol ordering. Only the wall-clock runtime
+/// (`threaded.rs`) and the shard executor (`shard.rs`, whose epoch
+/// barrier is *designed* around worker threads) are sanctioned.
+pub fn is_single_threaded_zone(path: &str) -> bool {
+    (path.starts_with("crates/net/src/") || path.starts_with("crates/core/src/"))
+        && path != "crates/net/src/threaded.rs"
+        && path != "crates/net/src/shard.rs"
+}
+
 /// Whether a whole file is test code (integration-test trees).
 fn is_test_file(path: &str) -> bool {
     path.starts_with("tests/") || path.contains("/tests/")
@@ -136,6 +150,7 @@ pub fn scan_file(path: &str, src: &str) -> FileScan {
     s.rule_d004();
     s.rule_d006();
     s.rule_d007();
+    s.rule_d008();
     let (allows, mut directive_findings) = parse_allows(path, &s.comments, &s.toks, &s.lines);
     s.findings.append(&mut directive_findings);
     s.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -688,6 +703,67 @@ impl<'a> Scanner<'a> {
                 );
             }
             i = params_end;
+        }
+    }
+
+    // D008: ad-hoc threading primitives outside the sanctioned runtimes.
+    // `std::cmp::Ordering` (ubiquitous in comparators) shares its name
+    // with `std::sync::atomic::Ordering`, so the bare ident is
+    // deliberately NOT flagged — the `Atomic*` types that would
+    // accompany a real atomic are the signal.
+    fn rule_d008(&mut self) {
+        if !is_single_threaded_zone(self.path) {
+            return;
+        }
+        for i in 0..self.toks.len() {
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let line = t.line;
+            if self.in_test(line) {
+                continue;
+            }
+            if t.text == "thread"
+                && self.punct(i + 1, ':')
+                && self.punct(i + 2, ':')
+                && (self.ident(i + 3, "spawn") || self.ident(i + 3, "scope"))
+            {
+                let what = self.toks[i + 3].text.clone();
+                self.emit(
+                    "D008",
+                    line,
+                    format!(
+                        "`thread::{what}` outside the sanctioned runtimes: engine code is \
+                         single-threaded per LP — put parallelism behind the shard \
+                         executor (shard.rs) or the wall-clock runtime (threaded.rs)"
+                    ),
+                );
+            } else if matches!(t.text.as_str(), "Mutex" | "RwLock" | "Condvar") {
+                let name = t.text.clone();
+                self.emit(
+                    "D008",
+                    line,
+                    format!(
+                        "`{name}` outside the sanctioned runtimes: shared mutable state \
+                         makes event order depend on thread scheduling"
+                    ),
+                );
+            } else if t
+                .text
+                .strip_prefix("Atomic")
+                .is_some_and(|rest| rest.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+            {
+                let name = t.text.clone();
+                self.emit(
+                    "D008",
+                    line,
+                    format!(
+                        "`{name}` outside the sanctioned runtimes: atomics order by \
+                         hardware timing, not virtual time"
+                    ),
+                );
+            }
         }
     }
 

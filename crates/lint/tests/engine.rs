@@ -248,6 +248,76 @@ fn d007_only_fires_in_wire_receive_crates() {
 }
 
 #[test]
+fn d008_threading_primitives_outside_sanctioned_runtimes() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/net/src/sim.rs",
+        concat!(
+            "pub fn fan_out() {\n",
+            "    let h = std::thread::spawn(|| 1);\n",
+            "    let _m = std::sync::Mutex::new(0);\n",
+            "    let _ = h.join();\n",
+            "}\n",
+        ),
+    );
+    fx.write(
+        "crates/core/src/selection.rs",
+        "pub struct Flags { ready: std::sync::atomic::AtomicBool }\n",
+    );
+    let report = fx.run();
+    assert_eq!(rules(&report), vec!["D008", "D008", "D008"]);
+}
+
+#[test]
+fn d008_sanctioned_runtimes_and_cmp_ordering_are_exempt() {
+    let fx = Fixture::new();
+    // The shard executor and the wall-clock runtime are the two places
+    // threads and locks belong.
+    fx.write(
+        "crates/net/src/shard.rs",
+        "pub fn epochs() { std::thread::scope(|_s| {}); let _m = std::sync::Mutex::new(0); }\n",
+    );
+    fx.write(
+        "crates/net/src/threaded.rs",
+        "pub fn pump() { let h = std::thread::spawn(|| 1); let _ = h.join(); }\n",
+    );
+    // `cmp::Ordering` in comparators is everyday engine code, not an
+    // atomic memory ordering — the bare ident must not trip D008.
+    fx.write(
+        "crates/core/src/weights.rs",
+        concat!(
+            "use std::cmp::Ordering;\n",
+            "pub fn rank(a: u64, b: u64) -> Ordering { a.cmp(&b) }\n",
+        ),
+    );
+    // Outside net/core entirely: not D008's business.
+    fx.write(
+        "crates/bench/src/pool.rs",
+        "pub fn pool() { let _h = std::thread::spawn(|| 2); }\n",
+    );
+    let report = fx.run();
+    assert_eq!(rules(&report), Vec::<&str>::new());
+}
+
+#[test]
+fn d008_skips_test_regions() {
+    let fx = Fixture::new();
+    fx.write(
+        "crates/net/src/wan.rs",
+        concat!(
+            "pub fn model() -> u32 { 7 }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn cross_check() { let h = std::thread::spawn(|| 1); let _ = h.join(); }\n",
+            "}\n",
+        ),
+    );
+    let report = fx.run();
+    assert_eq!(rules(&report), Vec::<&str>::new());
+}
+
+#[test]
 fn suppression_same_line_and_next_line() {
     let fx = Fixture::new();
     fx.write(

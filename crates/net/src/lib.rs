@@ -14,6 +14,9 @@
 //!   connection setup, realm-scoped multicast,
 //! * [`sim`] — the single-threaded, seeded, discrete-event engine used by
 //!   every figure reproduction,
+//! * [`shard`] — the conservative-lookahead sharded engine: one logical
+//!   process per node, per-epoch safe horizons, byte-identical digests
+//!   at every worker/shard count (DESIGN.md §13),
 //! * [`threaded`] — a wall-clock runtime driving the *same* actors with
 //!   real threads and channels (examples + integration tests),
 //! * [`wan`] — the Table-1 site inventory and its latency matrix,
@@ -26,6 +29,7 @@ pub mod clock;
 pub mod link;
 pub mod ntp;
 pub mod runtime;
+pub mod shard;
 pub mod sim;
 pub mod threaded;
 pub mod time;
@@ -35,6 +39,7 @@ pub use chaos::{ChaosProfile, ChaosScheduler, ChaosTargets, Fault, FaultPlan, Pa
 pub use clock::{ClockProfile, ClockState};
 pub use link::{LinkSpec, NetworkModel};
 pub use runtime::{Actor, Context, Incoming};
+pub use shard::{DiscoveryEngine, ShardPlan, ShardRespawnFn, ShardedSim};
 pub use sim::{NetStats, RespawnFn, Sim, TraceRecord};
 pub use threaded::ThreadedNet;
 pub use time::SimTime;

@@ -295,6 +295,25 @@ impl NetworkModel {
         }
     }
 
+    /// The smallest base latency any message between two *distinct*
+    /// nodes can experience: the minimum over the intra-realm and
+    /// inter-realm defaults and every distinct-pair override. This is
+    /// the conservative lookahead window of the sharded engine
+    /// ([`crate::shard::ShardedSim`]): no event executed at time `t` can
+    /// schedule a cross-node delivery earlier than `t + min_latency`
+    /// (jitter, bandwidth serialisation and stream setup only add
+    /// delay). The loopback spec is deliberately excluded — self-sends
+    /// never cross a shard boundary.
+    pub fn min_cross_node_latency(&self) -> Duration {
+        let mut min = self.intra_realm_spec.latency.min(self.inter_realm_spec.latency);
+        for ((a, b), spec) in &self.overrides {
+            if a != b && spec.latency < min {
+                min = spec.latency;
+            }
+        }
+        min
+    }
+
     /// Multicast recipients for a sender: members of `group` in the
     /// sender's realm, excluding the sender itself. Multicast never
     /// crosses realms.
@@ -401,6 +420,17 @@ impl StreamBook {
     /// Whether `from -> to` has an established connection.
     pub fn is_established(&self, from: Endpoint, to: Endpoint) -> bool {
         self.established.contains(&(from, to))
+    }
+
+    /// Records `a <-> b` as established without charging setup, in both
+    /// directions. The sharded engine keeps one book per node: the
+    /// sender's book charges the handshake, and the receiver marks the
+    /// pair established when the first framed message arrives (accepting
+    /// a connection establishes it server-side), so its replies skip the
+    /// setup RTTs just as they do under the shared-book engine.
+    pub fn mark_established(&mut self, a: Endpoint, b: Endpoint) {
+        self.established.insert((a, b));
+        self.established.insert((b, a));
     }
 
     /// Drops all connection state involving `node` (crash/restart).

@@ -6,10 +6,10 @@
 # Usage:
 #   tools/bench.sh                  # paper protocol (120 runs/figure)
 #   tools/bench.sh --runs 30        # faster smoke baseline
-#   tools/bench.sh --threads 8      # pin the parallel worker count
+#   tools/bench.sh --workers 8      # pin the parallel worker count (--threads alias)
 #   tools/bench.sh chaos-smoke      # 3-seed chaos campaign (<30 s),
 #                                   # writes CHAOS_campaign.json
-#   tools/bench.sh lint             # nb-lint static analysis (D001–D007),
+#   tools/bench.sh lint             # nb-lint static analysis (D001–D008),
 #                                   # writes LINT_report.json; exit 1 on
 #                                   # new findings
 #   tools/bench.sh routing          # routing micro-suite (trie+memo vs
@@ -20,6 +20,12 @@
 #                                   # decode, forward vs re-encode, allocs
 #                                   # per delivery), writes BENCH_codec.json;
 #                                   # exit 1 unless peek ≥ 5x and forward ≥ 3x
+#   tools/bench.sh shards           # sharded-engine determinism gate: the
+#                                   # same workload at 1/2/4 intra-run
+#                                   # workers must produce byte-identical
+#                                   # digests (hard failure otherwise);
+#                                   # the 4-worker speedup is recorded in
+#                                   # BENCH_discovery.json, never gated
 #
 # All other flags are forwarded to `repro bench`. The parallel speedup
 # is bounded by visible cores (recorded in the JSON as "cores");
@@ -69,6 +75,18 @@ if [[ "${1:-}" == "codec" ]]; then
     cargo build --release -p nb-bench
     ./target/release/repro codec --seed 11 --min-peek-speedup 5 \
         --min-forward-speedup 3 --codec-json BENCH_codec.json "$@"
+    exit 0
+fi
+
+if [[ "${1:-}" == "shards" ]]; then
+    shift
+    # Conservative-lookahead engine gate: digest equality across worker
+    # counts is the determinism contract (DESIGN.md §13). Pinned seed so
+    # reruns exercise the same event population; wall-clock speedup is
+    # recorded but deliberately not gated — on a 1-core box the sharded
+    # path cannot beat serial and that is not a defect.
+    cargo build --release -p nb-bench
+    ./target/release/repro shards --seed 11 --runs 6 "$@"
     exit 0
 fi
 
