@@ -22,6 +22,10 @@
 //! repro chaos               # seeded fault-injection campaign (scripted BDN state-loss
 //!                           # restart + randomized scenarios), writes CHAOS_campaign.json
 //!                           # (see --scenarios/--chaos-json); exit 1 if any invariant fails
+//! repro federation          # seeded anti-entropy campaign over three federated BDNs
+//!                           # (scripted n-1 BDN loss + stale-replica rejoin + randomized
+//!                           # scenarios), writes BENCH_federation.json (see
+//!                           # --scenarios/--federation-json); exit 1 if any invariant fails
 //! repro lint                # nb-lint static analysis (determinism + protocol-safety
 //!                           # rules D001–D008), writes LINT_report.json (see --lint-json);
 //!                           # exit 1 on new findings
@@ -56,6 +60,7 @@ struct Args {
     threads: Option<usize>,
     scenarios: usize,
     chaos_json: std::path::PathBuf,
+    federation_json: std::path::PathBuf,
     lint_json: std::path::PathBuf,
     routing_json: std::path::PathBuf,
     min_speedup: Option<f64>,
@@ -74,6 +79,7 @@ fn parse_args() -> Args {
         threads: None,
         scenarios: 10,
         chaos_json: std::path::PathBuf::from("CHAOS_campaign.json"),
+        federation_json: std::path::PathBuf::from("BENCH_federation.json"),
         lint_json: std::path::PathBuf::from("LINT_report.json"),
         routing_json: std::path::PathBuf::from("BENCH_routing.json"),
         min_speedup: None,
@@ -129,6 +135,14 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
                 args.chaos_json = std::path::PathBuf::from(path);
+            }
+            "--federation-json" => {
+                i += 1;
+                let Some(path) = argv.get(i) else {
+                    eprintln!("--federation-json needs a path");
+                    std::process::exit(2);
+                };
+                args.federation_json = std::path::PathBuf::from(path);
             }
             "--lint-json" => {
                 i += 1;
@@ -805,6 +819,57 @@ fn run_chaos_cmd(args: &Args) {
     println!("all scenarios passed all invariants");
 }
 
+/// `repro federation`: runs the federated-BDN anti-entropy campaign and
+/// writes the deterministic JSON report. Exits 1 when an invariant
+/// fails.
+fn run_federation_cmd(args: &Args) {
+    // Scenarios are independent, so the campaign shards across workers;
+    // the report bytes are identical whatever count is used.
+    let workers = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, |n| n.get().min(16))
+    });
+    let report = nb_bench::federation::run_campaign_with_workers(
+        args.seed,
+        args.scenarios.max(1),
+        workers,
+    );
+    println!(
+        "=== Federation campaign: {} scenarios from base seed {}, {} workers ===",
+        report.scenarios.len(),
+        report.base_seed,
+        workers
+    );
+    println!(
+        "{:<26} {:>6} {:>8} {:>18} {:>9} {:>9} {:>7}",
+        "scenario", "seed", "faults", "plan digest", "attached", "conv.rds", "verdict"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<26} {:>6} {:>8} {:>18} {:>9} {:>9} {:>7}",
+            s.name,
+            s.seed,
+            s.faults,
+            format!("{:016x}", s.plan_digest),
+            format!("{}/{}", s.attached, s.total_entities),
+            s.convergence_rounds,
+            if s.passed() { "PASS" } else { "FAIL" }
+        );
+        for inv in s.invariants.iter().filter(|i| !i.passed) {
+            println!("    [FAIL] {}: {}", inv.name, inv.detail);
+        }
+    }
+    if let Err(e) = std::fs::write(&args.federation_json, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.federation_json.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", args.federation_json.display());
+    if !report.passed() {
+        eprintln!("federation campaign FAILED");
+        std::process::exit(1);
+    }
+    println!("all scenarios passed all invariants");
+}
+
 /// `repro lint`: runs the nb-lint static-analysis pass over the
 /// workspace and writes the deterministic JSON report. Exits 1 when new
 /// (un-suppressed, un-baselined) findings exist.
@@ -845,6 +910,10 @@ fn main() {
     }
     if args.cmd == "chaos" {
         run_chaos_cmd(&args);
+        return;
+    }
+    if args.cmd == "federation" {
+        run_federation_cmd(&args);
         return;
     }
     if args.cmd == "routing" {

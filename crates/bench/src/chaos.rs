@@ -394,7 +394,7 @@ pub fn run_scenario(name: &str, seed: u64, make_plan: &dyn Fn(&ChaosDeployment) 
     }
     let bdn_actor = dep.sim.actor::<Bdn>(dep.bdn).expect("bdn actor");
     if lease_ok {
-        lease_detail = format!("{} live leases", bdn_actor.registry_len());
+        lease_detail = format!("{} live leases", bdn_actor.live_entries(now));
     }
 
     let failovers: u64 = dep
@@ -416,7 +416,9 @@ pub fn run_scenario(name: &str, seed: u64, make_plan: &dyn Fn(&ChaosDeployment) 
         failovers,
         stale_targets_skipped: bdn_actor.stale_targets_skipped,
         duplicate_requests: bdn_actor.duplicate_requests,
-        registry_len: bdn_actor.registry_len(),
+        // Live leases only (`live_entries`), so an entry whose lease
+        // lapsed between sweep timers is never reported as present.
+        registry_len: bdn_actor.live_entries(now),
         datagrams_duplicated: stats.datagrams_duplicated,
         datagrams_corrupted: stats.datagrams_corrupted,
         datagrams_reordered: stats.datagrams_reordered,

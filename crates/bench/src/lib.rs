@@ -9,6 +9,7 @@
 
 pub mod chaos;
 pub mod codec;
+pub mod federation;
 pub mod hotpath;
 pub mod parallel;
 pub mod report;

@@ -27,17 +27,19 @@ use nb_util::{BoundedDedup, Uuid};
 use nb_wire::addr::well_known;
 use nb_wire::topic::{BDN_ADVERTISEMENT_TOPIC, BROKER_ADVERTISEMENT_TOPIC, DISCOVERY_REQUEST_TOPIC};
 use nb_wire::{
-    BrokerAdvertisement, DiscoveryRequest, Endpoint, Event, Message, NodeId, Topic, TopicFilter,
-    Wire,
+    BrokerAdvertisement, DiscoveryRequest, Endpoint, Event, FederationSync, LeaseRecord, Message,
+    NodeId, SyncPhase, Topic, TopicFilter, Wire, WireWriter,
 };
 
 use nb_net::{impl_actor_any, Actor, Context, Incoming, SimTime};
 
 use crate::config::SecuritySuite;
+use crate::federation::{self, Federation, FederationConfig};
 use crate::policy::ResponsePolicy;
 
 const TIMER_PING: u64 = 0xBD00_0000_0000_0001;
 const TIMER_INJECT: u64 = 0xBD00_0000_0000_0002;
+const TIMER_FEDERATION: u64 = 0xBD00_0000_0000_0003;
 
 /// BDN configuration.
 #[derive(Debug, Clone)]
@@ -83,6 +85,11 @@ pub struct BdnConfig {
     /// Off by default so scenario-pinned attachments keep working before
     /// the first advertisement lands.
     pub require_lease: bool,
+    /// Anti-entropy federation with peer BDNs (see
+    /// [`crate::federation`]). `None` — the default — disables the
+    /// subsystem entirely: no timers, no RNG draws, no wire traffic, so
+    /// a non-federated BDN behaves byte-identically to earlier builds.
+    pub federation: Option<FederationConfig>,
 }
 
 impl Default for BdnConfig {
@@ -99,6 +106,7 @@ impl Default for BdnConfig {
             security: None,
             ad_ttl: Duration::from_secs(300),
             require_lease: false,
+            federation: None,
         }
     }
 }
@@ -184,12 +192,16 @@ pub struct Bdn {
     pub rejected_envelopes: u64,
     /// Publish payloads on well-known topics that failed to decode.
     pub malformed_messages: u64,
+    /// Federation runtime state; `Some` iff [`BdnConfig::federation`]
+    /// was set.
+    federation: Option<Federation>,
 }
 
 impl Bdn {
     /// A BDN from `cfg`.
     pub fn new(cfg: BdnConfig) -> Bdn {
         let dedup = BoundedDedup::new(cfg.dedup_capacity);
+        let federation = cfg.federation.clone().map(Federation::new);
         Bdn {
             cfg,
             registry: BTreeMap::new(),
@@ -212,6 +224,7 @@ impl Bdn {
             secured_requests: 0,
             rejected_envelopes: 0,
             malformed_messages: 0,
+            federation,
         }
     }
 
@@ -230,6 +243,59 @@ impl Bdn {
         self.registry.get(&broker).is_some_and(|r| now <= r.expires_at)
     }
 
+    /// Registry entries whose lease is live at `now`. Unlike
+    /// [`Bdn::registry_len`], this never counts an entry whose lease
+    /// lapsed between sweep timers — the silent-ghost window — so all
+    /// size reporting goes through here.
+    pub fn live_entries(&self, now: SimTime) -> usize {
+        self.registry.values().filter(|r| now <= r.expires_at).count()
+    }
+
+    /// Federation runtime state, when federated.
+    pub fn federation(&self) -> Option<&Federation> {
+        self.federation.as_ref()
+    }
+
+    /// FNV-1a-64 digest of the replicated registry state at `now`:
+    /// sorted live leases (broker, origin stamp, ad bytes — local expiry
+    /// and RTT excluded, they carry arrival jitter), then sorted
+    /// tombstones. Mirrors [`crate::federation::LeaseBook::digest`], so
+    /// two quiescent federated BDNs agree byte-for-byte.
+    pub fn registry_digest(&self, now: SimTime) -> u64 {
+        let mut h = federation::FNV_OFFSET;
+        let mut w = WireWriter::new();
+        for (broker, reg) in &self.registry {
+            if now > reg.expires_at {
+                continue;
+            }
+            h = federation::fnv1a64_step(h, &broker.0.to_le_bytes());
+            h = federation::fnv1a64_step(h, &reg.ad.issued_at_utc.to_le_bytes());
+            w.clear();
+            reg.ad.encode(&mut w);
+            h = federation::fnv1a64_step(h, w.as_slice());
+        }
+        h = federation::fnv1a64_step(h, &[0xFF]);
+        if let Some(fed) = &self.federation {
+            for (broker, t) in fed.tombstones() {
+                h = federation::fnv1a64_step(h, &broker.0.to_le_bytes());
+                h = federation::fnv1a64_step(h, &t.to_le_bytes());
+            }
+        }
+        h
+    }
+
+    /// Wire-ready snapshot of the live leases at `now`.
+    fn live_lease_records(&self, now: SimTime) -> Vec<LeaseRecord> {
+        self.registry
+            .values()
+            .filter(|reg| now <= reg.expires_at)
+            .map(|reg| LeaseRecord {
+                ad: reg.ad.clone(),
+                expires_at_us: reg.expires_at.as_micros(),
+            })
+            .collect()
+    }
+
     fn register_ad(&mut self, ad: BrokerAdvertisement, ctx: &mut dyn Context) {
         if let Some(filter) = &self.cfg.accept_geography {
             let matches = ad.geography.as_deref().is_some_and(|g| g.contains(filter.as_str()));
@@ -240,6 +306,25 @@ impl Bdn {
         }
         let now = ctx.now();
         let broker = ad.broker;
+        if self.federation.is_some() {
+            // Federated registries only move forward under the merge
+            // order: a tombstoned or out-of-date stamp must not regress
+            // state another BDN already retired.
+            if let Some(fed) = self.federation.as_mut() {
+                if let Some(t) = fed.tombstone_for(broker) {
+                    if federation::tombstone_blocks(t, ad.issued_at_utc) {
+                        fed.stats.resurrections_blocked += 1;
+                        return;
+                    }
+                    fed.clear_tombstone(broker);
+                }
+            }
+            if let Some(existing) = self.registry.get(&broker) {
+                if ad.issued_at_utc < existing.ad.issued_at_utc {
+                    return;
+                }
+            }
+        }
         let expires_at = now + self.cfg.ad_ttl;
         let entry = self.registry.entry(broker).or_insert(Registered {
             ad: ad.clone(),
@@ -260,10 +345,29 @@ impl Bdn {
     }
 
     fn ping_registered(&mut self, ctx: &mut dyn Context) {
-        // Expire lapsed leases first.
+        // Expire lapsed leases first. Under federation an expiry leaves
+        // a tombstone carrying the retired ad's origin stamp, so a stale
+        // peer can never gossip the dead lease back.
         let now = ctx.now();
         let before = self.registry.len();
-        self.registry.retain(|_, reg| now <= reg.expires_at);
+        if self.federation.is_some() {
+            let lapsed: Vec<(NodeId, u64)> = self
+                .registry
+                .iter()
+                .filter(|(_, reg)| now > reg.expires_at)
+                .map(|(&b, reg)| (b, reg.ad.issued_at_utc))
+                .collect();
+            for &(b, _) in &lapsed {
+                self.registry.remove(&b);
+            }
+            if let Some(fed) = self.federation.as_mut() {
+                for &(b, stamp) in &lapsed {
+                    fed.note_expired(b, stamp);
+                }
+            }
+        } else {
+            self.registry.retain(|_, reg| now <= reg.expires_at);
+        }
         let expired = before - self.registry.len();
         if expired > 0 {
             self.ads_expired += expired as u64;
@@ -362,6 +466,191 @@ impl Bdn {
         }
     }
 
+    /// One anti-entropy round: prune the tombstone cache, pick this
+    /// round's partner from the private seeded stream, and probe it with
+    /// a digest. Snapshots only travel when digests disagree.
+    fn federation_round(&mut self, ctx: &mut dyn Context) {
+        let me = ctx.me();
+        let utc_now = ctx.utc_micros();
+        let ad_ttl = self.cfg.ad_ttl;
+        let (partner, interval) = match self.federation.as_mut() {
+            Some(fed) => {
+                fed.prune(utc_now, ad_ttl);
+                fed.stats.rounds_run += 1;
+                (fed.pick_partner(me), fed.cfg.round_interval)
+            }
+            None => return,
+        };
+        if let Some(peer) = partner {
+            let digest = self.registry_digest(ctx.now());
+            let probe = Message::FederationSync(FederationSync {
+                from: me,
+                phase: SyncPhase::Digest,
+                digest,
+                leases: Vec::new(),
+                tombstones: Vec::new(),
+            });
+            ctx.send_udp(well_known::BDN, Endpoint::new(peer, well_known::BDN), &probe);
+        }
+        ctx.set_timer(interval, TIMER_FEDERATION);
+    }
+
+    /// Sends a full snapshot (live leases + tombstones) to `peer`.
+    fn send_sync_snapshot(&mut self, peer: NodeId, phase: SyncPhase, ctx: &mut dyn Context) {
+        let now = ctx.now();
+        let digest = self.registry_digest(now);
+        let leases = self.live_lease_records(now);
+        let tombstones = match self.federation.as_mut() {
+            Some(fed) => {
+                fed.stats.entries_pushed += leases.len() as u64;
+                fed.tombstone_records()
+            }
+            None => return,
+        };
+        let sync = Message::FederationSync(FederationSync {
+            from: ctx.me(),
+            phase,
+            digest,
+            leases,
+            tombstones,
+        });
+        ctx.send_udp(well_known::BDN, Endpoint::new(peer, well_known::BDN), &sync);
+    }
+
+    /// Handles one leg of a peer's anti-entropy exchange. Everything in
+    /// `sync` is peer-supplied: record counts are bounded and every
+    /// record is validated through the merge predicates — malformed or
+    /// oversized payloads are counted, never panicked on (lint D004).
+    fn on_federation_sync(&mut self, sync: FederationSync, peer: NodeId, ctx: &mut dyn Context) {
+        let Some(cap) = self.federation.as_ref().map(|f| f.cfg.max_sync_entries) else {
+            // Not federated: sync traffic is unexpected noise.
+            return;
+        };
+        if sync.leases.len() > cap || sync.tombstones.len() > cap {
+            self.malformed_messages += 1;
+            return;
+        }
+        match sync.phase {
+            SyncPhase::Digest => {
+                let mine = self.registry_digest(ctx.now());
+                if let Some(fed) = self.federation.as_mut() {
+                    if mine == sync.digest {
+                        fed.stats.digests_matched += 1;
+                        return;
+                    }
+                    fed.stats.digests_mismatched += 1;
+                }
+                self.send_sync_snapshot(peer, SyncPhase::Push, ctx);
+            }
+            SyncPhase::Push => {
+                self.apply_sync_snapshot(sync, ctx);
+                self.send_sync_snapshot(peer, SyncPhase::PushReply, ctx);
+            }
+            SyncPhase::PushReply => {
+                self.apply_sync_snapshot(sync, ctx);
+            }
+        }
+    }
+
+    /// Merges a peer snapshot into the registry: the same join the pure
+    /// [`crate::federation::LeaseBook`] computes, with local arrival
+    /// bookkeeping (RTT preserved, `last_seen` re-stamped) layered on.
+    fn apply_sync_snapshot(&mut self, sync: FederationSync, ctx: &mut dyn Context) {
+        let now = ctx.now();
+        let now_us = now.as_micros();
+        for rec in sync.leases {
+            if let Some(filter) = &self.cfg.accept_geography {
+                let matches =
+                    rec.ad.geography.as_deref().is_some_and(|g| g.contains(filter.as_str()));
+                if !matches {
+                    self.ads_filtered += 1;
+                    continue;
+                }
+            }
+            let broker = rec.ad.broker;
+            if rec.expires_at_us <= now_us {
+                // Expired in flight: the lease is proof of its own
+                // death — treat it as the tombstone it implies rather
+                // than letting it linger or resurrect anything.
+                self.apply_peer_tombstone(broker, rec.ad.issued_at_utc);
+                continue;
+            }
+            let blocked = match self.federation.as_mut() {
+                Some(fed) => match fed.tombstone_for(broker) {
+                    Some(t) if federation::tombstone_blocks(t, rec.ad.issued_at_utc) => {
+                        fed.stats.resurrections_blocked += 1;
+                        true
+                    }
+                    Some(_) => {
+                        fed.clear_tombstone(broker);
+                        false
+                    }
+                    None => false,
+                },
+                None => return,
+            };
+            if blocked {
+                continue;
+            }
+            if let Some(existing) = self.registry.get(&broker) {
+                let held = LeaseRecord {
+                    ad: existing.ad.clone(),
+                    expires_at_us: existing.expires_at.as_micros(),
+                };
+                if !federation::lease_supersedes(&rec, &held) {
+                    continue;
+                }
+            }
+            let rtt_us = self.registry.get(&broker).and_then(|r| r.rtt_us);
+            self.registry.insert(
+                broker,
+                Registered {
+                    ad: rec.ad,
+                    rtt_us,
+                    last_seen: now,
+                    expires_at: SimTime::from_micros(rec.expires_at_us),
+                },
+            );
+            if let Some(fed) = self.federation.as_mut() {
+                fed.stats.entries_pulled += 1;
+            }
+            if self.cfg.auto_attach && !self.cfg.attached_brokers.contains(&broker) {
+                self.cfg.attached_brokers.push(broker);
+                self.attach_ok.insert(broker, false);
+                let connect =
+                    Message::ClientConnect { client: ctx.me(), reply_port: well_known::BDN };
+                ctx.send_stream(
+                    well_known::BDN,
+                    Endpoint::new(broker, well_known::BROKER),
+                    &connect,
+                );
+            }
+        }
+        for tomb in sync.tombstones {
+            self.apply_peer_tombstone(tomb.broker, tomb.lease_issued_utc);
+        }
+    }
+
+    /// Applies one tombstone: retires any local lease at or below the
+    /// stamp (a strictly newer lease beats it) and records the stamp.
+    fn apply_peer_tombstone(&mut self, broker: NodeId, t: u64) {
+        if let Some(existing) = self.registry.get(&broker) {
+            if !federation::tombstone_blocks(t, existing.ad.issued_at_utc) {
+                return;
+            }
+            self.registry.remove(&broker);
+            if self.cfg.auto_attach {
+                self.cfg.attached_brokers.retain(|&b| b != broker);
+                self.attach_ok.remove(&broker);
+            }
+        }
+        if let Some(fed) = self.federation.as_mut() {
+            if fed.absorb_tombstone(broker, t) {
+                fed.stats.tombstones_applied += 1;
+            }
+        }
+    }
+
     fn attach(&mut self, ctx: &mut dyn Context) {
         for &broker in &self.cfg.attached_brokers {
             self.attach_ok.insert(broker, false);
@@ -375,18 +664,23 @@ impl Actor for Bdn {
     fn on_start(&mut self, ctx: &mut dyn Context) {
         self.attach(ctx);
         ctx.set_timer(self.cfg.ping_interval, TIMER_PING);
+        if let Some(fed) = &self.federation {
+            ctx.set_timer(fed.cfg.round_interval, TIMER_FEDERATION);
+        }
     }
 
     fn on_incoming(&mut self, event: Incoming, ctx: &mut dyn Context) {
         match event {
             Incoming::Timer { token: TIMER_PING } => self.ping_registered(ctx),
+            Incoming::Timer { token: TIMER_FEDERATION } => self.federation_round(ctx),
             Incoming::Timer { token: TIMER_INJECT } => {
                 self.inject_timer_armed = false;
                 self.pump_injections(ctx);
             }
-            Incoming::Datagram { msg, .. } | Incoming::Stream { msg, .. } => match msg.into_message() {
+            Incoming::Datagram { from, msg, .. } | Incoming::Stream { from, msg, .. } => match msg.into_message() {
                 Message::Advertisement(ad) => self.register_ad(ad, ctx),
                 Message::Discovery(req) => self.on_discovery_request(req, ctx),
+                Message::FederationSync(sync) => self.on_federation_sync(sync, from.node, ctx),
                 Message::Secure(env) => {
                     let Some(suite) = &self.cfg.security else {
                         self.rejected_envelopes += 1;
@@ -467,6 +761,193 @@ impl Actor for Bdn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nb_wire::{Port, RealmId, TombstoneRecord};
+
+    struct FakeCtx {
+        now: SimTime,
+        sent: Vec<(Endpoint, Message)>,
+        rng: rand::rngs::StdRng,
+    }
+
+    impl FakeCtx {
+        fn new() -> FakeCtx {
+            use rand::SeedableRng;
+            FakeCtx {
+                now: SimTime::from_secs(100),
+                sent: vec![],
+                rng: rand::rngs::StdRng::seed_from_u64(3),
+            }
+        }
+    }
+
+    impl Context for FakeCtx {
+        fn me(&self) -> NodeId {
+            NodeId(200)
+        }
+        fn realm(&self) -> RealmId {
+            RealmId(1)
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn utc_micros(&self) -> u64 {
+            self.now.as_micros()
+        }
+        fn clock_synced(&self) -> bool {
+            true
+        }
+        fn raw_local_micros(&self) -> u64 {
+            self.now.as_micros()
+        }
+        fn set_clock_estimate_ns(&mut self, _est: i64) {}
+        fn send_udp(&mut self, _from: Port, to: Endpoint, msg: &Message) {
+            self.sent.push((to, msg.clone()));
+        }
+        fn send_stream(&mut self, _from: Port, to: Endpoint, msg: &Message) {
+            self.sent.push((to, msg.clone()));
+        }
+        fn send_multicast(&mut self, _f: Port, _g: nb_wire::GroupId, _t: Port, _m: &Message) {}
+        fn join_group(&mut self, _g: nb_wire::GroupId) {}
+        fn leave_group(&mut self, _g: nb_wire::GroupId) {}
+        fn set_timer(&mut self, _d: Duration, _token: u64) {}
+        fn cancel_timer(&mut self, _t: u64) {}
+        fn rng(&mut self) -> &mut dyn rand::RngCore {
+            &mut self.rng
+        }
+    }
+
+    fn fed_bdn(require_lease: bool) -> Bdn {
+        Bdn::new(BdnConfig {
+            federation: Some(FederationConfig {
+                peers: vec![NodeId(200), NodeId(201)],
+                ..FederationConfig::default()
+            }),
+            require_lease,
+            auto_attach: false,
+            ..BdnConfig::default()
+        })
+    }
+
+    fn ad_for(broker: u32, issued_at_utc: u64) -> BrokerAdvertisement {
+        BrokerAdvertisement {
+            broker: NodeId(broker),
+            hostname: format!("b{broker}"),
+            logical_address: format!("nb://t/{broker}"),
+            realm: RealmId(1),
+            transports: vec![],
+            geography: None,
+            institution: None,
+            issued_at_utc,
+        }
+    }
+
+    fn push_sync(leases: Vec<LeaseRecord>, tombstones: Vec<TombstoneRecord>) -> FederationSync {
+        FederationSync {
+            from: NodeId(201),
+            phase: SyncPhase::Push,
+            digest: 0,
+            leases,
+            tombstones,
+        }
+    }
+
+    #[test]
+    fn merged_expired_lease_becomes_tombstone_and_fails_require_lease() {
+        let mut bdn = fed_bdn(true);
+        bdn.cfg.attached_brokers = vec![NodeId(5)];
+        let mut ctx = FakeCtx::new();
+        let now_us = ctx.now.as_micros();
+        // A peer pushes a lease that expired in flight.
+        let rec = LeaseRecord { ad: ad_for(5, 10), expires_at_us: now_us - 1 };
+        bdn.on_federation_sync(push_sync(vec![rec], vec![]), NodeId(201), &mut ctx);
+        assert!(!bdn.lease_valid(NodeId(5), ctx.now), "expired lease never enters");
+        assert_eq!(bdn.live_entries(ctx.now), 0);
+        let fed = bdn.federation().expect("federated");
+        assert_eq!(fed.tombstone_for(NodeId(5)), Some(10), "it tombstones instead");
+        // Strict mode then refuses to inject at the pinned attachment.
+        let req = DiscoveryRequest {
+            request_id: Uuid::from_u128(9),
+            requester: NodeId(50),
+            hostname: "c".into(),
+            realm: RealmId(1),
+            reply_to: Endpoint::new(NodeId(50), Port(4000)),
+            transports: vec![],
+            credentials: None,
+            issued_at_utc: now_us,
+        };
+        bdn.on_discovery_request(req, &mut ctx);
+        assert_eq!(bdn.stale_targets_skipped, 1);
+        assert_eq!(bdn.requests_handled, 1);
+    }
+
+    #[test]
+    fn tombstone_blocks_direct_resurrection_until_fresher_ad() {
+        let mut bdn = fed_bdn(false);
+        let mut ctx = FakeCtx::new();
+        bdn.on_federation_sync(
+            push_sync(vec![], vec![TombstoneRecord { broker: NodeId(5), lease_issued_utc: 50 }]),
+            NodeId(201),
+            &mut ctx,
+        );
+        // A stale re-advertisement (at or below the stamp) is blocked…
+        bdn.register_ad(ad_for(5, 50), &mut ctx);
+        assert_eq!(bdn.live_entries(ctx.now), 0);
+        assert_eq!(bdn.federation().map(|f| f.stats.resurrections_blocked), Some(1));
+        // …a genuinely fresh one clears the tombstone and registers.
+        bdn.register_ad(ad_for(5, 51), &mut ctx);
+        assert!(bdn.lease_valid(NodeId(5), ctx.now));
+        assert_eq!(bdn.federation().and_then(|f| f.tombstone_for(NodeId(5))), None);
+    }
+
+    #[test]
+    fn oversized_sync_counts_malformed_and_merges_nothing() {
+        let mut bdn = Bdn::new(BdnConfig {
+            federation: Some(FederationConfig {
+                max_sync_entries: 2,
+                ..FederationConfig::default()
+            }),
+            auto_attach: false,
+            ..BdnConfig::default()
+        });
+        let mut ctx = FakeCtx::new();
+        let now_us = ctx.now.as_micros();
+        let leases: Vec<LeaseRecord> = (0..3)
+            .map(|i| LeaseRecord { ad: ad_for(i, 10), expires_at_us: now_us + 1_000_000 })
+            .collect();
+        bdn.on_federation_sync(push_sync(leases, vec![]), NodeId(201), &mut ctx);
+        assert_eq!(bdn.malformed_messages, 1);
+        assert_eq!(bdn.live_entries(ctx.now), 0);
+        assert!(ctx.sent.is_empty(), "no reply to a malformed push");
+    }
+
+    #[test]
+    fn digest_match_skips_snapshot_exchange() {
+        let mut a = fed_bdn(false);
+        let mut b = fed_bdn(false);
+        let mut ctx = FakeCtx::new();
+        let now_us = ctx.now.as_micros();
+        let rec = LeaseRecord { ad: ad_for(5, 10), expires_at_us: now_us + 1_000_000 };
+        a.on_federation_sync(push_sync(vec![rec.clone()], vec![]), NodeId(201), &mut ctx);
+        // `a` replied to the push with its merged snapshot; feed it to `b`.
+        let Some((_, Message::FederationSync(reply))) = ctx.sent.pop() else {
+            panic!("push reply expected");
+        };
+        assert_eq!(reply.phase, SyncPhase::PushReply);
+        b.on_federation_sync(reply, NodeId(200), &mut ctx);
+        assert_eq!(a.registry_digest(ctx.now), b.registry_digest(ctx.now));
+        // A digest probe between equals is absorbed without a push.
+        let probe = FederationSync {
+            from: NodeId(201),
+            phase: SyncPhase::Digest,
+            digest: b.registry_digest(ctx.now),
+            leases: vec![],
+            tombstones: vec![],
+        };
+        let sent_before = ctx.sent.len();
+        a.on_federation_sync(probe, NodeId(201), &mut ctx);
+        assert_eq!(ctx.sent.len(), sent_before, "matched digest sends nothing");
+        assert_eq!(a.federation().map(|f| f.stats.digests_matched), Some(1));
+    }
 
     #[test]
     fn injection_order_closest_then_farthest() {

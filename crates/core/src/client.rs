@@ -229,6 +229,19 @@ impl DiscoveryClient {
         &mut self.cfg
     }
 
+    /// Extends the BDN rotation with federated peers not already
+    /// configured. The existing retry machinery does the rest: the
+    /// rotation budget scales with `cfg.bdns.len()`, so once one
+    /// anti-entropy round has replicated the registry, exhausting
+    /// retries against a dead BDN rolls the request onto a live peer.
+    pub fn federate_bdns(&mut self, peers: &[NodeId]) {
+        for &peer in peers {
+            if !self.cfg.bdns.contains(&peer) {
+                self.cfg.bdns.push(peer);
+            }
+        }
+    }
+
     /// Whether this client may use multicast at all.
     fn multicast_available(&self) -> bool {
         self.cfg.multicast_enabled
@@ -730,6 +743,15 @@ mod tests {
     #[test]
     fn zero_total_has_no_shares() {
         assert!(PhaseTimes::default().shares().is_empty());
+    }
+
+    #[test]
+    fn federate_bdns_extends_rotation_without_duplicates() {
+        let mut cfg = DiscoveryConfig::default();
+        cfg.bdns = vec![NodeId(100)];
+        let mut client = DiscoveryClient::new(cfg);
+        client.federate_bdns(&[NodeId(100), NodeId(101), NodeId(102), NodeId(101)]);
+        assert_eq!(client.config().bdns, vec![NodeId(100), NodeId(101), NodeId(102)]);
     }
 }
 

@@ -1,0 +1,450 @@
+//! BDN federation: gossip-replicated advertisement leases.
+//!
+//! The paper keeps each BDN an isolated registry — BDNs "need not agree"
+//! — so a client whose configured BDNs all die simply cannot discover
+//! anyone. This module goes past the paper (ROADMAP item 2): BDNs form a
+//! seeded peer set and run periodic **anti-entropy** rounds. Each round a
+//! BDN picks a deterministic partner, sends an FNV-1a digest of its
+//! registry, and on mismatch the pair exchanges full lease/tombstone
+//! snapshots ([`nb_wire::FederationSync`], three legs: Digest → Push →
+//! PushReply).
+//!
+//! ## The merge algebra
+//!
+//! Replication only converges if merge is a **join-semilattice**:
+//! commutative, associative, idempotent, so every BDN reaches the same
+//! fixed point regardless of gossip order or repetition. Per broker, the
+//! candidate states are totally ordered:
+//!
+//! * a lease sorts by `(ad.issued_at_utc, 0, encoded-ad-bytes,
+//!   expires_at_us)`,
+//! * a tombstone retiring leases issued at or before `t` sorts by
+//!   `(t, 1)` — it beats any lease it retires (ties included) and loses
+//!   to any strictly newer lease.
+//!
+//! Merge is the pointwise maximum under this order. The LWW key is the
+//! **origin-stamped** `issued_at_utc` — every BDN that hears the same
+//! heartbeat stores the same key — never the local arrival time, which
+//! differs by delivery jitter and would keep digests from ever agreeing.
+//!
+//! ## Why tombstones
+//!
+//! Resurrection is the failure mode to kill: BDN *a* expires a dead
+//! broker's lease, then a stale peer *b* (crashed before the expiry, or
+//! partitioned) pushes the old advertisement back and the ghost returns
+//! to the registry. An expired lease therefore leaves a tombstone carrying
+//! the retired ad's `issued_at_utc`; merges drop any lease at or below
+//! that stamp. Tombstones live in a bounded cache with their own TTL: one
+//! is safe to forget once `t + ad_ttl + tombstone_ttl <= now`, because
+//! every lease it could still block expired at the latest at
+//! `t + delivery + ad_ttl` and expired leases never enter a registry on
+//! merge.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use nb_wire::{LeaseRecord, NodeId, TombstoneRecord, Wire, WireWriter};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Federation configuration. `None` in [`crate::BdnConfig::federation`]
+/// disables the subsystem entirely: no timers, no RNG draws, no wire
+/// traffic — a non-federated BDN is byte-identical to the pre-federation
+/// build.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Every BDN in the federation (the local node may be listed; it
+    /// never picks itself as a partner).
+    pub peers: Vec<NodeId>,
+    /// Anti-entropy round period.
+    pub round_interval: Duration,
+    /// How long a tombstone outlives the last lease it could block.
+    pub tombstone_ttl: Duration,
+    /// Bounded tombstone cache: oldest retired stamps evicted first.
+    pub max_tombstones: usize,
+    /// Upper bound on lease/tombstone records accepted in one sync
+    /// (peer-supplied — anything larger is counted malformed, D004).
+    pub max_sync_entries: usize,
+    /// Seed for the partner-selection stream. Each BDN derives a private
+    /// RNG from `seed ^ node_id`, so partner choice is deterministic and
+    /// never perturbs the node's main RNG stream (D003/D008).
+    pub seed: u64,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            peers: Vec::new(),
+            round_interval: Duration::from_secs(2),
+            tombstone_ttl: Duration::from_secs(300),
+            max_tombstones: 1024,
+            max_sync_entries: 4096,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-fate federation counters, mirroring the `NetStats` pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FederationStats {
+    /// Anti-entropy rounds initiated.
+    pub rounds_run: u64,
+    /// Digest probes answered whose digest already matched.
+    pub digests_matched: u64,
+    /// Digest probes answered whose digest mismatched (snapshot pushed).
+    pub digests_mismatched: u64,
+    /// Lease records sent in push legs.
+    pub entries_pushed: u64,
+    /// Lease records accepted from a peer into the registry.
+    pub entries_pulled: u64,
+    /// Tombstones accepted from a peer (or minted from an expired
+    /// incoming lease).
+    pub tombstones_applied: u64,
+    /// Tombstones dropped by TTL pruning.
+    pub tombstones_expired: u64,
+    /// Stale advertisements or lease records rejected by a tombstone.
+    pub resurrections_blocked: u64,
+}
+
+/// FNV-1a-64 over `bytes`, continuing from `hash` (offset-basis to start).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a-64 step over a byte slice.
+pub fn fnv1a64_step(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Does `incoming` supersede `existing` under the lease total order?
+/// Ties (identical stamp, bytes and expiry) do **not** supersede, so
+/// re-applying a record is a no-op (idempotence).
+pub fn lease_supersedes(incoming: &LeaseRecord, existing: &LeaseRecord) -> bool {
+    match incoming.ad.issued_at_utc.cmp(&existing.ad.issued_at_utc) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => {
+            if incoming.ad == existing.ad {
+                return incoming.expires_at_us > existing.expires_at_us;
+            }
+            let mut wi = WireWriter::new();
+            incoming.ad.encode(&mut wi);
+            let mut we = WireWriter::new();
+            existing.ad.encode(&mut we);
+            match wi.as_slice().cmp(we.as_slice()) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => incoming.expires_at_us > existing.expires_at_us,
+            }
+        }
+    }
+}
+
+/// Does a tombstone at stamp `t` retire a lease issued at `issued_at`?
+/// The tombstone wins exact ties: it was minted *from* that lease.
+pub fn tombstone_blocks(t: u64, issued_at: u64) -> bool {
+    issued_at <= t
+}
+
+/// What [`LeaseBook::apply_lease`] did with a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseOutcome {
+    /// Stored (fresh entry or superseding refresh).
+    Stored,
+    /// Dropped: an equal-or-newer lease is already held.
+    Superseded,
+    /// Dropped: a tombstone retires it.
+    Tombstoned,
+}
+
+/// The pure replicated-registry state: live leases plus tombstones, with
+/// merge as the pointwise join described in the module docs. The BDN's
+/// own registry routes every federated mutation through the same
+/// [`lease_supersedes`]/[`tombstone_blocks`] predicates; this standalone
+/// form exists so the algebraic laws are directly property-testable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LeaseBook {
+    /// Live leases by broker.
+    pub leases: BTreeMap<NodeId, LeaseRecord>,
+    /// Retired stamps by broker.
+    pub tombstones: BTreeMap<NodeId, u64>,
+}
+
+impl LeaseBook {
+    /// Applies one lease record (the per-broker join with a lease).
+    pub fn apply_lease(&mut self, rec: LeaseRecord) -> LeaseOutcome {
+        let broker = rec.ad.broker;
+        if let Some(&t) = self.tombstones.get(&broker) {
+            if tombstone_blocks(t, rec.ad.issued_at_utc) {
+                return LeaseOutcome::Tombstoned;
+            }
+            // Strictly newer lease: the tombstone is fully retired.
+            self.tombstones.remove(&broker);
+        }
+        match self.leases.get(&broker) {
+            Some(existing) if !lease_supersedes(&rec, existing) => LeaseOutcome::Superseded,
+            _ => {
+                self.leases.insert(broker, rec);
+                LeaseOutcome::Stored
+            }
+        }
+    }
+
+    /// Applies one tombstone (the per-broker join with a tombstone).
+    /// Returns whether anything changed.
+    pub fn apply_tombstone(&mut self, broker: NodeId, t: u64) -> bool {
+        if let Some(existing) = self.leases.get(&broker) {
+            if !tombstone_blocks(t, existing.ad.issued_at_utc) {
+                return false; // a newer lease beats this tombstone
+            }
+            self.leases.remove(&broker);
+        }
+        match self.tombstones.get(&broker) {
+            Some(&have) if have >= t => false,
+            _ => {
+                self.tombstones.insert(broker, t);
+                true
+            }
+        }
+    }
+
+    /// Merges every record of `other` into `self` (the full join).
+    pub fn merge_from(&mut self, other: &LeaseBook) {
+        for rec in other.leases.values() {
+            self.apply_lease(rec.clone());
+        }
+        for (&broker, &t) in &other.tombstones {
+            self.apply_tombstone(broker, t);
+        }
+    }
+
+    /// FNV-1a-64 digest over the whole book: sorted leases (broker,
+    /// stamp, ad bytes — expiry and RTT deliberately excluded, they are
+    /// arrival-local), then sorted tombstones. Two BDNs with equal
+    /// digests hold interchangeable registries.
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        let mut w = WireWriter::new();
+        for (broker, rec) in &self.leases {
+            h = fnv1a64_step(h, &broker.0.to_le_bytes());
+            h = fnv1a64_step(h, &rec.ad.issued_at_utc.to_le_bytes());
+            w.clear();
+            rec.ad.encode(&mut w);
+            h = fnv1a64_step(h, w.as_slice());
+        }
+        h = fnv1a64_step(h, &[0xFF]);
+        for (broker, t) in &self.tombstones {
+            h = fnv1a64_step(h, &broker.0.to_le_bytes());
+            h = fnv1a64_step(h, &t.to_le_bytes());
+        }
+        h
+    }
+}
+
+/// Per-BDN federation runtime state: config, counters, the tombstone
+/// cache and the private partner-selection RNG.
+#[derive(Debug)]
+pub struct Federation {
+    /// Static configuration.
+    pub cfg: FederationConfig,
+    /// Counters surfaced in campaign reports.
+    pub stats: FederationStats,
+    tombstones: BTreeMap<NodeId, u64>,
+    rng: Option<StdRng>,
+}
+
+impl Federation {
+    /// Fresh state from `cfg`.
+    pub fn new(cfg: FederationConfig) -> Federation {
+        Federation { cfg, stats: FederationStats::default(), tombstones: BTreeMap::new(), rng: None }
+    }
+
+    /// The retired stamp for `broker`, if tombstoned.
+    pub fn tombstone_for(&self, broker: NodeId) -> Option<u64> {
+        self.tombstones.get(&broker).copied()
+    }
+
+    /// All tombstones, for snapshot assembly.
+    pub fn tombstones(&self) -> &BTreeMap<NodeId, u64> {
+        &self.tombstones
+    }
+
+    /// Snapshot of the tombstone cache as wire records.
+    pub fn tombstone_records(&self) -> Vec<TombstoneRecord> {
+        self.tombstones
+            .iter()
+            .map(|(&broker, &t)| TombstoneRecord { broker, lease_issued_utc: t })
+            .collect()
+    }
+
+    /// Records a locally-expired lease as a tombstone (keeping the max
+    /// stamp if one exists) and enforces the cache bound.
+    pub fn note_expired(&mut self, broker: NodeId, issued_at: u64) {
+        let entry = self.tombstones.entry(broker).or_insert(issued_at);
+        if *entry < issued_at {
+            *entry = issued_at;
+        }
+        self.enforce_bound();
+    }
+
+    /// Applies a peer-supplied tombstone against the cache only (the
+    /// caller handles the registry side). Returns whether it was news.
+    pub fn absorb_tombstone(&mut self, broker: NodeId, t: u64) -> bool {
+        let news = match self.tombstones.get(&broker) {
+            Some(&have) => have < t,
+            None => true,
+        };
+        if news {
+            self.tombstones.insert(broker, t);
+            self.enforce_bound();
+        }
+        news
+    }
+
+    /// Drops the tombstone for `broker` (a strictly newer lease landed).
+    pub fn clear_tombstone(&mut self, broker: NodeId) {
+        self.tombstones.remove(&broker);
+    }
+
+    /// TTL pruning: a tombstone is safe to forget once every lease it
+    /// could block has certainly expired (`t + ad_ttl`) and the grace
+    /// window has passed.
+    pub fn prune(&mut self, now_us: u64, ad_ttl: Duration) {
+        let horizon = ad_ttl.as_micros() as u64 + self.cfg.tombstone_ttl.as_micros() as u64;
+        let before = self.tombstones.len();
+        self.tombstones.retain(|_, &mut t| t.saturating_add(horizon) > now_us);
+        self.stats.tombstones_expired += (before - self.tombstones.len()) as u64;
+    }
+
+    fn enforce_bound(&mut self) {
+        while self.tombstones.len() > self.cfg.max_tombstones {
+            // Evict the oldest retired stamp (ties: lowest broker id).
+            let Some((&broker, _)) =
+                self.tombstones.iter().min_by_key(|&(broker, &t)| (t, broker.0))
+            else {
+                return;
+            };
+            self.tombstones.remove(&broker);
+        }
+    }
+
+    /// Picks this round's partner: a uniformly-drawn peer other than
+    /// `me`, from a private seeded stream keyed on the node id.
+    pub fn pick_partner(&mut self, me: NodeId) -> Option<NodeId> {
+        let candidates: Vec<NodeId> =
+            self.cfg.peers.iter().copied().filter(|&p| p != me).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let seed = self.cfg.seed ^ u64::from(me.0);
+        let rng = self.rng.get_or_insert_with(|| StdRng::seed_from_u64(seed));
+        let idx = (rng.next_u64() % candidates.len() as u64) as usize;
+        candidates.get(idx).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_wire::{BrokerAdvertisement, RealmId};
+
+    fn ad(broker: u32, issued: u64) -> BrokerAdvertisement {
+        BrokerAdvertisement {
+            broker: NodeId(broker),
+            hostname: format!("b{broker}"),
+            logical_address: format!("nb://x/{broker}"),
+            realm: RealmId(1),
+            transports: vec![],
+            geography: None,
+            institution: None,
+            issued_at_utc: issued,
+        }
+    }
+
+    fn lease(broker: u32, issued: u64, expires: u64) -> LeaseRecord {
+        LeaseRecord { ad: ad(broker, issued), expires_at_us: expires }
+    }
+
+    #[test]
+    fn newer_lease_wins_and_clears_tombstone() {
+        let mut book = LeaseBook::default();
+        assert!(book.apply_tombstone(NodeId(1), 100));
+        assert_eq!(book.apply_lease(lease(1, 100, 500)), LeaseOutcome::Tombstoned);
+        assert_eq!(book.apply_lease(lease(1, 101, 500)), LeaseOutcome::Stored);
+        assert!(book.tombstones.is_empty());
+        // Re-applying the tombstone now loses to the newer lease.
+        assert!(!book.apply_tombstone(NodeId(1), 100));
+        assert!(book.leases.contains_key(&NodeId(1)));
+    }
+
+    #[test]
+    fn stale_lease_is_superseded() {
+        let mut book = LeaseBook::default();
+        assert_eq!(book.apply_lease(lease(1, 200, 900)), LeaseOutcome::Stored);
+        assert_eq!(book.apply_lease(lease(1, 150, 900)), LeaseOutcome::Superseded);
+        assert_eq!(book.apply_lease(lease(1, 200, 900)), LeaseOutcome::Superseded);
+        // Same stamp, longer expiry: refresh.
+        assert_eq!(book.apply_lease(lease(1, 200, 950)), LeaseOutcome::Stored);
+    }
+
+    #[test]
+    fn digest_ignores_expiry_but_sees_tombstones() {
+        let mut a = LeaseBook::default();
+        let mut b = LeaseBook::default();
+        a.apply_lease(lease(1, 200, 900));
+        b.apply_lease(lease(1, 200, 905)); // arrival jitter on the expiry
+        assert_eq!(a.digest(), b.digest());
+        b.apply_tombstone(NodeId(2), 50);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn tombstone_cache_is_bounded_and_evicts_oldest() {
+        let mut fed = Federation::new(FederationConfig {
+            max_tombstones: 2,
+            ..FederationConfig::default()
+        });
+        fed.note_expired(NodeId(1), 100);
+        fed.note_expired(NodeId(2), 50);
+        fed.note_expired(NodeId(3), 200);
+        assert_eq!(fed.tombstones().len(), 2);
+        assert_eq!(fed.tombstone_for(NodeId(2)), None, "oldest stamp evicted");
+        assert_eq!(fed.tombstone_for(NodeId(1)), Some(100));
+        assert_eq!(fed.tombstone_for(NodeId(3)), Some(200));
+    }
+
+    #[test]
+    fn prune_respects_combined_horizon() {
+        let mut fed = Federation::new(FederationConfig {
+            tombstone_ttl: Duration::from_secs(10),
+            ..FederationConfig::default()
+        });
+        let ad_ttl = Duration::from_secs(30);
+        fed.note_expired(NodeId(1), 1_000_000);
+        // 1s stamp + 30s ad_ttl + 10s grace = safe from 41s.
+        fed.prune(40_999_999, ad_ttl);
+        assert_eq!(fed.tombstone_for(NodeId(1)), Some(1_000_000));
+        fed.prune(41_000_000, ad_ttl);
+        assert_eq!(fed.tombstone_for(NodeId(1)), None);
+        assert_eq!(fed.stats.tombstones_expired, 1);
+    }
+
+    #[test]
+    fn partner_stream_is_deterministic_and_excludes_self() {
+        let cfg = FederationConfig {
+            peers: vec![NodeId(10), NodeId(11), NodeId(12)],
+            seed: 42,
+            ..FederationConfig::default()
+        };
+        let mut a = Federation::new(cfg.clone());
+        let mut b = Federation::new(cfg);
+        for _ in 0..32 {
+            let pa = a.pick_partner(NodeId(11));
+            assert_eq!(pa, b.pick_partner(NodeId(11)));
+            assert_ne!(pa, Some(NodeId(11)));
+        }
+    }
+}

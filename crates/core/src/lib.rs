@@ -38,6 +38,7 @@ pub mod broker_actor;
 pub mod client;
 pub mod config;
 pub mod entity;
+pub mod federation;
 pub mod joining;
 pub mod policy;
 pub mod responder;
@@ -64,6 +65,7 @@ pub use broker_actor::DiscoveryBrokerActor;
 pub use client::{DiscoveryClient, DiscoveryOutcome, Phase, PhaseTimes};
 pub use config::{DiscoveryConfig, RetryPolicy, SelectionWeights};
 pub use entity::{Entity, EntityState};
+pub use federation::{Federation, FederationConfig, FederationStats, LeaseBook, LeaseOutcome};
 pub use joining::JoiningBroker;
 pub use policy::ResponsePolicy;
 pub use responder::Responder;

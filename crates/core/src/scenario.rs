@@ -29,6 +29,7 @@ use crate::bdn::{Bdn, BdnConfig};
 use crate::broker_actor::DiscoveryBrokerActor;
 use crate::client::{DiscoveryClient, DiscoveryOutcome, Phase, TIMER_START};
 use crate::config::DiscoveryConfig;
+use crate::federation::FederationConfig;
 use crate::policy::ResponsePolicy;
 
 /// Configures and builds a [`Scenario`].
@@ -59,6 +60,13 @@ pub struct ScenarioBuilder {
     /// Multiplies the loss probability of every link (1.0 = the WAN
     /// model's defaults; 0.0 = lossless).
     pub loss_factor: f64,
+    /// How many BDN nodes to build (the paper's testbed ran one; the
+    /// federation work replicates the registry across several).
+    pub n_bdns: usize,
+    /// When set, every BDN joins one federation: `peers` is filled with
+    /// the built BDN ids at construction, the rest of the template is
+    /// taken as-is.
+    pub federation: Option<FederationConfig>,
 }
 
 impl ScenarioBuilder {
@@ -76,6 +84,8 @@ impl ScenarioBuilder {
             without_bdn: false,
             clock: ClockProfile::paper(),
             loss_factor: 1.0,
+            n_bdns: 1,
+            federation: None,
         }
     }
 
@@ -102,14 +112,15 @@ impl ScenarioBuilder {
     pub fn build(self) -> Scenario {
         let wan = WanModel::paper();
         let mut sim = Sim::with_clock_profile(self.seed, self.clock);
-        let (bdn, brokers, client, topology) = self.build_into(&mut sim, &wan);
+        let (bdns, brokers, client, topology) = self.build_into(&mut sim, &wan);
         let warmup = self.warmup;
         let mut scenario = Scenario {
             sim,
             wan,
             topology,
             kind: self.kind,
-            bdn,
+            bdn: bdns.first().copied(),
+            bdns,
             brokers,
             client,
             broker_sites: self.broker_sites,
@@ -130,14 +141,15 @@ impl ScenarioBuilder {
         if shards > 0 {
             sim.set_shards(shards);
         }
-        let (bdn, brokers, client, topology) = self.build_into(&mut sim, &wan);
+        let (bdns, brokers, client, topology) = self.build_into(&mut sim, &wan);
         let warmup = self.warmup;
         let mut scenario = ShardedScenario {
             sim,
             wan,
             topology,
             kind: self.kind,
-            bdn,
+            bdn: bdns.first().copied(),
+            bdns,
             brokers,
             client,
             broker_sites: self.broker_sites,
@@ -153,7 +165,7 @@ impl ScenarioBuilder {
         &self,
         sim: &mut E,
         wan: &WanModel,
-    ) -> (Option<NodeId>, Vec<NodeId>, NodeId, Topology) {
+    ) -> (Vec<NodeId>, Vec<NodeId>, NodeId, Topology) {
         let n = self.broker_sites.len();
         let topology = Topology::build(self.kind, n);
         let dial_lists = topology.dial_lists();
@@ -174,13 +186,24 @@ impl ScenarioBuilder {
         // targets are patched via the Advertiser config at creation time:
         // we create the BDN *first*.
         let bdn_site = INDIANAPOLIS;
-        let bdn = if self.without_bdn {
-            None
+        let bdn_ids: Vec<NodeId> = if self.without_bdn {
+            Vec::new()
         } else {
-            let mut bdn_cfg = self.bdn.clone();
-            bdn_cfg.attached_brokers = Vec::new(); // patched below
-            bdn_cfg.auto_attach = false;
-            Some(sim.add_node("bdn.gridservicelocator.org", wan.site(bdn_site).realm, Box::new(Bdn::new(bdn_cfg))))
+            (0..self.n_bdns.max(1))
+                .map(|i| {
+                    let mut bdn_cfg = self.bdn.clone();
+                    bdn_cfg.attached_brokers = Vec::new(); // patched below
+                    bdn_cfg.auto_attach = false;
+                    // BDN 0 keeps the paper's hostname so single-BDN
+                    // builds are unchanged.
+                    let name = if i == 0 {
+                        "bdn.gridservicelocator.org".to_string()
+                    } else {
+                        format!("bdn{i}.gridservicelocator.org")
+                    };
+                    sim.add_node(&name, wan.site(bdn_site).realm, Box::new(Bdn::new(bdn_cfg)))
+                })
+                .collect()
         };
 
         let mut brokers = Vec::with_capacity(n);
@@ -194,20 +217,28 @@ impl ScenarioBuilder {
                 neighbors,
                 ..BrokerConfig::default()
             };
-            let bdns = match (bdn, registers_with_bdn[i]) {
-                (Some(b), true) => vec![b],
-                _ => Vec::new(),
-            };
+            // Registering brokers advertise to the whole federation so
+            // every registry holds the same origin-stamped lease.
+            let bdns = if registers_with_bdn[i] { bdn_ids.clone() } else { Vec::new() };
             let actor = DiscoveryBrokerActor::new(cfg, bdns, self.policy.clone());
             let name = format!("broker-{i}@{}", site.name);
             brokers.push(sim.add_node(&name, site.realm, Box::new(actor)));
         }
 
-        // Patch the BDN's attachment list now that broker ids exist.
-        if let Some(bdn_id) = bdn {
+        // Patch each BDN's attachment list (and federation peer set) now
+        // that broker ids exist.
+        for &bdn_id in &bdn_ids {
             let attached: Vec<NodeId> = attached_idx.iter().map(|&i| brokers[i]).collect();
-            let bdn_cfg =
-                BdnConfig { attached_brokers: attached, auto_attach: false, ..self.bdn.clone() };
+            let federation = self
+                .federation
+                .clone()
+                .map(|f| FederationConfig { peers: bdn_ids.clone(), ..f });
+            let bdn_cfg = BdnConfig {
+                attached_brokers: attached,
+                auto_attach: false,
+                federation,
+                ..self.bdn.clone()
+            };
             let actor = sim
                 .actor_dyn_mut(bdn_id)
                 .and_then(|a| a.as_any_mut().downcast_mut::<Bdn>())
@@ -215,9 +246,9 @@ impl ScenarioBuilder {
             *actor = Bdn::new(bdn_cfg);
         }
 
-        // Discovery client.
+        // Discovery client: every federation member is in the rotation.
         let mut discovery = self.discovery.clone();
-        discovery.bdns = bdn.into_iter().collect();
+        discovery.bdns = bdn_ids.clone();
         let client_site = wan.site(self.client_site);
         let client = sim.add_node(
             &format!("client@{}", client_site.name),
@@ -227,7 +258,7 @@ impl ScenarioBuilder {
 
         // WAN links between every pair of placed nodes.
         let mut placement: Vec<(NodeId, SiteIdx)> = Vec::new();
-        if let Some(b) = bdn {
+        for &b in &bdn_ids {
             placement.push((b, bdn_site));
         }
         for (i, &site) in self.broker_sites.iter().enumerate() {
@@ -239,7 +270,7 @@ impl ScenarioBuilder {
             sim.network_mut().scale_loss(self.loss_factor);
         }
 
-        (bdn, brokers, client, topology)
+        (bdn_ids, brokers, client, topology)
     }
 }
 
@@ -253,8 +284,11 @@ pub struct Scenario {
     pub topology: Topology,
     /// The topology kind.
     pub kind: TopologyKind,
-    /// The BDN node (absent in multicast-only scenarios).
+    /// The first BDN node (absent in multicast-only scenarios) — the
+    /// paper's single-BDN role, kept for all the §9 reproductions.
     pub bdn: Option<NodeId>,
+    /// Every BDN node, in build order ([`ScenarioBuilder::n_bdns`]).
+    pub bdns: Vec<NodeId>,
     /// Broker nodes, index-aligned with `broker_sites`.
     pub brokers: Vec<NodeId>,
     /// The discovery client node.
@@ -343,8 +377,10 @@ pub struct ShardedScenario {
     pub topology: Topology,
     /// The topology kind.
     pub kind: TopologyKind,
-    /// The BDN node (absent in multicast-only scenarios).
+    /// The first BDN node (absent in multicast-only scenarios).
     pub bdn: Option<NodeId>,
+    /// Every BDN node, in build order ([`ScenarioBuilder::n_bdns`]).
+    pub bdns: Vec<NodeId>,
     /// Broker nodes, index-aligned with `broker_sites`.
     pub brokers: Vec<NodeId>,
     /// The discovery client node.
@@ -480,6 +516,50 @@ mod tests {
         assert!(reference.0, "sharded discovery completes");
         assert_eq!(reference, run(2, 2));
         assert_eq!(reference, run(4, 0));
+    }
+
+    #[test]
+    fn federated_bdns_converge_and_stay_worker_invariant() {
+        let run = |workers, shards| {
+            let mut b = ScenarioBuilder::new(TopologyKind::Unconnected, BLOOMINGTON, 48);
+            b.n_bdns = 3;
+            b.federation = Some(FederationConfig::default());
+            let mut s = b.build_sharded(workers, shards);
+            let o = s.run_discovery_once();
+            // Quiesce a few anti-entropy rounds past the discovery.
+            s.sim.run_for(Duration::from_secs(10));
+            let now = s.now();
+            let digests: Vec<u64> = s
+                .bdns
+                .iter()
+                .map(|&b| s.sim.actor::<Bdn>(b).expect("bdn actor").registry_digest(now))
+                .collect();
+            (o.chosen.is_some(), digests, s.digest(), s.sim.events_processed())
+        };
+        let reference = run(1, 1);
+        assert!(reference.0, "federated discovery completes");
+        assert!(
+            reference.1.windows(2).all(|w| w[0] == w[1]),
+            "quiescent federated BDNs agree: {:x?}",
+            reference.1
+        );
+        assert_eq!(reference, run(2, 2), "sync traffic is worker-invariant");
+        assert_eq!(reference, run(4, 0));
+    }
+
+    #[test]
+    fn federated_client_survives_primary_bdn_loss() {
+        let mut b = ScenarioBuilder::new(TopologyKind::Unconnected, BLOOMINGTON, 49);
+        b.n_bdns = 2;
+        b.federation = Some(FederationConfig::default());
+        let mut s = b.build();
+        // Let a couple of anti-entropy rounds replicate the registry,
+        // then kill the client's first-choice BDN outright.
+        s.sim.run_for(Duration::from_secs(6));
+        s.sim.crash(s.bdns[0]);
+        let outcome = s.run_discovery_once();
+        assert!(outcome.chosen.is_some(), "rotation reaches the surviving BDN");
+        assert_eq!(outcome.bdn_used, Some(s.bdns[1]));
     }
 
     #[test]

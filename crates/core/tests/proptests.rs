@@ -247,3 +247,121 @@ proptest! {
         prop_assert_eq!(accepted, distinct.len(), "each distinct key accepted exactly once");
     }
 }
+
+// ---------------------------------------------------------------- federation
+
+use nb_discovery::LeaseBook;
+use nb_wire::{BrokerAdvertisement, LeaseRecord};
+
+/// One federated registry mutation: a lease application or a tombstone.
+#[derive(Debug, Clone)]
+enum FedOp {
+    Lease { broker: u32, issued: u64, expires: u64 },
+    Tombstone { broker: u32, stamp: u64 },
+}
+
+/// Ads are content-addressed by (broker, issued): every BDN that hears
+/// the same heartbeat holds byte-identical ad fields, which is exactly
+/// what the real advertiser produces.
+fn fed_ad(broker: u32, issued: u64) -> BrokerAdvertisement {
+    BrokerAdvertisement {
+        broker: NodeId(broker),
+        hostname: format!("b{broker}"),
+        logical_address: format!("nb://fed/{broker}-{issued}"),
+        realm: RealmId(1),
+        transports: vec![],
+        geography: None,
+        institution: None,
+        issued_at_utc: issued,
+    }
+}
+
+fn arb_fed_op() -> impl Strategy<Value = FedOp> {
+    prop_oneof![
+        (0u32..6, 0u64..200, 0u64..400).prop_map(|(broker, issued, expires)| FedOp::Lease {
+            broker,
+            issued,
+            expires,
+        }),
+        (0u32..6, 0u64..200).prop_map(|(broker, stamp)| FedOp::Tombstone { broker, stamp }),
+    ]
+}
+
+fn book_from(ops: &[FedOp]) -> LeaseBook {
+    let mut book = LeaseBook::default();
+    for op in ops {
+        match *op {
+            FedOp::Lease { broker, issued, expires } => {
+                book.apply_lease(LeaseRecord { ad: fed_ad(broker, issued), expires_at_us: expires });
+            }
+            FedOp::Tombstone { broker, stamp } => {
+                book.apply_tombstone(NodeId(broker), stamp);
+            }
+        }
+    }
+    book
+}
+
+fn merged(a: &LeaseBook, b: &LeaseBook) -> LeaseBook {
+    let mut out = a.clone();
+    out.merge_from(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn lease_merge_is_commutative(
+        ops_a in prop::collection::vec(arb_fed_op(), 0..40),
+        ops_b in prop::collection::vec(arb_fed_op(), 0..40),
+    ) {
+        let a = book_from(&ops_a);
+        let b = book_from(&ops_b);
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.digest(), ba.digest());
+    }
+
+    #[test]
+    fn lease_merge_is_idempotent(
+        ops in prop::collection::vec(arb_fed_op(), 0..40),
+    ) {
+        let a = book_from(&ops);
+        let aa = merged(&a, &a);
+        prop_assert_eq!(&aa, &a);
+        // Re-merging a remote book twice changes nothing either.
+        let twice = merged(&merged(&a, &aa), &aa);
+        prop_assert_eq!(&twice, &a);
+    }
+
+    #[test]
+    fn lease_merge_is_associative(
+        ops_a in prop::collection::vec(arb_fed_op(), 0..30),
+        ops_b in prop::collection::vec(arb_fed_op(), 0..30),
+        ops_c in prop::collection::vec(arb_fed_op(), 0..30),
+    ) {
+        let a = book_from(&ops_a);
+        let b = book_from(&ops_b);
+        let c = book_from(&ops_c);
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.digest(), right.digest());
+    }
+
+    #[test]
+    fn tombstone_never_coexists_with_a_retired_lease(
+        ops in prop::collection::vec(arb_fed_op(), 0..60),
+    ) {
+        let book = book_from(&ops);
+        for (broker, &t) in &book.tombstones {
+            if let Some(lease) = book.leases.get(broker) {
+                prop_assert!(
+                    lease.ad.issued_at_utc > t,
+                    "broker {broker:?}: live lease at {} under tombstone {t}",
+                    lease.ad.issued_at_utc
+                );
+            }
+        }
+    }
+}

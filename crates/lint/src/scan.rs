@@ -81,6 +81,9 @@ pub fn is_protocol_handler_zone(path: &str) -> bool {
             | "crates/core/src/bdn.rs"
             | "crates/core/src/entity.rs"
             | "crates/core/src/responder.rs"
+            // The federation merge path consumes peer-supplied sync
+            // snapshots; malformed deltas must be counted, not panicked on.
+            | "crates/core/src/federation.rs"
     )
 }
 

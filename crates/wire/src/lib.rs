@@ -46,8 +46,8 @@ pub use frame::{
 };
 pub use intern::{SegId, MAX_TOPIC_DEPTH};
 pub use message::{
-    BrokerAdvertisement, Credential, DiscoveryRequest, DiscoveryResponse, Event, Message,
-    UsageMetrics,
+    BrokerAdvertisement, Credential, DiscoveryRequest, DiscoveryResponse, Event, FederationSync,
+    LeaseRecord, Message, SyncPhase, TombstoneRecord, UsageMetrics,
 };
 pub use topic::{Topic, TopicError, TopicFilter};
 pub use wiremsg::WireMsg;

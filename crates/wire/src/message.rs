@@ -334,6 +334,115 @@ impl Wire for SecureEnvelope {
     }
 }
 
+/// One replicated advertisement lease inside a [`FederationSync`]. The
+/// absolute expiry travels with the ad so a merged lease never slides
+/// forward: a dead broker's lease expires at the same virtual instant on
+/// every BDN that holds it, no matter how many gossip hops it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseRecord {
+    /// The advertisement the lease covers (LWW key: `ad.issued_at_utc`).
+    pub ad: BrokerAdvertisement,
+    /// Absolute UTC expiry (µs) of the lease at the origin BDN.
+    pub expires_at_us: u64,
+}
+
+impl Wire for LeaseRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        self.ad.encode(w);
+        w.put_u64(self.expires_at_us);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(LeaseRecord { ad: BrokerAdvertisement::decode(r)?, expires_at_us: r.get_u64()? })
+    }
+}
+
+/// A tombstone for an expired lease: retires every advertisement for
+/// `broker` issued at or before `lease_issued_utc`. A fresher ad (strictly
+/// newer `issued_at_utc`) beats the tombstone, so a live broker that keeps
+/// heartbeating is never suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TombstoneRecord {
+    /// The broker whose lease expired.
+    pub broker: NodeId,
+    /// `issued_at_utc` of the newest advertisement the tombstone retires.
+    pub lease_issued_utc: u64,
+}
+
+impl Wire for TombstoneRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        self.broker.encode(w);
+        w.put_u64(self.lease_issued_utc);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(TombstoneRecord { broker: NodeId::decode(r)?, lease_issued_utc: r.get_u64()? })
+    }
+}
+
+/// Which leg of the anti-entropy exchange a [`FederationSync`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPhase {
+    /// Opening probe: digest only, no records.
+    Digest,
+    /// Digest mismatched — full snapshot travels to the partner.
+    Push,
+    /// Partner's merged snapshot travels back, closing the round.
+    PushReply,
+}
+
+impl Wire for SyncPhase {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(match self {
+            SyncPhase::Digest => 0,
+            SyncPhase::Push => 1,
+            SyncPhase::PushReply => 2,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(SyncPhase::Digest),
+            1 => Ok(SyncPhase::Push),
+            2 => Ok(SyncPhase::PushReply),
+            tag => Err(WireError::InvalidTag { context: "SyncPhase", tag }),
+        }
+    }
+}
+
+/// One BDN-to-BDN anti-entropy exchange. `digest` is the sender's FNV-1a
+/// registry digest at send time; `leases`/`tombstones` are empty on the
+/// [`SyncPhase::Digest`] leg and carry full snapshots on the push legs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FederationSync {
+    /// The BDN that sent this leg.
+    pub from: NodeId,
+    /// Which leg of the exchange this is.
+    pub phase: SyncPhase,
+    /// FNV-1a-64 digest of the sender's live registry.
+    pub digest: u64,
+    /// Replicated leases (push legs only).
+    pub leases: Vec<LeaseRecord>,
+    /// Replicated tombstones (push legs only).
+    pub tombstones: Vec<TombstoneRecord>,
+}
+
+impl Wire for FederationSync {
+    fn encode(&self, w: &mut WireWriter) {
+        self.from.encode(w);
+        self.phase.encode(w);
+        w.put_u64(self.digest);
+        w.put_vec(&self.leases);
+        w.put_vec(&self.tombstones);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(FederationSync {
+            from: NodeId::decode(r)?,
+            phase: SyncPhase::decode(r)?,
+            digest: r.get_u64()?,
+            leases: r.get_vec()?,
+            tombstones: r.get_vec()?,
+        })
+    }
+}
+
 /// Every payload that crosses the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -378,6 +487,9 @@ pub enum Message {
     DiscoveryAck { request_id: Uuid, bdn: NodeId },
     /// A broker answers a discovery request, over UDP.
     Response(DiscoveryResponse),
+    /// BDN-to-BDN anti-entropy exchange: digest probe or lease/tombstone
+    /// snapshot (see `nb-discovery::federation`).
+    FederationSync(FederationSync),
 
     // ------------------------------------------------ measurement -------
     /// UDP ping carrying the sender's local send timestamp (paper §6).
@@ -423,6 +535,7 @@ impl Message {
             Message::Discovery(_) => "discovery-request",
             Message::DiscoveryAck { .. } => "discovery-ack",
             Message::Response(_) => "discovery-response",
+            Message::FederationSync(_) => "federation-sync",
             Message::Ping { .. } => "ping",
             Message::Pong { .. } => "pong",
             Message::NtpRequest { .. } => "ntp-request",
@@ -456,6 +569,7 @@ impl Message {
             Message::Discovery(_) => TAG_DISCOVERY,
             Message::DiscoveryAck { .. } => TAG_DISCOVERY_ACK,
             Message::Response(_) => TAG_RESPONSE,
+            Message::FederationSync(_) => TAG_FEDERATION_SYNC,
             Message::Ping { .. } => TAG_PING,
             Message::Pong { .. } => TAG_PONG,
             Message::NtpRequest { .. } => TAG_NTP_REQUEST,
@@ -493,6 +607,7 @@ pub(crate) const TAG_SECURE: u8 = 22;
 pub(crate) const TAG_RELIABLE_DATA: u8 = 23;
 pub(crate) const TAG_RELIABLE_ACK: u8 = 24;
 pub(crate) const TAG_REPLAY_REQUEST: u8 = 25;
+pub(crate) const TAG_FEDERATION_SYNC: u8 = 26;
 
 impl Wire for Message {
     fn encode(&self, w: &mut WireWriter) {
@@ -576,6 +691,10 @@ impl Wire for Message {
             Message::Response(resp) => {
                 w.put_u8(TAG_RESPONSE);
                 resp.encode(w);
+            }
+            Message::FederationSync(sync) => {
+                w.put_u8(TAG_FEDERATION_SYNC);
+                sync.encode(w);
             }
             Message::Ping { nonce, sent_at, reply_to } => {
                 w.put_u8(TAG_PING);
@@ -673,6 +792,7 @@ impl Wire for Message {
                 Message::DiscoveryAck { request_id: r.get_uuid()?, bdn: NodeId::decode(r)? }
             }
             TAG_RESPONSE => Message::Response(DiscoveryResponse::decode(r)?),
+            TAG_FEDERATION_SYNC => Message::FederationSync(FederationSync::decode(r)?),
             TAG_PING => Message::Ping {
                 nonce: r.get_u64()?,
                 sent_at: r.get_u64()?,
@@ -801,6 +921,13 @@ mod tests {
                 issued_at_utc: 1_000_000,
                 metrics: sample_metrics(),
             }),
+            Message::FederationSync(FederationSync {
+                from: NodeId(100),
+                phase: SyncPhase::Push,
+                digest: 0xDEAD_BEEF_CAFE_F00D,
+                leases: vec![LeaseRecord { ad: sample_ad(), expires_at_us: 31_234_567 }],
+                tombstones: vec![TombstoneRecord { broker: NodeId(6), lease_issued_utc: 900 }],
+            }),
             Message::Ping {
                 nonce: 5,
                 sent_at: 123,
@@ -854,6 +981,18 @@ mod tests {
         assert!(matches!(
             Message::from_bytes(&[200]),
             Err(WireError::InvalidTag { context: "Message", tag: 200 })
+        ));
+    }
+
+    #[test]
+    fn invalid_sync_phase_byte_is_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(9); // no SyncPhase encodes as 9
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            SyncPhase::decode(&mut r),
+            Err(WireError::InvalidTag { context: "SyncPhase", tag: 9 })
         ));
     }
 

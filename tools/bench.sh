@@ -9,6 +9,12 @@
 #   tools/bench.sh --workers 8      # pin the parallel worker count (--threads alias)
 #   tools/bench.sh chaos-smoke      # 3-seed chaos campaign (<30 s),
 #                                   # writes CHAOS_campaign.json
+#   tools/bench.sh federation       # 10-seed federated-BDN anti-entropy
+#                                   # campaign (scripted n-1 BDN loss +
+#                                   # randomized plans), run at 1 and 4
+#                                   # workers; writes BENCH_federation.json,
+#                                   # exit 1 on invariant failure or if the
+#                                   # two reports differ by a byte
 #   tools/bench.sh lint             # nb-lint static analysis (D001–D008),
 #                                   # writes LINT_report.json; exit 1 on
 #                                   # new findings
@@ -43,6 +49,26 @@ if [[ "${1:-}" == "chaos-smoke" ]]; then
     cargo build --release -p nb-bench
     ./target/release/repro chaos --scenarios 3 --seed 11 \
         --chaos-json CHAOS_campaign.json "$@"
+    exit 0
+fi
+
+if [[ "${1:-}" == "federation" ]]; then
+    shift
+    # Anti-entropy gate: the pinned-seed campaign must pass every
+    # invariant (attached, cross-BDN convergence, no resurrection) and
+    # the report must be byte-identical at 1 and 4 campaign workers —
+    # the worker-invariance contract of the sync message flow.
+    cargo build --release -p nb-bench
+    ./target/release/repro federation --scenarios 10 --seed 2005 --workers 1 \
+        --federation-json BENCH_federation.json "$@"
+    ./target/release/repro federation --scenarios 10 --seed 2005 --workers 4 \
+        --federation-json BENCH_federation.workers4.json "$@"
+    if ! cmp -s BENCH_federation.json BENCH_federation.workers4.json; then
+        echo "FAIL: federation report differs between 1 and 4 workers" >&2
+        exit 1
+    fi
+    rm -f BENCH_federation.workers4.json
+    echo "federation report byte-identical at 1 and 4 workers"
     exit 0
 fi
 
