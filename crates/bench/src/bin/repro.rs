@@ -27,8 +27,9 @@
 //!                           # scenarios), writes BENCH_federation.json (see
 //!                           # --scenarios/--federation-json); exit 1 if any invariant fails
 //! repro lint                # nb-lint static analysis (determinism + protocol-safety
-//!                           # rules D001–D008), writes LINT_report.json (see --lint-json);
-//!                           # exit 1 on new findings
+//!                           # rules D001–D011 and wire-conformance W001–W004), writes
+//!                           # LINT_report.json (see --lint-json); exit 1 on new findings
+//! repro lint --rules        # print the machine-readable rule table and exit
 //! repro routing             # routing micro-bench: trie+memo vs linear-scan oracle at
 //!                           # 1e3/1e4/1e5 filters, writes BENCH_routing.json (see
 //!                           # --routing-json); with --min-speedup X, exit 1 unless the
@@ -67,6 +68,7 @@ struct Args {
     codec_json: std::path::PathBuf,
     min_peek_speedup: Option<f64>,
     min_forward_speedup: Option<f64>,
+    lint_rules: bool,
 }
 
 fn parse_args() -> Args {
@@ -86,6 +88,7 @@ fn parse_args() -> Args {
         codec_json: std::path::PathBuf::from("BENCH_codec.json"),
         min_peek_speedup: None,
         min_forward_speedup: None,
+        lint_rules: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -143,6 +146,9 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 };
                 args.federation_json = std::path::PathBuf::from(path);
+            }
+            "--rules" => {
+                args.lint_rules = true;
             }
             "--lint-json" => {
                 i += 1;
@@ -874,6 +880,12 @@ fn run_federation_cmd(args: &Args) {
 /// workspace and writes the deterministic JSON report. Exits 1 when new
 /// (un-suppressed, un-baselined) findings exist.
 fn run_lint_cmd(args: &Args) {
+    if args.lint_rules {
+        // `repro lint --rules`: the stable rule table, nothing else —
+        // docs and CI generate from this instead of hand-copying.
+        print!("{}", nb_lint::rules::rules_table());
+        return;
+    }
     let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
     let Some(root) = nb_lint::find_workspace_root(&cwd) else {
         eprintln!("repro lint: no workspace root found from {}", cwd.display());

@@ -1,6 +1,7 @@
 //! CLI driver for `nb-lint`.
 //!
 //! Usage: `nb-lint [ROOT] [--json PATH] [--baseline PATH] [--quiet]`
+//! or `nb-lint --rules` for the machine-readable rule table.
 //!
 //! With no ROOT, walks up from the current directory to the workspace
 //! root. Exits 1 when new (un-suppressed, un-baselined) findings exist.
@@ -20,8 +21,14 @@ fn main() {
             "--json" => json_out = args.next().map(PathBuf::from),
             "--baseline" => baseline = args.next().map(PathBuf::from),
             "--quiet" | "-q" => quiet = true,
+            "--rules" => {
+                print!("{}", nb_lint::rules::rules_table());
+                return;
+            }
             "--help" | "-h" => {
-                eprintln!("usage: nb-lint [ROOT] [--json PATH] [--baseline PATH] [--quiet]");
+                eprintln!(
+                    "usage: nb-lint [ROOT] [--json PATH] [--baseline PATH] [--quiet] | --rules"
+                );
                 return;
             }
             other if root.is_none() && !other.starts_with('-') => {

@@ -1,0 +1,398 @@
+//! The interprocedural rules D009/D010/D011 over the item graph
+//! (DESIGN.md §15).
+//!
+//! All three share one primitive: a monotone reachability closure over
+//! the resolved call graph ("does this fn, directly or through calls,
+//! reach X?"), with a witness chain retained so findings can show the
+//! laundering path. Test fns neither propagate nor receive taint, and
+//! unresolved/ambiguous calls contribute nothing — the conservatism
+//! contract of items.rs carries through: these rules can under-report,
+//! never guess.
+
+use crate::items::{Evidence, FnId, FnItem, ItemGraph};
+use crate::lexer::{Tok, TokKind};
+use crate::scan::{is_deterministic_zone, is_protocol_handler_zone, Finding};
+use std::collections::BTreeMap;
+
+/// Why a fn reaches the property: it does the thing itself, or one of
+/// its resolved callees does.
+#[derive(Clone)]
+enum Why {
+    Direct(Evidence),
+    Via { callee: FnId },
+}
+
+/// Per-fn resolved callees, parallel to `FnItem::calls`.
+fn resolve_all(g: &ItemGraph) -> Vec<Vec<Option<FnId>>> {
+    g.fns
+        .iter()
+        .enumerate()
+        .map(|(id, f)| f.calls.iter().map(|c| g.resolve(id, c)).collect())
+        .collect()
+}
+
+/// Fixpoint closure: `out[id]` is Some when fn `id` reaches the
+/// property seeded by `direct`. Deterministic: fns in index order,
+/// calls in source order.
+fn reach(
+    g: &ItemGraph,
+    resolved: &[Vec<Option<FnId>>],
+    direct: impl Fn(&FnItem) -> Option<Evidence>,
+) -> Vec<Option<Why>> {
+    let mut out: Vec<Option<Why>> =
+        g.fns.iter().map(|f| if f.is_test { None } else { direct(f).map(Why::Direct) }).collect();
+    loop {
+        let mut changed = false;
+        for id in 0..g.fns.len() {
+            if out[id].is_some() || g.fns[id].is_test {
+                continue;
+            }
+            for callee in resolved[id].iter().flatten() {
+                if out[*callee].is_some() {
+                    out[id] = Some(Why::Via { callee: *callee });
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
+/// Renders the witness chain from `id` down to the direct evidence:
+/// `` `a` → `b` → `SystemTime` (crates/x.rs:42) ``.
+fn chain(g: &ItemGraph, reach: &[Option<Why>], id: FnId) -> String {
+    let mut parts = vec![format!("`{}`", g.fns[id].name)];
+    let mut cur = id;
+    for hop in 0.. {
+        match &reach[cur] {
+            Some(Why::Via { callee }) => {
+                cur = *callee;
+                if hop >= 8 {
+                    parts.push("…".to_string());
+                    break;
+                }
+                parts.push(format!("`{}`", g.fns[cur].name));
+            }
+            Some(Why::Direct(ev)) => {
+                parts.push(format!("{} ({}:{})", ev.what, g.files[g.fns[cur].file].path, ev.line));
+                break;
+            }
+            None => break,
+        }
+    }
+    parts.join(" → ")
+}
+
+fn finding(g: &ItemGraph, file: usize, rule: &'static str, line: u32, message: String) -> Finding {
+    let f = &g.files[file];
+    Finding {
+        rule,
+        file: f.path.clone(),
+        line,
+        message,
+        excerpt: f
+            .lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default(),
+    }
+}
+
+/// Runs D009/D010/D011 and returns their findings (unsorted; the
+/// driver merges them into the per-file scans).
+pub fn analyze(g: &ItemGraph) -> Vec<Finding> {
+    let resolved = resolve_all(g);
+    let mut out = Vec::new();
+    d009(g, &resolved, &mut out);
+    d010(g, &resolved, &mut out);
+    d011(g, &resolved, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// D009: wall-clock taint must not reach deterministic zones.
+// ---------------------------------------------------------------------
+
+fn d009(g: &ItemGraph, resolved: &[Vec<Option<FnId>>], out: &mut Vec<Finding>) {
+    let clock = reach(g, resolved, |f| f.clock.clone());
+    for (id, f) in g.fns.iter().enumerate() {
+        if f.is_test || !is_deterministic_zone(&g.files[f.file].path) {
+            continue;
+        }
+        for (ci, c) in f.calls.iter().enumerate() {
+            let Some(callee) = resolved[id][ci] else { continue };
+            if clock[callee].is_none() {
+                continue;
+            }
+            out.push(finding(
+                g,
+                f.file,
+                "D009",
+                c.line,
+                format!(
+                    "`{}` calls wall-clock-tainted `{}` ({}): deterministic-zone \
+                     code must not reach a clock read through any call path",
+                    f.name,
+                    c.name,
+                    chain(g, &clock, callee)
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D010: RNG seeds must derive from parameters/config, never from
+// ambient state — transitively.
+// ---------------------------------------------------------------------
+
+/// Ambient tokens that taint a seed expression directly.
+fn direct_ambient(toks: &[Tok], i: usize) -> Option<String> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    match t.text.as_str() {
+        "SystemTime" | "UNIX_EPOCH" | "thread_rng" | "from_entropy" | "OsRng" => {
+            Some(format!("`{}`", t.text))
+        }
+        "Instant" => Some("`Instant`".to_string()),
+        _ => None,
+    }
+}
+
+fn d010(g: &ItemGraph, resolved: &[Vec<Option<FnId>>], out: &mut Vec<Finding>) {
+    let ambient = reach(g, resolved, |f| f.clock.clone().or_else(|| f.entropy.clone()));
+    for (id, f) in g.fns.iter().enumerate() {
+        let toks = &g.files[f.file].toks;
+        // Forward pass: locals whose initialiser is tainted, with the
+        // reason. Rebinding overwrites; `if let`/patterns are skipped
+        // (documented conservatism).
+        let mut tainted: BTreeMap<String, String> = BTreeMap::new();
+        let mut i = f.body.0;
+        while i < f.body.1 {
+            if let Some(&(_, b)) = f.holes.iter().find(|&&(a, b)| a <= i && i < b) {
+                i = b;
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            if t.is_ident("let") && !(i > 0 && (toks[i - 1].is_ident("if") || toks[i - 1].is_ident("while"))) {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if let Some(name) = simple_ident(toks, j) {
+                    // Find `=` before `;` at bracket depth 0, then the
+                    // initialiser expression up to the closing `;`.
+                    if let Some((eq, semi)) = binding_range(toks, j + 1, f.body.1) {
+                        if let Some(why) =
+                            expr_taint(g, id, resolved, &ambient, &tainted, toks, eq + 1, semi)
+                        {
+                            tainted.insert(name.to_string(), why);
+                        } else {
+                            tainted.remove(name);
+                        }
+                    }
+                }
+            }
+            // Seed construction sites.
+            if (t.is_ident("seed_from_u64") || t.is_ident("from_seed"))
+                && i + 1 < f.body.1
+                && toks[i + 1].is_punct('(')
+            {
+                let args_end = {
+                    let mut depth = 0usize;
+                    let mut k = i + 1;
+                    loop {
+                        if k >= toks.len() {
+                            break k;
+                        }
+                        if toks[k].is_punct('(') {
+                            depth += 1;
+                        } else if toks[k].is_punct(')') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break k;
+                            }
+                        }
+                        k += 1;
+                    }
+                };
+                if let Some(why) =
+                    expr_taint(g, id, resolved, &ambient, &tainted, toks, i + 2, args_end)
+                {
+                    out.push(finding(
+                        g,
+                        f.file,
+                        "D010",
+                        t.line,
+                        format!(
+                            "RNG seed in `{}` derives from ambient state: {}; seeds must \
+                             come from a parameter, config field or seed/id derivation",
+                            f.name, why
+                        ),
+                    ));
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// `toks[j]` as a simple binding name (skips destructuring patterns).
+fn simple_ident<'t>(toks: &'t [Tok], j: usize) -> Option<&'t str> {
+    let t = toks.get(j)?;
+    if t.kind == TokKind::Ident && !t.is_ident("mut") {
+        Some(t.text.as_str())
+    } else {
+        None
+    }
+}
+
+/// For `let name …` starting after the name at `from`: the indices of
+/// the top-level `=` and the terminating `;`, both at bracket depth 0.
+fn binding_range(toks: &[Tok], from: usize, limit: usize) -> Option<(usize, usize)> {
+    let mut depth = 0isize;
+    let mut eq = None;
+    let mut k = from;
+    while k < limit {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return None;
+            }
+        } else if depth == 0 && t.is_punct('=') && eq.is_none() {
+            // `==`, `>=` … never follow a `let name [: Type]` head.
+            if !(k + 1 < limit && toks[k + 1].is_punct('=')) {
+                eq = Some(k);
+            }
+        } else if depth == 0 && t.is_punct(';') {
+            return eq.map(|e| (e, k));
+        }
+        k += 1;
+    }
+    None
+}
+
+/// First taint witness in `toks[from..to]`: a direct ambient token, a
+/// call resolving to an ambient-reaching fn, or a tainted local.
+fn expr_taint(
+    g: &ItemGraph,
+    caller: FnId,
+    resolved: &[Vec<Option<FnId>>],
+    ambient: &[Option<Why>],
+    tainted: &BTreeMap<String, String>,
+    toks: &[Tok],
+    from: usize,
+    to: usize,
+) -> Option<String> {
+    let f = &g.fns[caller];
+    let mut k = from;
+    while k < to.min(toks.len()) {
+        if let Some(what) = direct_ambient(toks, k) {
+            return Some(format!("reads {what} directly"));
+        }
+        let t = &toks[k];
+        if t.kind == TokKind::Ident {
+            if k + 1 < toks.len() && toks[k + 1].is_punct('(') {
+                // A call inside the expression: look it up among this
+                // fn's recorded call sites (same name + line).
+                for (ci, c) in f.calls.iter().enumerate() {
+                    if c.name == t.text && c.line == t.line {
+                        if let Some(callee) = resolved[caller][ci] {
+                            if ambient[callee].is_some() {
+                                return Some(format!(
+                                    "calls `{}` which reaches {}",
+                                    c.name,
+                                    chain(g, ambient, callee)
+                                ));
+                            }
+                        }
+                    }
+                }
+            } else if !(k > 0 && toks[k - 1].is_punct('.')) {
+                if let Some(why) = tainted.get(&t.text) {
+                    return Some(format!("uses `{}`, which {}", t.text, why));
+                }
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// D011: receive paths must not call into panic-reaching fns outside
+// the handler files (one call level deep or more).
+// ---------------------------------------------------------------------
+
+/// Whether a fn name marks a protocol receive entry point.
+fn is_receive_entry(name: &str) -> bool {
+    name.starts_with("on_") || name.starts_with("handle_") || name.starts_with("receive")
+}
+
+fn d011(g: &ItemGraph, resolved: &[Vec<Option<FnId>>], out: &mut Vec<Finding>) {
+    let panics = reach(g, resolved, |f| f.panics.clone());
+    // Forward reachability from the receive entry points.
+    let mut from_root = vec![false; g.fns.len()];
+    let mut stack: Vec<FnId> = Vec::new();
+    for (id, f) in g.fns.iter().enumerate() {
+        if !f.is_test
+            && is_protocol_handler_zone(&g.files[f.file].path)
+            && is_receive_entry(&f.name)
+        {
+            from_root[id] = true;
+            stack.push(id);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        for callee in resolved[id].iter().flatten() {
+            if !from_root[*callee] && !g.fns[*callee].is_test {
+                from_root[*callee] = true;
+                stack.push(*callee);
+            }
+        }
+    }
+    for (id, f) in g.fns.iter().enumerate() {
+        if f.is_test || !from_root[id] || !is_protocol_handler_zone(&g.files[f.file].path) {
+            continue;
+        }
+        for (ci, c) in f.calls.iter().enumerate() {
+            let Some(callee) = resolved[id][ci] else { continue };
+            let target = &g.fns[callee];
+            // Panics *inside* handler files are D004's business at the
+            // token itself; D011 flags the escape hatch — calls that
+            // leave the zone and reach a panic D004 cannot see.
+            if is_protocol_handler_zone(&g.files[target.file].path) {
+                continue;
+            }
+            if panics[callee].is_none() {
+                continue;
+            }
+            out.push(finding(
+                g,
+                f.file,
+                "D011",
+                c.line,
+                format!(
+                    "receive path `{}` calls `{}` which can panic ({}): malformed \
+                     input must be counted, not panic the actor",
+                    f.name,
+                    c.name,
+                    chain(g, &panics, callee)
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! Layer 1 of nb-lint v2: item extraction and the approximate
+//! same-crate call graph behind the interprocedural rules (DESIGN.md
+//! §15).
+//!
+//! This is deliberately *not* a Rust parser. One forward pass over the
+//! token stream recognises just enough structure — `impl`/`trait`
+//! blocks, `fn` items (including nested ones), call expressions — to
+//! build a per-crate name index and a call graph. Precision comes from
+//! the resolution contract, not grammar fidelity: a call site resolves
+//! only when **exactly one** candidate in the same crate matches its
+//! shape (bare call → free fn, method call → method, `Type::name` →
+//! method of a known type, `module::name` → free fn). Anything
+//! unresolved or ambiguous contributes no edge, so the rules built on
+//! top can miss launderers routed through cross-crate calls or
+//! same-name methods, but can never flag a call the graph merely
+//! guessed about.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::scan::is_test_file;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Index of a function in [`ItemGraph::fns`].
+pub type FnId = usize;
+
+/// One call expression observed inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub line: u32,
+    /// The invoked name: `helper` in `helper(..)`, `x.helper(..)` and
+    /// `Q::helper(..)` alike.
+    pub name: String,
+    /// `Q` in `Q::helper(..)`; `Self` is rewritten to the impl type.
+    pub qualifier: Option<String>,
+    pub is_method: bool,
+}
+
+/// Direct in-body evidence (ambient-state read or panic site).
+#[derive(Debug, Clone)]
+pub struct Evidence {
+    pub line: u32,
+    pub what: String,
+}
+
+/// One `fn` item (free fn, method, trait default method, nested fn).
+#[derive(Debug)]
+pub struct FnItem {
+    /// Index into [`ItemGraph::files`].
+    pub file: usize,
+    pub name: String,
+    /// Enclosing `impl Type`/`trait Type` block name, if any.
+    pub impl_type: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Inside a `#[test]`/`#[cfg(test)]` range or an integration-test
+    /// tree. Test fns never propagate taint and never resolve as
+    /// callees.
+    pub is_test: bool,
+    /// Token range strictly inside the body braces (file-local).
+    pub body: (usize, usize),
+    /// Sub-ranges of `body` owned by nested `fn` items (excluded from
+    /// this fn's own call/evidence scan).
+    pub holes: Vec<(usize, usize)>,
+    pub calls: Vec<CallSite>,
+    /// First wall-clock read in the body, if any.
+    pub clock: Option<Evidence>,
+    /// First ambient-entropy read in the body, if any.
+    pub entropy: Option<Evidence>,
+    /// First panic site in the body, if any.
+    pub panics: Option<Evidence>,
+}
+
+/// Per-file parse output retained for the rule passes.
+pub struct FileItems {
+    pub path: String,
+    pub crate_key: String,
+    pub toks: Vec<Tok>,
+    pub lines: Vec<String>,
+    /// FnIds of the fns defined in this file, in source order.
+    pub fns: Vec<FnId>,
+}
+
+/// The whole-workspace item graph.
+pub struct ItemGraph {
+    pub files: Vec<FileItems>,
+    pub fns: Vec<FnItem>,
+    /// (crate key, fn name) → non-test candidates, for resolution.
+    index: BTreeMap<(String, String), Vec<FnId>>,
+    /// (crate key, type name) for every `impl`/`trait` block seen, to
+    /// tell `Type::name(..)` paths from `module::name(..)` paths.
+    types: BTreeSet<(String, String)>,
+}
+
+/// The same-crate resolution domain for a workspace-relative path.
+/// Each `crates/<name>` tree is one crate (its unit and integration
+/// tests resolve against the same index); the root package's `src`,
+/// `tests` and `examples` form another.
+pub fn crate_key(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let name = rest.split('/').next().unwrap_or(rest);
+        return format!("crates/{name}");
+    }
+    if path.starts_with("src/") || path.starts_with("tests/") || path.starts_with("examples/") {
+        return "root".to_string();
+    }
+    path.to_string()
+}
+
+// ---------------------------------------------------------------------
+// Token helpers (free fns — the parser works on plain slices).
+// ---------------------------------------------------------------------
+
+fn punct(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    toks.get(i).and_then(|t| if t.kind == TokKind::Ident { Some(t.text.as_str()) } else { None })
+}
+
+/// Index just past the close matching the open bracket at `open`.
+fn skip_balanced(toks: &[Tok], open: usize, oc: char, cc: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if punct(toks, i, oc) {
+            depth += 1;
+        } else if punct(toks, i, cc) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Index just past the `>` closing the `<` at `open`. A `>` preceded by
+/// `-` is the arrow of a return type (`Fn() -> T`), not a closer.
+fn skip_angles(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < toks.len() {
+        if punct(toks, i, '<') {
+            depth += 1;
+        } else if punct(toks, i, '>') && !(i > 0 && punct(toks, i - 1, '-')) {
+            depth -= 1;
+            if depth <= 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Inclusive line ranges of `#[test]` / `#[cfg(test)]` items — the same
+/// shape scan.rs uses, over a plain token slice.
+fn test_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if punct(toks, i, '#') && punct(toks, i + 1, '[') {
+            let attr_end = skip_balanced(toks, i + 1, '[', ']');
+            let is_test_attr =
+                toks[i + 1..attr_end.saturating_sub(1)].iter().any(|t| t.is_ident("test"));
+            if is_test_attr {
+                let mut j = attr_end;
+                while j < toks.len() && !punct(toks, j, '{') && !punct(toks, j, ';') {
+                    j += 1;
+                }
+                if j < toks.len() && punct(toks, j, '{') {
+                    let end = skip_balanced(toks, j, '{', '}');
+                    let from = toks[i].line;
+                    let to = toks.get(end.saturating_sub(1)).map(|t| t.line).unwrap_or(from);
+                    out.push((from, to));
+                    i = end;
+                    continue;
+                }
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether the token before `i` puts an `impl`/`trait` keyword in item
+/// position (vs `-> impl Trait`, `&impl Trait`, generic bounds …).
+fn item_position(toks: &[Tok], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let p = &toks[i - 1];
+    p.is_punct('}')
+        || p.is_punct(';')
+        || p.is_punct(']')
+        || p.is_punct('{')
+        || p.is_ident("unsafe")
+        || p.is_ident("pub")
+}
+
+impl ItemGraph {
+    /// Parses every file and builds the resolution index.
+    pub fn build(sources: &[(String, String)]) -> ItemGraph {
+        let mut g = ItemGraph {
+            files: Vec::with_capacity(sources.len()),
+            fns: Vec::new(),
+            index: BTreeMap::new(),
+            types: BTreeSet::new(),
+        };
+        for (path, src) in sources {
+            let file_idx = g.files.len();
+            let lexed = lex(src);
+            let ranges = test_ranges(&lexed.toks);
+            let whole_test = is_test_file(path);
+            let ck = crate_key(path);
+            let mut file = FileItems {
+                path: path.clone(),
+                crate_key: ck.clone(),
+                toks: lexed.toks,
+                lines: src.lines().map(|l| l.to_string()).collect(),
+                fns: Vec::new(),
+            };
+            parse_items(&mut g.fns, &mut g.types, &mut file, file_idx, &ranges, whole_test);
+            for &id in &file.fns {
+                scan_body(&file.toks, &mut g.fns[id]);
+            }
+            g.files.push(file);
+        }
+        for (id, f) in g.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let key = (g.files[f.file].crate_key.clone(), f.name.clone());
+            g.index.entry(key).or_default().push(id);
+        }
+        g
+    }
+
+    /// Resolves a call made from `caller`. `Some` only when exactly one
+    /// same-crate non-test candidate matches the call's shape.
+    pub fn resolve(&self, caller: FnId, call: &CallSite) -> Option<FnId> {
+        let ck = &self.files[self.fns[caller].file].crate_key;
+        let cands = self.index.get(&(ck.clone(), call.name.clone()))?;
+        let unique = |pred: &dyn Fn(&FnItem) -> bool| {
+            let mut hit = None;
+            for &id in cands {
+                if pred(&self.fns[id]) {
+                    if hit.is_some() {
+                        return None; // ambiguous ⇒ no edge
+                    }
+                    hit = Some(id);
+                }
+            }
+            hit
+        };
+        match &call.qualifier {
+            None if call.is_method => unique(&|f| f.impl_type.is_some()),
+            None => unique(&|f| f.impl_type.is_none()),
+            Some(q) if self.types.contains(&(ck.clone(), q.clone())) => {
+                unique(&|f| f.impl_type.as_deref() == Some(q.as_str()))
+            }
+            Some(q)
+                if q == "crate"
+                    || q == "super"
+                    || q == "self"
+                    || q.chars().next().is_some_and(|c| c.is_ascii_lowercase()) =>
+            {
+                // Module path: same-crate free fns only.
+                unique(&|f| f.impl_type.is_none())
+            }
+            // `UnknownType::name(..)`: almost certainly a cross-crate
+            // type (StdRng, Vec, …) — conservatively no edge.
+            _ => None,
+        }
+    }
+
+    /// Whether `name` is a known `impl`/`trait` type in `crate_key`.
+    pub fn is_known_type(&self, crate_key: &str, name: &str) -> bool {
+        self.types.contains(&(crate_key.to_string(), name.to_string()))
+    }
+
+    /// Innermost fn whose body contains token index `tok` of `file`.
+    pub fn fn_at(&self, file: usize, tok: usize) -> Option<FnId> {
+        let mut best: Option<FnId> = None;
+        for &id in &self.files[file].fns {
+            let (a, b) = self.fns[id].body;
+            if a <= tok && tok < b {
+                let tighter = best
+                    .map(|p| {
+                        let (pa, pb) = self.fns[p].body;
+                        a >= pa && b <= pb
+                    })
+                    .unwrap_or(true);
+                if tighter {
+                    best = Some(id);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// The structural pass: walks one file's tokens, pushing fn items and
+/// recording `impl`/`trait` type names.
+fn parse_items(
+    fns: &mut Vec<FnItem>,
+    types: &mut BTreeSet<(String, String)>,
+    file: &mut FileItems,
+    file_idx: usize,
+    ranges: &[(u32, u32)],
+    whole_test: bool,
+) {
+    let toks = &file.toks;
+    let in_test = |line: u32| whole_test || ranges.iter().any(|&(a, b)| a <= line && line <= b);
+    // (type name, block end) for open impl/trait blocks.
+    let mut blocks: Vec<(Option<String>, usize)> = Vec::new();
+    // (local fn slot in file.fns, body end) for open fn bodies.
+    let mut open_fns: Vec<(FnId, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while blocks.last().is_some_and(|&(_, end)| end <= i) {
+            blocks.pop();
+        }
+        while open_fns.last().is_some_and(|&(_, end)| end <= i) {
+            open_fns.pop();
+        }
+        // Attributes `#[…]` / `#![…]` are skipped whole.
+        if punct(toks, i, '#') {
+            if punct(toks, i + 1, '[') {
+                i = skip_balanced(toks, i + 1, '[', ']');
+                continue;
+            }
+            if punct(toks, i + 1, '!') && punct(toks, i + 2, '[') {
+                i = skip_balanced(toks, i + 2, '[', ']');
+                continue;
+            }
+        }
+        let is_impl = toks[i].is_ident("impl");
+        let is_trait = toks[i].is_ident("trait");
+        if (is_impl || is_trait) && item_position(toks, i) {
+            if let Some((ty, open)) = parse_block_header(toks, i, is_trait) {
+                let end = skip_balanced(toks, open, '{', '}');
+                if let Some(t) = &ty {
+                    types.insert((file.crate_key.clone(), t.clone()));
+                }
+                blocks.push((ty, end));
+                i = open + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if toks[i].is_ident("fn") && ident_at(toks, i + 1).is_some() {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i].line;
+            let mut j = i + 2;
+            if punct(toks, j, '<') {
+                j = skip_angles(toks, j);
+            }
+            if !punct(toks, j, '(') {
+                i += 1;
+                continue;
+            }
+            let params_end = skip_balanced(toks, j, '(', ')');
+            let mut k = params_end;
+            while k < toks.len() && !punct(toks, k, '{') && !punct(toks, k, ';') {
+                k += 1;
+            }
+            if !punct(toks, k, '{') {
+                // Signature only (trait method decl): no item.
+                i = k;
+                continue;
+            }
+            let body_end = skip_balanced(toks, k, '{', '}');
+            if let Some(&(parent, _)) = open_fns.last() {
+                fns[parent].holes.push((i, body_end));
+            }
+            let id = fns.len();
+            fns.push(FnItem {
+                file: file_idx,
+                name,
+                impl_type: blocks.last().and_then(|(ty, _)| ty.clone()),
+                line,
+                is_test: in_test(line),
+                body: (k + 1, body_end.saturating_sub(1)),
+                holes: Vec::new(),
+                calls: Vec::new(),
+                clock: None,
+                entropy: None,
+                panics: None,
+            });
+            file.fns.push(id);
+            open_fns.push((id, body_end));
+            i = k + 1; // descend into the body to find nested fns
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Parses an `impl`/`trait` header starting at keyword index `i`:
+/// returns the block's type name (the last path segment of the
+/// implemented-on type, or the trait name) and the `{` index.
+fn parse_block_header(toks: &[Tok], i: usize, is_trait: bool) -> Option<(Option<String>, usize)> {
+    let mut j = i + 1;
+    if !is_trait && punct(toks, j, '<') {
+        j = skip_angles(toks, j);
+    }
+    let mut current: Option<String> = None;
+    let mut depth = 0isize;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(j > 0 && punct(toks, j - 1, '-')) {
+            depth -= 1;
+        } else if t.is_punct('{') && depth <= 0 {
+            return Some((current, j));
+        } else if t.is_punct(';') && depth <= 0 {
+            return None;
+        } else if depth <= 0 && t.kind == TokKind::Ident {
+            if t.is_ident("for") {
+                current = None; // `impl Trait for Type`: the type wins
+            } else if t.is_ident("where") {
+                // Type name is settled; scan on to `{`.
+            } else if !t.is_ident("dyn") && !t.is_ident("const") {
+                current = Some(t.text.clone());
+                if is_trait && current.is_some() {
+                    // A trait's name is its first ident; bounds after
+                    // `:` must not overwrite it.
+                    let name = current;
+                    let mut k = j + 1;
+                    while k < toks.len() && !punct(toks, k, '{') && !punct(toks, k, ';') {
+                        k += 1;
+                    }
+                    if punct(toks, k, '{') {
+                        return Some((name, k));
+                    }
+                    return None;
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+const KEYWORD_CALLS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "let", "else", "unsafe",
+    "ref", "await",
+];
+
+/// The evidence + call pass over one fn body (holes excluded).
+fn scan_body(toks: &[Tok], f: &mut FnItem) {
+    let mut i = f.body.0;
+    while i < f.body.1 {
+        if let Some(&(_, b)) = f.holes.iter().find(|&&(a, b)| a <= i && i < b) {
+            i = b;
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let line = t.line;
+        // Ambient-state and panic evidence (first site wins).
+        match t.text.as_str() {
+            "SystemTime" | "UNIX_EPOCH" => {
+                f.clock.get_or_insert(Evidence { line, what: format!("`{}`", t.text) });
+            }
+            "Instant"
+                if punct(toks, i + 1, ':')
+                    && punct(toks, i + 2, ':')
+                    && ident_at(toks, i + 3) == Some("now") =>
+            {
+                f.clock.get_or_insert(Evidence { line, what: "`Instant::now`".to_string() });
+            }
+            "thread_rng" | "from_entropy" | "OsRng" => {
+                f.entropy.get_or_insert(Evidence { line, what: format!("`{}`", t.text) });
+            }
+            "unwrap" | "expect"
+                if i > 0 && punct(toks, i - 1, '.') && punct(toks, i + 1, '(') =>
+            {
+                f.panics.get_or_insert(Evidence { line, what: format!("`.{}()`", t.text) });
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if punct(toks, i + 1, '!') =>
+            {
+                f.panics.get_or_insert(Evidence { line, what: format!("`{}!`", t.text) });
+            }
+            _ => {}
+        }
+        // Call expressions: `name(`, `.name(`, `Q::name(`.
+        if punct(toks, i + 1, '(') && !KEYWORD_CALLS.contains(&t.text.as_str()) {
+            let (qualifier, is_method) = if i > 0 && punct(toks, i - 1, '.') {
+                (None, true)
+            } else if i >= 2 && punct(toks, i - 1, ':') && punct(toks, i - 2, ':') {
+                let q = if i >= 3 { ident_at(toks, i - 3).map(|s| s.to_string()) } else { None };
+                let q = match (q, &f.impl_type) {
+                    (Some(ref s), Some(ty)) if s == "Self" => Some(ty.clone()),
+                    (q, _) => q,
+                };
+                (q, false)
+            } else {
+                (None, false)
+            };
+            // `Self::x(..)` with no impl type stays qualified-unknown
+            // rather than collapsing into a bare call.
+            let skip = qualifier.is_none()
+                && !is_method
+                && i >= 2
+                && punct(toks, i - 1, ':')
+                && punct(toks, i - 2, ':');
+            if !skip {
+                f.calls.push(CallSite { line, name: t.text.clone(), qualifier, is_method });
+            } else {
+                f.calls.push(CallSite {
+                    line,
+                    name: t.text.clone(),
+                    qualifier: Some("?".to_string()),
+                    is_method: false,
+                });
+            }
+        }
+        i += 1;
+    }
+}

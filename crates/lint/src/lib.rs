@@ -8,8 +8,12 @@
 //! checked-in baseline, and renders human + JSON reports with a stable
 //! digest for golden pinning.
 
+pub mod graph;
+pub mod items;
 pub mod lexer;
+pub mod rules;
 pub mod scan;
+pub mod wire;
 
 use scan::{scan_file, Allow, Finding};
 use std::fs;
@@ -280,13 +284,40 @@ pub fn load_baseline(path: &Path) -> Vec<u64> {
 /// baseline at `baseline` (missing file ⇒ empty baseline).
 pub fn run_root(root: &Path, baseline: &Path) -> io::Result<Report> {
     let files = collect_rs_files(root)?;
-    let baseline_fps = load_baseline(baseline);
-    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        sources.push((rel, src));
+    }
+    Ok(run_sources(&sources, &load_baseline(baseline)))
+}
+
+/// The full pipeline over in-memory sources (workspace-relative path,
+/// contents). Phase 1 runs the per-file token scanner; phase 2 builds
+/// the item graph for the interprocedural rules (D009–D011) and the
+/// wire-conformance pass (W001–W004), merging their findings into the
+/// owning file before suppressions and the baseline apply — so the new
+/// rules ride the exact same `nb-lint::allow`/fingerprint machinery.
+pub fn run_sources(sources: &[(String, String)], baseline_fps: &[u64]) -> Report {
+    let mut scans: Vec<(&str, scan::FileScan)> =
+        sources.iter().map(|(rel, src)| (rel.as_str(), scan_file(rel, src))).collect();
+
+    let item_graph = items::ItemGraph::build(sources);
+    let mut extra = graph::analyze(&item_graph);
+    extra.extend(wire::check(sources));
+    for f in extra {
+        if let Some((_, fscan)) = scans.iter_mut().find(|(p, _)| *p == f.file) {
+            fscan.findings.push(f);
+        }
+    }
+    for (_, fscan) in &mut scans {
+        fscan.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    }
+
+    let mut report = Report { files_scanned: sources.len(), ..Report::default() };
     let mut baseline_hits: Vec<bool> = vec![false; baseline_fps.len()];
 
-    for rel in &files {
-        let src = fs::read_to_string(root.join(rel))?;
-        let fs_scan = scan_file(rel, &src);
+    for (rel, fs_scan) in scans {
         let mut allow_used: Vec<bool> = vec![false; fs_scan.allows.len()];
         for f in fs_scan.findings {
             // L001 (malformed directive) cannot be suppressed.
@@ -318,7 +349,7 @@ pub fn run_root(root: &Path, baseline: &Path) -> io::Result<Report> {
         for (ai, a) in fs_scan.allows.iter().enumerate() {
             if !allow_used[ai] {
                 report.unused_allows.push(UnusedAllow {
-                    file: rel.clone(),
+                    file: rel.to_string(),
                     line: a.line,
                     rules: a.rules.clone(),
                 });
@@ -333,7 +364,7 @@ pub fn run_root(root: &Path, baseline: &Path) -> io::Result<Report> {
     report
         .unused_allows
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(report)
+    report
 }
 
 /// Default baseline location relative to the workspace root.

@@ -111,7 +111,7 @@ pub fn is_single_threaded_zone(path: &str) -> bool {
 }
 
 /// Whether a whole file is test code (integration-test trees).
-fn is_test_file(path: &str) -> bool {
+pub fn is_test_file(path: &str) -> bool {
     path.starts_with("tests/") || path.contains("/tests/")
 }
 
@@ -940,7 +940,7 @@ fn parse_allows(
         let rules_ok = !rules.is_empty()
             && rules.iter().all(|r| {
                 r.len() == 4
-                    && (r.starts_with('D') || r.starts_with('L'))
+                    && (r.starts_with('D') || r.starts_with('W') || r.starts_with('L'))
                     && r[1..].chars().all(|ch| ch.is_ascii_digit())
             });
         if !rules_ok {
@@ -954,10 +954,46 @@ fn parse_allows(
             bad("suppression without a justification: add `reason = \"…\"`".to_string());
             continue;
         };
-        // Covered lines: the directive's own line and the next code line.
+        // Covered lines: the directive's own line and the next code
+        // line. Attributes (`#[...]` / `#![...]`, stacked or spanning
+        // lines) between the directive and the item don't consume the
+        // coverage — both the attribute lines and the item line are
+        // covered, so a suppression above `#[derive(...)]` reaches the
+        // item it annotates.
         let mut covers = vec![c.line];
-        if let Some(next) = toks.iter().find(|t| t.line > c.line) {
-            covers.push(next.line);
+        if let Some(mut i) = toks.iter().position(|t| t.line > c.line) {
+            while i < toks.len() && toks[i].is_punct('#') {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+                    j += 1;
+                }
+                if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
+                    break;
+                }
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    if toks[j].is_punct('[') {
+                        depth += 1;
+                    } else if toks[j].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                for t in toks.iter().take(j.min(toks.len() - 1) + 1).skip(i) {
+                    if !covers.contains(&t.line) {
+                        covers.push(t.line);
+                    }
+                }
+                i = j + 1;
+            }
+            if let Some(t) = toks.get(i) {
+                if !covers.contains(&t.line) {
+                    covers.push(t.line);
+                }
+            }
         }
         allows.push(Allow { line: c.line, rules, reason, covers });
     }

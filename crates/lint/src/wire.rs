@@ -1,0 +1,596 @@
+//! Layer 2 of nb-lint v2: wire-protocol conformance (W001–W004,
+//! DESIGN.md §15).
+//!
+//! A dedicated pass over `crates/wire/src/message.rs` and `frame.rs`
+//! that cross-checks the four places a message kind must be registered:
+//! the `TAG_*` constants (+ `ALL_TAGS`), the `Message` enum with its
+//! encode/decode/`tag()` arms, and the `peek_fields` fixed-offset
+//! table in frame.rs. PR 7 grew the protocol by hand in all four spots
+//! at once; these rules make that coupling a static check instead of a
+//! review convention. The pass only fires when the files exist at their
+//! canonical workspace paths, so fixture workspaces opt in by shipping
+//! miniature replicas.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::scan::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const MESSAGE_RS: &str = "crates/wire/src/message.rs";
+pub const FRAME_RS: &str = "crates/wire/src/frame.rs";
+
+/// Runs W001–W004 over the workspace sources.
+pub fn check(sources: &[(String, String)]) -> Vec<Finding> {
+    let Some((_, msg_src)) = sources.iter().find(|(p, _)| p == MESSAGE_RS) else {
+        return Vec::new();
+    };
+    let frame_src = sources.iter().find(|(p, _)| p == FRAME_RS).map(|(_, s)| s.as_str());
+    let msg = Src::new(MESSAGE_RS, msg_src);
+    let model = MessageModel::parse(&msg);
+    let mut out = Vec::new();
+    model.w001(&msg, &mut out);
+    model.w003(&msg, &mut out);
+    model.w004_message(&msg, &mut out);
+    if let Some(fs) = frame_src {
+        let frame = Src::new(FRAME_RS, fs);
+        model.w002(&frame, &mut out);
+        w004_frame(&frame, &mut out);
+    }
+    out
+}
+
+/// One lexed source with finding helpers.
+struct Src<'a> {
+    path: &'static str,
+    toks: Vec<Tok>,
+    lines: Vec<&'a str>,
+}
+
+impl<'a> Src<'a> {
+    fn new(path: &'static str, src: &'a str) -> Src<'a> {
+        Src { path, toks: lex(src).toks, lines: src.lines().collect() }
+    }
+
+    fn punct(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        self.toks
+            .get(i)
+            .and_then(|t| if t.kind == TokKind::Ident { Some(t.text.as_str()) } else { None })
+    }
+
+    fn skip_balanced(&self, open: usize, oc: char, cc: char) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.toks.len() {
+            if self.punct(i, oc) {
+                depth += 1;
+            } else if self.punct(i, cc) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.toks.len()
+    }
+
+    /// First index `>= from` where `seq` matches as consecutive idents.
+    fn find_idents(&self, from: usize, seq: &[&str]) -> Option<usize> {
+        let n = self.toks.len();
+        'outer: for i in from..n.saturating_sub(seq.len() - 1) {
+            for (k, want) in seq.iter().enumerate() {
+                if self.ident(i + k) != Some(*want) {
+                    continue 'outer;
+                }
+            }
+            return Some(i);
+        }
+        None
+    }
+
+    /// Body token range of `fn <name>` searched from `from` (strictly
+    /// inside the braces), with the line of the `fn` keyword.
+    fn fn_body(&self, name: &str, from: usize, limit: usize) -> Option<(usize, usize, u32)> {
+        let at = self.find_idents(from, &["fn", name])?;
+        if at >= limit {
+            return None;
+        }
+        let mut j = at + 2;
+        while j < limit && !self.punct(j, '{') && !self.punct(j, ';') {
+            j += 1;
+        }
+        if !self.punct(j, '{') {
+            return None;
+        }
+        let end = self.skip_balanced(j, '{', '}');
+        Some((j + 1, end.saturating_sub(1), self.toks[at].line))
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: self.path.to_string(),
+            line,
+            message,
+            excerpt: self
+                .lines
+                .get(line.saturating_sub(1) as usize)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+fn is_tag_name(s: &str) -> bool {
+    s.starts_with("TAG_")
+}
+
+/// Everything the W-rules need to know about message.rs.
+struct MessageModel {
+    /// `const TAG_X: u8 = n;` → (name, value, line), in source order.
+    tags: Vec<(String, u8, u32)>,
+    /// `ALL_TAGS` entries and the const's line, if declared.
+    all_tags: Option<(Vec<String>, u32)>,
+    /// Enum variants: (name, line).
+    variants: Vec<(String, u32)>,
+    /// Variant → tag const written first in its encode arm.
+    encode_map: BTreeMap<String, String>,
+    /// Variant → tag const reported by `fn tag`.
+    tag_map: BTreeMap<String, String>,
+    /// Tag consts with a `TAG_X =>` decode arm.
+    decode_tags: BTreeSet<String>,
+    /// Whether `Message::decode` mentions `MAX_MESSAGE_LEN`, and its line.
+    decode_guard: Option<(bool, u32)>,
+    /// Variants whose wire layout starts with a UUID right after the tag.
+    uuid_first: BTreeSet<String>,
+}
+
+impl MessageModel {
+    fn parse(s: &Src<'_>) -> MessageModel {
+        let mut m = MessageModel {
+            tags: Vec::new(),
+            all_tags: None,
+            variants: Vec::new(),
+            encode_map: BTreeMap::new(),
+            tag_map: BTreeMap::new(),
+            decode_tags: BTreeSet::new(),
+            decode_guard: None,
+            uuid_first: BTreeSet::new(),
+        };
+        m.parse_tags(s);
+        let payload_types = m.parse_enum(s);
+        m.parse_tag_fn(s);
+        let nested_first = m.parse_wire_impl(s, &payload_types);
+        // Resolve variants whose first encode op delegates to a payload
+        // type: UUID-first iff that type's own encode starts with
+        // `put_uuid` (one nesting level; deeper delegation ⇒ not
+        // peekable at a fixed offset, which is the conservative answer).
+        for (variant, ty) in nested_first {
+            if first_encode_op_is_uuid(s, &ty) {
+                m.uuid_first.insert(variant);
+            }
+        }
+        m
+    }
+
+    fn parse_tags(&mut self, s: &Src<'_>) {
+        for i in 0..s.toks.len() {
+            if s.ident(i) != Some("const") {
+                continue;
+            }
+            let Some(name) = s.ident(i + 1) else { continue };
+            if name == "ALL_TAGS" {
+                // `pub const ALL_TAGS: [u8; N] = [TAG_A, …];` — the
+                // type's own `[u8; N]` brackets (with their inner `;`)
+                // are skipped wholesale on the way to the `=`.
+                let mut j = i + 2;
+                while j < s.toks.len() && !s.punct(j, '=') {
+                    if s.punct(j, '[') {
+                        j = s.skip_balanced(j, '[', ']');
+                        continue;
+                    }
+                    if s.punct(j, ';') {
+                        break;
+                    }
+                    j += 1;
+                }
+                if s.punct(j, '=') && s.punct(j + 1, '[') {
+                    let end = s.skip_balanced(j + 1, '[', ']');
+                    let listed: Vec<String> = s.toks[j + 1..end]
+                        .iter()
+                        .filter(|t| t.kind == TokKind::Ident && is_tag_name(&t.text))
+                        .map(|t| t.text.clone())
+                        .collect();
+                    self.all_tags = Some((listed, s.toks[i].line));
+                }
+                continue;
+            }
+            if !is_tag_name(name) {
+                continue;
+            }
+            // `const TAG_X: u8 = <num>;`
+            if !(s.punct(i + 2, ':') && s.ident(i + 3) == Some("u8") && s.punct(i + 4, '=')) {
+                continue;
+            }
+            let Some(v) = s.toks.get(i + 5) else { continue };
+            if v.kind != TokKind::Num {
+                continue;
+            }
+            let digits: String = v.text.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if let Ok(value) = digits.parse::<u8>() {
+                self.tags.push((name.to_string(), value, s.toks[i].line));
+            }
+        }
+    }
+
+    /// Parses `pub enum Message { … }`; returns variant → tuple payload
+    /// type for single-payload tuple variants.
+    fn parse_enum(&mut self, s: &Src<'_>) -> BTreeMap<String, String> {
+        let mut payloads = BTreeMap::new();
+        let Some(at) = s.find_idents(0, &["enum", "Message"]) else {
+            return payloads;
+        };
+        let mut open = at + 2;
+        while open < s.toks.len() && !s.punct(open, '{') {
+            open += 1;
+        }
+        let end = s.skip_balanced(open, '{', '}');
+        let mut j = open + 1;
+        while j + 1 < end {
+            if s.punct(j, '#') && s.punct(j + 1, '[') {
+                j = s.skip_balanced(j + 1, '[', ']');
+                continue;
+            }
+            let Some(name) = s.ident(j) else {
+                j += 1;
+                continue;
+            };
+            let line = s.toks[j].line;
+            let mut k = j + 1;
+            if s.punct(k, '(') {
+                if let Some(ty) = s.ident(k + 1) {
+                    payloads.insert(name.to_string(), ty.to_string());
+                }
+                k = s.skip_balanced(k, '(', ')');
+            } else if s.punct(k, '{') {
+                k = s.skip_balanced(k, '{', '}');
+            }
+            self.variants.push((name.to_string(), line));
+            if s.punct(k, ',') {
+                k += 1;
+            }
+            j = k;
+        }
+        payloads
+    }
+
+    /// Pairs `Message::X … => TAG_Y` arms inside `fn tag`.
+    fn parse_tag_fn(&mut self, s: &Src<'_>) {
+        let Some((b0, b1, _)) = s.fn_body("tag", 0, s.toks.len()) else { return };
+        let mut cur: Option<String> = None;
+        let mut i = b0;
+        while i < b1 {
+            if s.ident(i) == Some("Message") && s.punct(i + 1, ':') && s.punct(i + 2, ':') {
+                cur = s.ident(i + 3).map(|v| v.to_string());
+                i += 4;
+                continue;
+            }
+            if s.punct(i, '=') && s.punct(i + 1, '>') {
+                if let (Some(v), Some(tag)) = (&cur, s.ident(i + 2)) {
+                    if is_tag_name(tag) {
+                        self.tag_map.insert(v.clone(), tag.to_string());
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Walks `impl Wire for Message`: the encode arms (variant → tag,
+    /// direct UUID-first detection) and the decode arms + guard.
+    /// Returns variants whose first field op delegates to a payload
+    /// type, with that type's name.
+    fn parse_wire_impl(
+        &mut self,
+        s: &Src<'_>,
+        payload_types: &BTreeMap<String, String>,
+    ) -> Vec<(String, String)> {
+        let mut nested = Vec::new();
+        let Some(at) = s.find_idents(0, &["impl", "Wire", "for", "Message"]) else {
+            return nested;
+        };
+        let mut open = at + 4;
+        while open < s.toks.len() && !s.punct(open, '{') {
+            open += 1;
+        }
+        let impl_end = s.skip_balanced(open, '{', '}');
+
+        if let Some((e0, e1, _)) = s.fn_body("encode", open, impl_end) {
+            // Per variant: AwaitTag (after the pattern) → AwaitField
+            // (after put_u8(TAG)) → settled.
+            let mut cur: Option<String> = None;
+            let mut await_tag = false;
+            let mut await_field = false;
+            let mut i = e0;
+            while i < e1 {
+                if s.ident(i) == Some("Message") && s.punct(i + 1, ':') && s.punct(i + 2, ':') {
+                    cur = s.ident(i + 3).map(|v| v.to_string());
+                    await_tag = true;
+                    await_field = false;
+                    i += 4;
+                    continue;
+                }
+                if let Some(op) = s.ident(i) {
+                    if s.punct(i + 1, '(') {
+                        if await_tag && op == "put_u8" {
+                            if let Some(tag) = s.ident(i + 2) {
+                                if is_tag_name(tag) {
+                                    if let Some(v) = &cur {
+                                        self.encode_map.insert(v.clone(), tag.to_string());
+                                    }
+                                    await_tag = false;
+                                    await_field = true;
+                                    i = s.skip_balanced(i + 1, '(', ')');
+                                    continue;
+                                }
+                            }
+                        } else if await_field && (op.starts_with("put_") || op == "encode") {
+                            if let Some(v) = &cur {
+                                if op == "put_uuid" {
+                                    self.uuid_first.insert(v.clone());
+                                } else if op == "encode" {
+                                    if let Some(ty) = payload_types.get(v) {
+                                        nested.push((v.clone(), ty.clone()));
+                                    }
+                                }
+                            }
+                            await_field = false;
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+
+        if let Some((d0, d1, dline)) = s.fn_body("decode", open, impl_end) {
+            let mut guarded = false;
+            let mut i = d0;
+            while i < d1 {
+                if let Some(name) = s.ident(i) {
+                    if name == "MAX_MESSAGE_LEN" {
+                        guarded = true;
+                    }
+                    if is_tag_name(name) && s.punct(i + 1, '=') && s.punct(i + 2, '>') {
+                        self.decode_tags.insert(name.to_string());
+                    }
+                }
+                i += 1;
+            }
+            self.decode_guard = Some((guarded, dline));
+        }
+        nested
+    }
+
+    // -- W001: tag uniqueness + registry agreement ---------------------
+
+    fn w001(&self, s: &Src<'_>, out: &mut Vec<Finding>) {
+        for (i, (name, value, line)) in self.tags.iter().enumerate() {
+            if let Some((first, _, _)) = self.tags[..i].iter().find(|(_, v, _)| v == value) {
+                out.push(s.finding(
+                    "W001",
+                    *line,
+                    format!("duplicate wire tag value {value}: `{name}` collides with `{first}`"),
+                ));
+            }
+        }
+        for (variant, enc_tag) in &self.encode_map {
+            if let Some(tag_tag) = self.tag_map.get(variant) {
+                if tag_tag != enc_tag {
+                    let line = self.variant_line(variant);
+                    out.push(s.finding(
+                        "W001",
+                        line,
+                        format!(
+                            "`Message::{variant}` encodes `{enc_tag}` but `tag()` \
+                             reports `{tag_tag}`"
+                        ),
+                    ));
+                }
+            }
+        }
+        match &self.all_tags {
+            None => {
+                let line = self.tags.first().map(|(_, _, l)| *l).unwrap_or(1);
+                out.push(s.finding(
+                    "W001",
+                    line,
+                    "missing `ALL_TAGS` registry: new tags must be enumerable for the \
+                     conformance test"
+                        .to_string(),
+                ));
+            }
+            Some((listed, at_line)) => {
+                for (name, _, line) in &self.tags {
+                    let n = listed.iter().filter(|l| *l == name).count();
+                    if n == 0 {
+                        out.push(s.finding(
+                            "W001",
+                            *line,
+                            format!("wire tag `{name}` is missing from `ALL_TAGS`"),
+                        ));
+                    } else if n > 1 {
+                        out.push(s.finding(
+                            "W001",
+                            *at_line,
+                            format!("`ALL_TAGS` lists `{name}` {n} times"),
+                        ));
+                    }
+                }
+                for l in listed {
+                    if !self.tags.iter().any(|(n, _, _)| n == l) {
+                        out.push(s.finding(
+                            "W001",
+                            *at_line,
+                            format!("`ALL_TAGS` lists unknown tag `{l}`"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // -- W002: peek-table coverage of UUID-first kinds -----------------
+
+    fn w002(&self, frame: &Src<'_>, out: &mut Vec<Finding>) {
+        let Some((peek_tags, line)) = peek_uuid_tags(frame) else { return };
+        for (variant, tag) in &self.encode_map {
+            if !self.uuid_first.contains(variant) {
+                continue;
+            }
+            if !peek_tags.contains(tag) {
+                out.push(frame.finding(
+                    "W002",
+                    line,
+                    format!(
+                        "`Message::{variant}` ({tag}) begins with a UUID at the fixed \
+                         peek offset but is not registered in the peek table"
+                    ),
+                ));
+            }
+        }
+        for tag in &peek_tags {
+            let covered = self
+                .encode_map
+                .iter()
+                .any(|(v, t)| t == tag && self.uuid_first.contains(v));
+            if !covered {
+                out.push(frame.finding(
+                    "W002",
+                    line,
+                    format!(
+                        "peek table lists `{tag}` but that kind does not begin with a \
+                         UUID at the fixed offset"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // -- W003: every variant encodes, every tag decodes ----------------
+
+    fn w003(&self, s: &Src<'_>, out: &mut Vec<Finding>) {
+        if self.encode_map.is_empty() && self.decode_tags.is_empty() {
+            return; // no `impl Wire for Message` parsed — nothing to check
+        }
+        for (variant, line) in &self.variants {
+            if !self.encode_map.contains_key(variant) {
+                out.push(s.finding(
+                    "W003",
+                    *line,
+                    format!("`Message::{variant}` has no encode arm writing a wire tag"),
+                ));
+            }
+        }
+        for (name, _, line) in &self.tags {
+            if !self.decode_tags.contains(name) {
+                out.push(s.finding(
+                    "W003",
+                    *line,
+                    format!("wire tag `{name}` has no decode arm"),
+                ));
+            }
+        }
+    }
+
+    // -- W004: size guards on the decode paths -------------------------
+
+    fn w004_message(&self, s: &Src<'_>, out: &mut Vec<Finding>) {
+        if let Some((guarded, line)) = self.decode_guard {
+            if !guarded {
+                out.push(s.finding(
+                    "W004",
+                    line,
+                    "`Message::decode` is not guarded by `MAX_MESSAGE_LEN`: a hostile \
+                     length prefix must fail before allocation"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    fn variant_line(&self, variant: &str) -> u32 {
+        self.variants.iter().find(|(v, _)| v == variant).map(|(_, l)| *l).unwrap_or(1)
+    }
+}
+
+/// Whether `impl Wire for <ty>`'s encode starts with `put_uuid`.
+fn first_encode_op_is_uuid(s: &Src<'_>, ty: &str) -> bool {
+    let Some(at) = s.find_idents(0, &["impl", "Wire", "for", ty]) else {
+        return false;
+    };
+    let mut open = at + 4;
+    while open < s.toks.len() && !s.punct(open, '{') {
+        open += 1;
+    }
+    let impl_end = s.skip_balanced(open, '{', '}');
+    let Some((e0, e1, _)) = s.fn_body("encode", open, impl_end) else {
+        return false;
+    };
+    let mut i = e0;
+    while i < e1 {
+        if let Some(op) = s.ident(i) {
+            if s.punct(i + 1, '(') && (op.starts_with("put_") || op == "encode") {
+                return op == "put_uuid";
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// The tag idents of the UUID arm in frame.rs's `peek_fields`: the
+/// `TAG_*` names between `match tag {` and the first `=>`. Returns the
+/// line of the match for finding placement.
+fn peek_uuid_tags(s: &Src<'_>) -> Option<(BTreeSet<String>, u32)> {
+    let (b0, b1, _) = s.fn_body("peek_fields", 0, s.toks.len())?;
+    let mut i = b0;
+    while i < b1 && s.ident(i) != Some("match") {
+        i += 1;
+    }
+    if i >= b1 {
+        return None;
+    }
+    let line = s.toks[i].line;
+    let mut tags = BTreeSet::new();
+    let mut j = i + 1;
+    while j < b1 && !(s.punct(j, '=') && s.punct(j + 1, '>')) {
+        if let Some(name) = s.ident(j) {
+            if is_tag_name(name) {
+                tags.insert(name.to_string());
+            }
+        }
+        j += 1;
+    }
+    Some((tags, line))
+}
+
+/// W004 on frame.rs: `FrameDecoder::next_frame` must check
+/// `MAX_FRAME_LEN` before reserving a frame's worth of buffer.
+fn w004_frame(s: &Src<'_>, out: &mut Vec<Finding>) {
+    let Some((b0, b1, line)) = s.fn_body("next_frame", 0, s.toks.len()) else {
+        return;
+    };
+    let guarded = (b0..b1).any(|i| s.ident(i) == Some("MAX_FRAME_LEN"));
+    if !guarded {
+        out.push(s.finding(
+            "W004",
+            line,
+            "`next_frame` is not guarded by `MAX_FRAME_LEN`: a hostile length prefix \
+             must fail before allocation"
+                .to_string(),
+        ));
+    }
+}

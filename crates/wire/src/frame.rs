@@ -20,6 +20,7 @@ use nb_util::Uuid;
 use crate::codec::{Wire, WireError, WireWriter};
 use crate::message::{
     Message, TAG_DISCOVERY, TAG_DISCOVERY_ACK, TAG_PUBLISH, TAG_RELIABLE_ACK, TAG_RELIABLE_DATA,
+    TAG_RESPONSE,
 };
 
 /// Maximum frame payload accepted (16 MiB), matching the codec's field cap.
@@ -100,8 +101,8 @@ pub struct FrameHeader {
     /// The message's wire tag (first body byte).
     pub tag: u8,
     /// The dedup UUID, for the message kinds that carry one at a fixed
-    /// offset: `Publish` (event id), `Discovery`/`DiscoveryAck`
-    /// (request id), `ReliableData`/`ReliableAck` (channel).
+    /// offset: `Publish` (event id), `Discovery`/`DiscoveryAck`/
+    /// `Response` (request id), `ReliableData`/`ReliableAck` (channel).
     pub uuid: Option<Uuid>,
     /// For `Publish` frames, the byte length of the topic string.
     pub topic_len: Option<usize>,
@@ -136,7 +137,8 @@ fn peek_fields(body: &[u8]) -> Result<(u8, Option<Uuid>, Option<usize>), WireErr
         return Err(WireError::UnexpectedEof);
     };
     let uuid = match tag {
-        TAG_PUBLISH | TAG_DISCOVERY | TAG_DISCOVERY_ACK | TAG_RELIABLE_DATA | TAG_RELIABLE_ACK => {
+        TAG_PUBLISH | TAG_DISCOVERY | TAG_DISCOVERY_ACK | TAG_RESPONSE | TAG_RELIABLE_DATA
+        | TAG_RELIABLE_ACK => {
             let raw: [u8; 16] =
                 body.get(1..17).ok_or(WireError::UnexpectedEof)?.try_into().unwrap();
             Some(Uuid::from_u128(u128::from_be_bytes(raw)))

@@ -609,6 +609,40 @@ pub(crate) const TAG_RELIABLE_ACK: u8 = 24;
 pub(crate) const TAG_REPLAY_REQUEST: u8 = 25;
 pub(crate) const TAG_FEDERATION_SYNC: u8 = 26;
 
+/// Every wire tag, in tag order. New message kinds must be added here
+/// as well as to the encode/decode/`tag()` arms — the conformance test
+/// below and nb-lint rule W001 both check this registry for
+/// completeness, so a forgotten registration fails the build instead of
+/// surfacing as a protocol drift in the field.
+pub const ALL_TAGS: [u8; 26] = [
+    TAG_LINK_HELLO,
+    TAG_LINK_ACCEPT,
+    TAG_LINK_CLOSE,
+    TAG_HEARTBEAT,
+    TAG_SUBSCRIBE,
+    TAG_UNSUBSCRIBE,
+    TAG_PUBLISH,
+    TAG_CLIENT_CONNECT,
+    TAG_CLIENT_CONNECT_ACK,
+    TAG_CLIENT_SUBSCRIBE,
+    TAG_CLIENT_UNSUBSCRIBE,
+    TAG_CLIENT_DISCONNECT,
+    TAG_ADVERTISEMENT,
+    TAG_BDN_ADVERTISEMENT,
+    TAG_DISCOVERY,
+    TAG_DISCOVERY_ACK,
+    TAG_RESPONSE,
+    TAG_PING,
+    TAG_PONG,
+    TAG_NTP_REQUEST,
+    TAG_NTP_RESPONSE,
+    TAG_SECURE,
+    TAG_RELIABLE_DATA,
+    TAG_RELIABLE_ACK,
+    TAG_REPLAY_REQUEST,
+    TAG_FEDERATION_SYNC,
+];
+
 impl Wire for Message {
     fn encode(&self, w: &mut WireWriter) {
         match self {
@@ -967,6 +1001,38 @@ mod tests {
                 .unwrap_or_else(|e| panic!("decode {} failed: {e}", msg.kind()));
             assert_eq!(back, msg, "{}", msg.kind());
         }
+    }
+
+    #[test]
+    fn wire_tag_registry_complete_and_unique() {
+        use std::collections::BTreeSet;
+        // Every tag in ALL_TAGS is unique.
+        let registry: BTreeSet<u8> = ALL_TAGS.iter().copied().collect();
+        assert_eq!(registry.len(), ALL_TAGS.len(), "duplicate tag value in ALL_TAGS");
+
+        // Every variant encodes the tag `tag()` reports, that tag is
+        // registered, and — via `covered == registry` — every
+        // registered tag is exercised by a sample message, so the
+        // registry and `all_messages()` can't silently go stale.
+        let msgs = all_messages();
+        let mut covered = BTreeSet::new();
+        for msg in &msgs {
+            let bytes = msg.to_bytes();
+            assert_eq!(
+                bytes[0],
+                msg.tag(),
+                "{} encodes a different tag than tag() reports",
+                msg.kind()
+            );
+            assert!(
+                registry.contains(&bytes[0]),
+                "{} tag {} missing from ALL_TAGS",
+                msg.kind(),
+                bytes[0]
+            );
+            assert!(covered.insert(bytes[0]), "{} reuses an already-seen tag", msg.kind());
+        }
+        assert_eq!(covered, registry, "ALL_TAGS lists tags no Message variant encodes");
     }
 
     #[test]

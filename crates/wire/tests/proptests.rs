@@ -318,6 +318,7 @@ proptest! {
             Message::Publish(ev) => (Some(ev.id), Some(ev.topic.as_str().len())),
             Message::Discovery(req) => (Some(req.request_id), None),
             Message::DiscoveryAck { request_id, .. } => (Some(*request_id), None),
+            Message::Response(resp) => (Some(resp.request_id), None),
             Message::ReliableData { channel, .. }
             | Message::ReliableAck { channel, .. } => (Some(*channel), None),
             _ => (None, None),

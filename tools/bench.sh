@@ -15,9 +15,11 @@
 #                                   # workers; writes BENCH_federation.json,
 #                                   # exit 1 on invariant failure or if the
 #                                   # two reports differ by a byte
-#   tools/bench.sh lint             # nb-lint static analysis (D001–D008),
-#                                   # writes LINT_report.json; exit 1 on
-#                                   # new findings
+#   tools/bench.sh lint             # nb-lint static analysis (D001–D011,
+#                                   # W001–W004): regenerates LINT_report.json
+#                                   # and diffs it against the committed
+#                                   # copy; exit 1 on new findings OR if
+#                                   # the committed report is stale
 #   tools/bench.sh routing          # routing micro-suite (trie+memo vs
 #                                   # linear oracle), writes
 #                                   # BENCH_routing.json; exit 1 unless
@@ -77,8 +79,20 @@ if [[ "${1:-}" == "lint" ]]; then
     # Determinism/protocol-safety gate. Uses repro so the report lands
     # next to the other reproduction artifacts; tools/lint.sh is the
     # fast dev path (debug build, no release compile).
+    #
+    # Regenerate-and-compare: the committed LINT_report.json must match
+    # what the tree actually produces, so a stale committed report can
+    # never pass CI.
     cargo build --release -p nb-bench
-    ./target/release/repro lint --lint-json LINT_report.json "$@"
+    ./target/release/repro lint --lint-json LINT_report.json.new "$@"
+    if ! cmp -s LINT_report.json LINT_report.json.new; then
+        echo "FAIL: committed LINT_report.json is stale — diff vs regenerated:" >&2
+        diff LINT_report.json LINT_report.json.new >&2 || true
+        rm -f LINT_report.json.new
+        exit 1
+    fi
+    rm -f LINT_report.json.new
+    echo "LINT_report.json matches the tree"
     exit 0
 fi
 
