@@ -68,6 +68,7 @@ struct Args {
     codec_json: std::path::PathBuf,
     min_peek_speedup: Option<f64>,
     min_forward_speedup: Option<f64>,
+    min_bytes_reduction: Option<f64>,
     lint_rules: bool,
 }
 
@@ -88,6 +89,7 @@ fn parse_args() -> Args {
         codec_json: std::path::PathBuf::from("BENCH_codec.json"),
         min_peek_speedup: None,
         min_forward_speedup: None,
+        min_bytes_reduction: None,
         lint_rules: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -185,6 +187,13 @@ fn parse_args() -> Args {
                 i += 1;
                 args.min_forward_speedup = argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
                     eprintln!("--min-forward-speedup needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--min-bytes-reduction" => {
+                i += 1;
+                args.min_bytes_reduction = argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
+                    eprintln!("--min-bytes-reduction needs a number");
                     std::process::exit(2);
                 });
             }
@@ -757,6 +766,26 @@ fn run_codec_cmd(args: &Args) {
     } else {
         println!("allocations per delivery: counting allocator not installed, skipped");
     }
+    println!(
+        "=== Wire v2 link A/B: {}-message control-plane epochs ===",
+        nb_bench::codec::BATCH
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>12} {:>14} {:>14}",
+        "fan-out", "v1 B/msg", "v2 B/msg", "reduction", "frames/seg", "v1 enc ns/msg", "v2 enc ns/msg"
+    );
+    for ab in [&report.ab_fan4, &report.ab_fan32] {
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>9.2}x {:>12.1} {:>14.1} {:>14.1}",
+            ab.fan_out,
+            ab.v1_bytes_per_delivery,
+            ab.v2_bytes_per_delivery,
+            ab.bytes_reduction(),
+            ab.frames_per_segment,
+            ab.v1_encode_ns_per_delivery,
+            ab.v2_encode_ns_per_delivery
+        );
+    }
     if let Err(e) = std::fs::write(&args.codec_json, report.to_json()) {
         eprintln!("cannot write {}: {e}", args.codec_json.display());
         std::process::exit(2);
@@ -775,6 +804,19 @@ fn run_codec_cmd(args: &Args) {
             std::process::exit(1);
         }
         println!("codec speedup gate passed");
+    }
+    if let Some(min_reduction) = args.min_bytes_reduction {
+        let reduction = report.ab_fan32.bytes_reduction();
+        println!(
+            "gate: v2 bytes/delivery reduction {reduction:.2}x at {}-way fan-out \
+             (need {min_reduction:.1}x)",
+            report.ab_fan32.fan_out
+        );
+        if reduction < min_reduction {
+            eprintln!("codec v2 bytes-reduction gate FAILED");
+            std::process::exit(1);
+        }
+        println!("codec v2 bytes-reduction gate passed");
     }
 }
 

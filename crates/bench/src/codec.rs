@@ -28,8 +28,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use nb_wire::frame::{decode_framed, frame_message, peek, DEFAULT_TTL};
-use nb_wire::{Bytes, DiscoveryRequest, Endpoint, Event, Message, NodeId, Port, RealmId, Topic, WireMsg};
+use nb_wire::frame::{decode_framed, frame_message, peek, DEFAULT_TTL, PRELUDE_LEN};
+use nb_wire::{
+    Bytes, DiscoveryRequest, Endpoint, Event, Message, NodeId, Port, RealmId, SymTabWriter, Topic,
+    TopicFilter, Wire, WireMsg,
+};
 use nb_util::Uuid;
 
 use rand::rngs::StdRng;
@@ -47,6 +50,16 @@ const FRAMES: usize = 256;
 
 /// Timing rounds over the population.
 const ROUNDS: u64 = 400;
+
+/// Messages per flush epoch in the v1-vs-v2 link A/B (what one broker
+/// dispatch queues onto a link before the engine flushes).
+pub const BATCH: usize = 16;
+
+/// Flush epochs measured per fan-out in the A/B.
+const EPOCHS: usize = 64;
+
+/// Timing rounds over the A/B population.
+const AB_ROUNDS: u64 = 50;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
@@ -88,6 +101,39 @@ fn counting_active() -> bool {
     alloc_count() != before
 }
 
+/// One fan-out's v1-vs-v2 comparison: a broker repeatedly flushing
+/// [`BATCH`]-message control-plane epochs to `fan_out` overlay links.
+/// The v1 side encodes each message once and pays one framed copy per
+/// link; the v2 side keeps a symbol table per link and coalesces each
+/// epoch into one multi-frame segment per link.
+#[derive(Debug, Clone)]
+pub struct AbResult {
+    /// Links each epoch fans out to.
+    pub fan_out: usize,
+    /// v1 wire bytes per delivered message (prelude + body).
+    pub v1_bytes_per_delivery: f64,
+    /// v2 wire bytes per delivered message (segment bytes / frames).
+    pub v2_bytes_per_delivery: f64,
+    /// Mean frames coalesced into one segment.
+    pub frames_per_segment: f64,
+    /// v1 path: encode once + one `Bytes` clone per link, ns/delivery.
+    pub v1_encode_ns_per_delivery: f64,
+    /// v2 path: per-link segment encode, ns/delivery.
+    pub v2_encode_ns_per_delivery: f64,
+}
+
+impl AbResult {
+    /// v1-over-v2 bytes-per-delivery ratio (the headline compaction
+    /// number `tools/bench.sh codec` gates on).
+    pub fn bytes_reduction(&self) -> f64 {
+        if self.v2_bytes_per_delivery > 0.0 {
+            self.v1_bytes_per_delivery / self.v2_bytes_per_delivery
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The codec baseline emitted as `BENCH_codec.json`.
 #[derive(Debug, Clone)]
 pub struct CodecReport {
@@ -113,6 +159,10 @@ pub struct CodecReport {
     /// Whether the counting allocator was installed (false in library
     /// tests, where the per-delivery numbers read 0).
     pub alloc_counting: bool,
+    /// v1-vs-v2 link A/B at 4-way fan-out.
+    pub ab_fan4: AbResult,
+    /// v1-vs-v2 link A/B at [`FAN_OUT`]-way (32) fan-out.
+    pub ab_fan32: AbResult,
 }
 
 impl CodecReport {
@@ -159,7 +209,34 @@ impl CodecReport {
             "  \"allocs_per_delivery_reencode\": {:.2},\n",
             self.allocs_per_delivery_reencode
         ));
-        out.push_str(&format!("  \"alloc_counting\": {}\n", self.alloc_counting));
+        out.push_str(&format!("  \"alloc_counting\": {},\n", self.alloc_counting));
+        out.push_str(&format!("  \"v2_batch\": {},\n", BATCH));
+        out.push_str(&format!("  \"v2_epochs\": {},\n", EPOCHS));
+        for ab in [&self.ab_fan4, &self.ab_fan32] {
+            let p = format!("fan{}", ab.fan_out);
+            out.push_str(&format!(
+                "  \"{p}_v1_bytes_per_delivery\": {:.2},\n",
+                ab.v1_bytes_per_delivery
+            ));
+            out.push_str(&format!(
+                "  \"{p}_v2_bytes_per_delivery\": {:.2},\n",
+                ab.v2_bytes_per_delivery
+            ));
+            out.push_str(&format!("  \"{p}_bytes_reduction\": {:.2},\n", ab.bytes_reduction()));
+            out.push_str(&format!(
+                "  \"{p}_frames_per_segment\": {:.2},\n",
+                ab.frames_per_segment
+            ));
+            out.push_str(&format!(
+                "  \"{p}_v1_encode_ns_per_delivery\": {:.1},\n",
+                ab.v1_encode_ns_per_delivery
+            ));
+            out.push_str(&format!(
+                "  \"{p}_v2_encode_ns_per_delivery\": {:.1},\n",
+                ab.v2_encode_ns_per_delivery
+            ));
+        }
+        out.push_str(&format!("  \"bytes_reduction\": {:.2}\n", self.ab_fan32.bytes_reduction()));
         out.push_str("}\n");
         out
     }
@@ -204,6 +281,144 @@ fn population(rng: &mut StdRng) -> Vec<Bytes> {
             frame_message(&msg, DEFAULT_TTL, 0)
         })
         .collect()
+}
+
+/// Fixed epoch base the A/B's delta timestamps encode against (the sim
+/// keys real segments on flush-time; the bench pins one).
+const AB_BASE_UTC: u64 = 1_100_000_000_000_000;
+
+/// The control-plane message mix a broker link actually carries between
+/// publishes of bulk data: small sensor readings on a bounded topic
+/// pool, heartbeats, interest advertisements, discovery floods. Small
+/// messages are where framing overhead dominates, so this is the
+/// population the v2 compaction is aimed at.
+fn control_population(rng: &mut StdRng) -> Vec<Message> {
+    (0..BATCH * EPOCHS)
+        .map(|i| match i % 5 {
+            0 | 1 => {
+                let raw = format!(
+                    "devices/rack{:02}/sensor{:02}/reading",
+                    rng.gen_range(0..3usize),
+                    rng.gen_range(0..6usize)
+                );
+                let len = rng.gen_range(16..=32usize);
+                let payload: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                Message::Publish(Event {
+                    id: Uuid::random(rng),
+                    topic: Topic::parse(&raw).expect("generated topic is valid"),
+                    source: NodeId(rng.gen_range(1..100)),
+                    payload: payload.into(),
+                })
+            }
+            2 => Message::Heartbeat {
+                from: NodeId(rng.gen_range(1..100)),
+                seq: rng.gen_range(0..1000),
+            },
+            3 => Message::Subscribe {
+                filter: TopicFilter::parse(&format!(
+                    "devices/rack{:02}/**",
+                    rng.gen_range(0..3usize)
+                ))
+                .expect("generated filter is valid"),
+                origin: NodeId(rng.gen_range(1..100)),
+                seq: rng.gen_range(0..1000),
+            },
+            _ => Message::Discovery(DiscoveryRequest {
+                request_id: Uuid::random(rng),
+                requester: NodeId(rng.gen_range(1..100)),
+                hostname: format!("host-{:02}.lab", rng.gen_range(0..20)),
+                realm: RealmId(1),
+                reply_to: Endpoint::new(NodeId(rng.gen_range(1..100)), Port(5060)),
+                transports: vec![],
+                credentials: None,
+                issued_at_utc: AB_BASE_UTC + rng.gen_range(0..5_000u64),
+            }),
+        })
+        .collect()
+}
+
+/// Measures one fan-out of the v1-vs-v2 link A/B over `msgs`.
+fn run_ab(msgs: &[Message], fan_out: usize) -> AbResult {
+    let deliveries = (msgs.len() * fan_out) as f64;
+
+    // Oracle equality up front: the segment stream one link receives
+    // decodes back to exactly the sent messages, so the published
+    // compaction numbers come from a run that witnessed round-trip
+    // correctness.
+    {
+        let mut w = SymTabWriter::new();
+        let mut r = nb_wire::SymTabReader::new();
+        for epoch in msgs.chunks(BATCH) {
+            let items: Vec<(u8, u8, &Message)> =
+                epoch.iter().map(|m| (DEFAULT_TTL, 0, m)).collect();
+            let (seg, _) = nb_wire::v2::encode_segment(&items, AB_BASE_UTC, &mut w);
+            let frames = nb_wire::v2::decode_segment(&seg, &mut r).expect("bench segment decodes");
+            assert_eq!(frames.len(), epoch.len());
+            for (f, m) in frames.iter().zip(epoch) {
+                assert_eq!(&f.msg, m, "v2 segment diverged from the sent message");
+            }
+        }
+    }
+
+    // Encoded sizes are a pure function of the population: tally them
+    // once. The v1 side charges one framed copy (prelude + body) per
+    // message per link; the v2 side charges each link its own segment
+    // stream against that link's symbol table.
+    let v1_total: u64 =
+        msgs.iter().map(|m| (PRELUDE_LEN + m.to_bytes().len()) as u64).sum::<u64>()
+            * fan_out as u64;
+    let mut writers: Vec<SymTabWriter> = (0..fan_out).map(|_| SymTabWriter::new()).collect();
+    let mut v2_total = 0u64;
+    let mut segments = 0u64;
+    let mut frames = 0u64;
+    for epoch in msgs.chunks(BATCH) {
+        let items: Vec<(u8, u8, &Message)> = epoch.iter().map(|m| (DEFAULT_TTL, 0, m)).collect();
+        for w in &mut writers {
+            let (seg, lens) = nb_wire::v2::encode_segment(&items, AB_BASE_UTC, w);
+            v2_total += seg.len() as u64;
+            segments += 1;
+            frames += lens.len() as u64;
+        }
+    }
+
+    // Throughput: the v1 fan-out encodes once and clones the shared
+    // frame per link; the v2 fan-out must encode per link (each link's
+    // symbol table is its own). Timed on the now-warm tables, the
+    // steady state a long-lived link runs in.
+    let mut sink = 0usize;
+    let t = Instant::now();
+    for _ in 0..AB_ROUNDS {
+        for m in msgs {
+            let frame = frame_message(m, DEFAULT_TTL, 0);
+            for _ in 0..fan_out {
+                sink = sink.wrapping_add(std::hint::black_box(frame.clone()).len());
+            }
+        }
+    }
+    let v1_ns = t.elapsed().as_nanos() as f64 / (AB_ROUNDS as f64 * deliveries);
+
+    let t = Instant::now();
+    for _ in 0..AB_ROUNDS {
+        for epoch in msgs.chunks(BATCH) {
+            let items: Vec<(u8, u8, &Message)> =
+                epoch.iter().map(|m| (DEFAULT_TTL, 0, m)).collect();
+            for w in &mut writers {
+                let (seg, _) = nb_wire::v2::encode_segment(&items, AB_BASE_UTC, w);
+                sink = sink.wrapping_add(std::hint::black_box(seg).len());
+            }
+        }
+    }
+    let v2_ns = t.elapsed().as_nanos() as f64 / (AB_ROUNDS as f64 * deliveries);
+    assert!(sink > 0);
+
+    AbResult {
+        fan_out,
+        v1_bytes_per_delivery: v1_total as f64 / deliveries,
+        v2_bytes_per_delivery: v2_total as f64 / deliveries,
+        frames_per_segment: frames as f64 / segments as f64,
+        v1_encode_ns_per_delivery: v1_ns,
+        v2_encode_ns_per_delivery: v2_ns,
+    }
 }
 
 /// Runs the suite. The seed fixes the frame population, so reruns
@@ -318,6 +533,13 @@ pub fn run_codec_bench(seed: u64) -> CodecReport {
     // Keep the optimizer honest about the measured loops.
     assert!(sink > 0);
 
+    // The v1-vs-v2 link A/B runs over its own control-plane population,
+    // reseeded so the mix is independent of the frame population above.
+    let mut ab_rng = StdRng::seed_from_u64(seed ^ 0x5e9_ab);
+    let control = control_population(&mut ab_rng);
+    let ab_fan4 = run_ab(&control, 4);
+    let ab_fan32 = run_ab(&control, FAN_OUT);
+
     CodecReport {
         seed,
         frames: frames.len(),
@@ -329,6 +551,8 @@ pub fn run_codec_bench(seed: u64) -> CodecReport {
         allocs_per_delivery_forward: allocs_forward,
         allocs_per_delivery_reencode: allocs_reencode,
         alloc_counting,
+        ab_fan4,
+        ab_fan32,
     }
 }
 
@@ -363,8 +587,48 @@ mod tests {
             "\"allocs_per_delivery_forward\"",
             "\"allocs_per_delivery_reencode\"",
             "\"alloc_counting\": false",
+            "\"v2_batch\"",
+            "\"fan4_v1_bytes_per_delivery\"",
+            "\"fan4_v2_bytes_per_delivery\"",
+            "\"fan4_bytes_reduction\"",
+            "\"fan4_frames_per_segment\"",
+            "\"fan32_v1_bytes_per_delivery\"",
+            "\"fan32_v2_bytes_per_delivery\"",
+            "\"fan32_bytes_reduction\"",
+            "\"fan32_frames_per_segment\"",
+            "\"bytes_reduction\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn ab_bytes_are_deterministic_and_fan_out_invariant() {
+        let a = run_codec_bench(11);
+        let b = run_codec_bench(11);
+        // Encoded sizes are a pure function of the seed (timings are
+        // not): this is what lets `tools/bench.sh codec` diff the
+        // committed baseline's byte columns against a fresh run.
+        assert_eq!(a.ab_fan32.v1_bytes_per_delivery, b.ab_fan32.v1_bytes_per_delivery);
+        assert_eq!(a.ab_fan32.v2_bytes_per_delivery, b.ab_fan32.v2_bytes_per_delivery);
+        // Per-delivery bytes don't depend on fan-out (every link gets an
+        // identical segment stream); the fan-out axis is a throughput
+        // axis, not a size axis.
+        assert_eq!(a.ab_fan4.v1_bytes_per_delivery, a.ab_fan32.v1_bytes_per_delivery);
+        assert_eq!(a.ab_fan4.v2_bytes_per_delivery, a.ab_fan32.v2_bytes_per_delivery);
+        assert_eq!(a.ab_fan32.frames_per_segment, BATCH as f64);
+    }
+
+    #[test]
+    fn fan32_bytes_reduction_clears_the_shipping_gate_at_seed_11() {
+        let report = run_codec_bench(11);
+        let reduction = report.ab_fan32.bytes_reduction();
+        assert!(
+            reduction >= 1.5,
+            "v2 bytes/delivery reduction {reduction:.2} under the 1.5x gate \
+             (v1 {:.1} B, v2 {:.1} B)",
+            report.ab_fan32.v1_bytes_per_delivery,
+            report.ab_fan32.v2_bytes_per_delivery
+        );
     }
 }

@@ -14,7 +14,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use nb_util::{BoundedDedup, Uuid};
 use nb_wire::addr::well_known;
-use nb_wire::{Endpoint, Event, Message, NodeId, Topic, TopicFilter, WireMsg};
+use nb_wire::{Endpoint, Event, Message, NodeId, Topic, TopicFilter, WireMsg, FLAG_V2_CAPABLE};
 
 use nb_net::{impl_actor_any, Actor, Context, Incoming, SimTime};
 
@@ -49,6 +49,11 @@ pub struct BrokerConfig {
     pub flood_topics: Vec<TopicFilter>,
     /// Maximum concurrent client connections (`None` = unlimited).
     pub max_clients: Option<u32>,
+    /// Announce v2 wire-codec capability on link handshakes and use the
+    /// compact batched stream path towards peers that announced it too.
+    /// Off by default; links to v1-only peers (and all client traffic)
+    /// stay on the v1 path either way.
+    pub wire_v2: bool,
 }
 
 impl Default for BrokerConfig {
@@ -63,6 +68,7 @@ impl Default for BrokerConfig {
             neighbors: Vec::new(),
             flood_topics: Vec::new(),
             max_clients: None,
+            wire_v2: false,
         }
     }
 }
@@ -71,7 +77,8 @@ impl BrokerConfig {
     /// Loads overrides from a parsed configuration file. Recognised keys:
     /// `broker.hostname`, `broker.logical_address`,
     /// `broker.dedup.capacity`, `broker.heartbeat.interval.ms`,
-    /// `broker.heartbeat.misses`, `broker.max_clients`.
+    /// `broker.heartbeat.misses`, `broker.max_clients`,
+    /// `broker.wire.v2`.
     pub fn apply_config(mut self, cfg: &nb_util::Config) -> Result<Self, nb_util::ConfigError> {
         if let Some(h) = cfg.get("broker.hostname") {
             self.hostname = h.to_string();
@@ -89,6 +96,7 @@ impl BrokerConfig {
         if max > 0 {
             self.max_clients = Some(max as u32);
         }
+        self.wire_v2 = cfg.get_bool("broker.wire.v2", self.wire_v2)?;
         Ok(self)
     }
 }
@@ -98,6 +106,9 @@ struct LinkState {
     endpoint: Endpoint,
     established: bool,
     last_heard: SimTime,
+    /// Whether the peer announced v2 wire-codec capability on its
+    /// handshake; only then does traffic to it take the batched path.
+    peer_v2: bool,
 }
 
 #[derive(Debug)]
@@ -219,11 +230,23 @@ impl Broker {
         self.meter.snapshot(ctx.now(), self.num_clients(), self.num_links(), subs)
     }
 
+    /// Sends a link handshake message, announcing v2 wire capability on
+    /// the frame prelude when this broker is configured for it. The
+    /// flags byte is outside the body, so a v1 peer decodes the message
+    /// unchanged and simply never reciprocates.
+    fn send_handshake(&self, to: Endpoint, msg: Message, ctx: &mut dyn Context) {
+        let mut wire = WireMsg::new(msg);
+        if self.cfg.wire_v2 {
+            wire = wire.with_flags(FLAG_V2_CAPABLE);
+        }
+        ctx.send_stream_wire(well_known::BROKER, to, &wire);
+    }
+
     /// Call from the owning actor's `on_start`.
     pub fn on_start(&mut self, ctx: &mut dyn Context) {
         for peer in self.cfg.neighbors.clone() {
             let hello = Message::LinkHello { from: ctx.me(), realm: ctx.realm() };
-            ctx.send_stream(well_known::BROKER, Endpoint::new(peer, well_known::BROKER), &hello);
+            self.send_handshake(Endpoint::new(peer, well_known::BROKER), hello, ctx);
         }
         ctx.set_timer(self.cfg.heartbeat_interval, TIMER_HEARTBEAT);
     }
@@ -231,7 +254,7 @@ impl Broker {
     /// Opens a link to `peer` at runtime (topology growth).
     pub fn link_to(&mut self, peer: NodeId, ctx: &mut dyn Context) {
         let hello = Message::LinkHello { from: ctx.me(), realm: ctx.realm() };
-        ctx.send_stream(well_known::BROKER, Endpoint::new(peer, well_known::BROKER), &hello);
+        self.send_handshake(Endpoint::new(peer, well_known::BROKER), hello, ctx);
     }
 
     /// Publishes an event originating at this broker itself (the owner's
@@ -286,14 +309,17 @@ impl Broker {
             }
             return self.route_deduped(msg, Some(from.node), ctx);
         }
+        // Capability bits live in the frame prelude; capture them before
+        // the message is unwrapped.
+        let peer_v2 = self.cfg.wire_v2 && msg.flags() & FLAG_V2_CAPABLE != 0;
         match msg.into_message() {
             Message::LinkHello { from: peer, .. } => {
                 let accept = Message::LinkAccept { from: ctx.me(), realm: ctx.realm() };
-                ctx.send_stream(well_known::BROKER, Endpoint::new(peer, well_known::BROKER), &accept);
-                self.link_up(peer, ctx);
+                self.send_handshake(Endpoint::new(peer, well_known::BROKER), accept, ctx);
+                self.link_up(peer, peer_v2, ctx);
             }
             Message::LinkAccept { from: peer, .. } => {
-                self.link_up(peer, ctx);
+                self.link_up(peer, peer_v2, ctx);
             }
             Message::LinkClose { from: peer } => {
                 self.link_down(peer, ctx);
@@ -350,13 +376,17 @@ impl Broker {
         Vec::new()
     }
 
-    fn link_up(&mut self, peer: NodeId, ctx: &mut dyn Context) {
+    fn link_up(&mut self, peer: NodeId, peer_v2: bool, ctx: &mut dyn Context) {
         let now = ctx.now();
         let entry = self.links.entry(peer).or_insert(LinkState {
             endpoint: Endpoint::new(peer, well_known::BROKER),
             established: false,
             last_heard: now,
+            peer_v2: false,
         });
+        // Capability can only be granted by a handshake frame; a repeat
+        // handshake may upgrade an existing link but never downgrades it.
+        entry.peer_v2 |= peer_v2;
         if entry.established {
             return;
         }
@@ -427,12 +457,12 @@ impl Broker {
     /// advertised iff interest excluding `L` is non-zero.
     fn reconcile_advertisements(&mut self, filter: &TopicFilter, ctx: &mut dyn Context) {
         let me = ctx.me();
-        let peers: Vec<(NodeId, Endpoint, bool)> = self
+        let peers: Vec<(NodeId, Endpoint, bool, bool)> = self
             .links
             .iter()
-            .map(|(&p, l)| (p, l.endpoint, l.established))
+            .map(|(&p, l)| (p, l.endpoint, l.established, l.peer_v2))
             .collect();
-        for (peer, endpoint, established) in peers {
+        for (peer, endpoint, established, peer_v2) in peers {
             if !established {
                 continue;
             }
@@ -454,7 +484,11 @@ impl Broker {
                 self.advertised.remove(&key);
                 Message::Unsubscribe { filter: filter.clone(), origin: me, seq }
             };
-            ctx.send_stream(well_known::BROKER, endpoint, &msg);
+            if peer_v2 {
+                ctx.send_stream_v2(well_known::BROKER, endpoint, &WireMsg::new(msg));
+            } else {
+                ctx.send_stream(well_known::BROKER, endpoint, &msg);
+            }
         }
     }
 
@@ -521,7 +555,11 @@ impl Broker {
                     }
                     if let (Some(link), Some(fwd)) = (self.links.get(&l), fwd.as_ref()) {
                         if link.established {
-                            ctx.send_stream_wire(well_known::BROKER, link.endpoint, fwd);
+                            if link.peer_v2 {
+                                ctx.send_stream_v2(well_known::BROKER, link.endpoint, fwd);
+                            } else {
+                                ctx.send_stream_wire(well_known::BROKER, link.endpoint, fwd);
+                            }
                         }
                     }
                 }
@@ -533,7 +571,11 @@ impl Broker {
                     if !link.established || Some(peer) == source {
                         continue;
                     }
-                    ctx.send_stream_wire(well_known::BROKER, link.endpoint, fwd);
+                    if link.peer_v2 {
+                        ctx.send_stream_v2(well_known::BROKER, link.endpoint, fwd);
+                    } else {
+                        ctx.send_stream_wire(well_known::BROKER, link.endpoint, fwd);
+                    }
                 }
             }
             let Message::Publish(ev) = msg.into_message() else {
@@ -557,7 +599,12 @@ impl Broker {
             if now - link.last_heard > deadline {
                 dead.push(peer);
             } else {
-                ctx.send_stream(well_known::BROKER, link.endpoint, &Message::Heartbeat { from: ctx.me(), seq });
+                let hb = Message::Heartbeat { from: ctx.me(), seq };
+                if link.peer_v2 {
+                    ctx.send_stream_v2(well_known::BROKER, link.endpoint, &WireMsg::new(hb));
+                } else {
+                    ctx.send_stream(well_known::BROKER, link.endpoint, &hb);
+                }
             }
         }
         dead.sort_unstable();
@@ -760,6 +807,53 @@ mod tests {
     }
 
     #[test]
+    fn v2_links_negotiate_and_route_through_segments() {
+        use crate::client::PubSubClient;
+        let mut sim = quiet_sim();
+        sim.set_wire_v2(Some(nb_net::WireV2Config::default()));
+        let mk = |neighbors: Vec<NodeId>| {
+            let cfg = BrokerConfig { wire_v2: true, ..broker_cfg(neighbors) };
+            Box::new(BrokerActor::new(cfg))
+        };
+        let a = sim.add_node("a", RealmId(0), mk(vec![]));
+        let b = sim.add_node("b", RealmId(0), mk(vec![a]));
+        let sub_filter = TopicFilter::parse("sports/*").unwrap();
+        let subscriber =
+            sim.add_node("sub", RealmId(0), Box::new(PubSubClient::new(a, vec![sub_filter])));
+        let publisher = sim.add_node("pub", RealmId(0), Box::new(PubSubClient::new(b, vec![])));
+        sim.run_for(Duration::from_secs(2));
+        assert!(sim.actor::<BrokerActor>(a).unwrap().broker.is_linked(b));
+        {
+            let p = sim.actor_mut::<PubSubClient>(publisher).unwrap();
+            p.queue_publish(Topic::parse("sports/nba").unwrap(), b"42".to_vec());
+        }
+        sim.run_for(Duration::from_secs(8));
+        let s = sim.actor::<PubSubClient>(subscriber).unwrap();
+        assert_eq!(s.received.len(), 1, "event crossed the v2 link");
+        assert_eq!(s.received[0].topic.as_str(), "sports/nba");
+        // Broker-to-broker traffic (interest advertisement, heartbeats,
+        // the forwarded publish) travelled in coalesced segments...
+        assert!(sim.stats().segments_delivered > 0, "no segments crossed the overlay");
+        assert!(sim.stats().frames_coalesced > 0);
+        assert_eq!(sim.stats().segment_decode_errors, 0);
+    }
+
+    #[test]
+    fn v1_peer_on_a_v2_broker_stays_on_v1() {
+        let mut sim = quiet_sim();
+        sim.set_wire_v2(Some(nb_net::WireV2Config::default()));
+        // Only `b` is v2-configured; `a` never announces, so the link
+        // negotiates down to v1 and no segments flow.
+        let a = sim.add_node("a", RealmId(0), Box::new(BrokerActor::new(broker_cfg(vec![]))));
+        let b_cfg = BrokerConfig { wire_v2: true, ..broker_cfg(vec![a]) };
+        let b = sim.add_node("b", RealmId(0), Box::new(BrokerActor::new(b_cfg)));
+        sim.run_for(Duration::from_secs(10));
+        assert!(sim.actor::<BrokerActor>(a).unwrap().broker.is_linked(b));
+        assert!(sim.actor::<BrokerActor>(b).unwrap().broker.is_linked(a));
+        assert_eq!(sim.stats().segments_sent, 0, "mixed-version link must stay v1");
+    }
+
+    #[test]
     fn config_file_overrides_apply() {
         let cfg_text = "\
 broker.hostname = complexity.ucs.indiana.edu
@@ -767,6 +861,7 @@ broker.dedup.capacity = 64
 broker.heartbeat.interval.ms = 500
 broker.heartbeat.misses = 5
 broker.max_clients = 7
+broker.wire.v2 = true
 ";
         let parsed = nb_util::Config::parse(cfg_text).unwrap();
         let cfg = BrokerConfig::default().apply_config(&parsed).unwrap();
@@ -775,5 +870,6 @@ broker.max_clients = 7
         assert_eq!(cfg.heartbeat_interval, Duration::from_millis(500));
         assert_eq!(cfg.heartbeat_misses, 5);
         assert_eq!(cfg.max_clients, Some(7));
+        assert!(cfg.wire_v2);
     }
 }

@@ -295,7 +295,7 @@ pub fn run_root(root: &Path, baseline: &Path) -> io::Result<Report> {
 /// The full pipeline over in-memory sources (workspace-relative path,
 /// contents). Phase 1 runs the per-file token scanner; phase 2 builds
 /// the item graph for the interprocedural rules (D009–D011) and the
-/// wire-conformance pass (W001–W004), merging their findings into the
+/// wire-conformance pass (W001–W005), merging their findings into the
 /// owning file before suppressions and the baseline apply — so the new
 /// rules ride the exact same `nb-lint::allow`/fingerprint machinery.
 pub fn run_sources(sources: &[(String, String)], baseline_fps: &[u64]) -> Report {

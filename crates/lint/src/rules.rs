@@ -104,6 +104,12 @@ pub const RULES: &[RuleMeta] = &[
         summary: "decode paths are guarded by MAX_MESSAGE_LEN / MAX_FRAME_LEN before allocation",
     },
     RuleMeta {
+        id: "W005",
+        severity: "deny",
+        zone: "wire",
+        summary: "varint/symbol-table decode loops are bounded by MAX_FRAME_LEN / MAX_MESSAGE_LEN / MAX_VARINT_BYTES",
+    },
+    RuleMeta {
         id: "L001",
         severity: "forbid",
         zone: "all",

@@ -1,4 +1,4 @@
-//! Layer 2 of nb-lint v2: wire-protocol conformance (W001–W004,
+//! Layer 2 of nb-lint v2: wire-protocol conformance (W001–W005,
 //! DESIGN.md §15).
 //!
 //! A dedicated pass over `crates/wire/src/message.rs` and `frame.rs`
@@ -7,9 +7,12 @@
 //! encode/decode/`tag()` arms, and the `peek_fields` fixed-offset
 //! table in frame.rs. PR 7 grew the protocol by hand in all four spots
 //! at once; these rules make that coupling a static check instead of a
-//! review convention. The pass only fires when the files exist at their
-//! canonical workspace paths, so fixture workspaces opt in by shipping
-//! miniature replicas.
+//! review convention. W005 extends the pass to the v2 compact codec
+//! (`v2.rs`, `symtab.rs`): every decode-side loop must be bounded by a
+//! wire size cap, because varints and inline symbol definitions are the
+//! two places a hostile peer controls how long a decode runs. The pass
+//! only fires when the files exist at their canonical workspace paths,
+//! so fixture workspaces opt in by shipping miniature replicas.
 
 use crate::lexer::{lex, Tok, TokKind};
 use crate::scan::Finding;
@@ -17,23 +20,37 @@ use std::collections::{BTreeMap, BTreeSet};
 
 pub const MESSAGE_RS: &str = "crates/wire/src/message.rs";
 pub const FRAME_RS: &str = "crates/wire/src/frame.rs";
+pub const V2_RS: &str = "crates/wire/src/v2.rs";
+pub const SYMTAB_RS: &str = "crates/wire/src/symtab.rs";
 
-/// Runs W001–W004 over the workspace sources.
+/// Decode-side function-name prefixes W005 patrols: the naming
+/// convention every reader-facing helper in `v2.rs`/`symtab.rs` uses.
+const W005_DECODE_PREFIXES: &[&str] = &["get_", "decode_", "read_", "peek_", "take_"];
+
+/// The size caps that count as bounding a decode loop.
+const W005_BOUNDS: &[&str] =
+    &["MAX_FRAME_LEN", "MAX_MESSAGE_LEN", "MAX_VARINT_BYTES", "MAX_SYMBOLS"];
+
+/// Runs W001–W005 over the workspace sources.
 pub fn check(sources: &[(String, String)]) -> Vec<Finding> {
-    let Some((_, msg_src)) = sources.iter().find(|(p, _)| p == MESSAGE_RS) else {
-        return Vec::new();
-    };
-    let frame_src = sources.iter().find(|(p, _)| p == FRAME_RS).map(|(_, s)| s.as_str());
-    let msg = Src::new(MESSAGE_RS, msg_src);
-    let model = MessageModel::parse(&msg);
     let mut out = Vec::new();
-    model.w001(&msg, &mut out);
-    model.w003(&msg, &mut out);
-    model.w004_message(&msg, &mut out);
-    if let Some(fs) = frame_src {
-        let frame = Src::new(FRAME_RS, fs);
-        model.w002(&frame, &mut out);
-        w004_frame(&frame, &mut out);
+    if let Some((_, msg_src)) = sources.iter().find(|(p, _)| p == MESSAGE_RS) {
+        let frame_src = sources.iter().find(|(p, _)| p == FRAME_RS).map(|(_, s)| s.as_str());
+        let msg = Src::new(MESSAGE_RS, msg_src);
+        let model = MessageModel::parse(&msg);
+        model.w001(&msg, &mut out);
+        model.w003(&msg, &mut out);
+        model.w004_message(&msg, &mut out);
+        if let Some(fs) = frame_src {
+            let frame = Src::new(FRAME_RS, fs);
+            model.w002(&frame, &mut out);
+            w004_frame(&frame, &mut out);
+        }
+    }
+    for path in [V2_RS, SYMTAB_RS] {
+        if let Some((_, src)) = sources.iter().find(|(p, _)| p == path) {
+            w005(&Src::new(path, src), &mut out);
+        }
     }
     out
 }
@@ -575,6 +592,64 @@ fn peek_uuid_tags(s: &Src<'_>) -> Option<(BTreeSet<String>, u32)> {
         j += 1;
     }
     Some((tags, line))
+}
+
+/// W005: bounded decode loops in the v2 codec and the per-link symbol
+/// tables. Any decode-side function (`get_*` / `decode_*` / `read_*` /
+/// `peek_*` / `take_*`) containing a loop must reference one of the
+/// wire size caps — varint continuation bits and inline symbol
+/// definitions are attacker-controlled loop conditions, so an
+/// unbounded decode loop is how a hostile segment turns into a spin or
+/// an unbounded allocation.
+fn w005(s: &Src<'_>, out: &mut Vec<Finding>) {
+    // The unit-test module (appended at file end by workspace
+    // convention) feeds the decoders hostile inputs on purpose; only
+    // the shipping decode paths above it are patrolled.
+    let n = s.find_idents(0, &["mod", "tests"]).unwrap_or(s.toks.len());
+    let mut i = 0;
+    while i < n {
+        if s.ident(i) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = s.ident(i + 1) else {
+            i += 2;
+            continue;
+        };
+        if !W005_DECODE_PREFIXES.iter().any(|p| name.starts_with(p)) {
+            i += 2;
+            continue;
+        }
+        let name = name.to_string();
+        let fn_line = s.toks[i].line;
+        // Advance past the signature to the body (a `;` means a trait
+        // declaration with no body — nothing to check).
+        let mut j = i + 2;
+        while j < n && !s.punct(j, '{') && !s.punct(j, ';') {
+            j += 1;
+        }
+        if !s.punct(j, '{') {
+            i += 2;
+            continue;
+        }
+        let end = s.skip_balanced(j, '{', '}');
+        let body = j + 1..end.saturating_sub(1);
+        let has_loop =
+            body.clone().any(|k| matches!(s.ident(k), Some("loop" | "while" | "for")));
+        let bounded = body.clone().any(|k| s.ident(k).is_some_and(|t| W005_BOUNDS.contains(&t)));
+        if has_loop && !bounded {
+            out.push(s.finding(
+                "W005",
+                fn_line,
+                format!(
+                    "decode loop in `{name}` is not bounded by any wire size cap \
+                     (MAX_FRAME_LEN / MAX_MESSAGE_LEN / MAX_VARINT_BYTES / MAX_SYMBOLS): \
+                     a hostile frame must hit a cap, not spin or allocate unbounded"
+                ),
+            ));
+        }
+        i += 2;
+    }
 }
 
 /// W004 on frame.rs: `FrameDecoder::next_frame` must check

@@ -1,8 +1,9 @@
-//! Fixture-workspace tests for the wire-conformance pass W001–W004
-//! (DESIGN.md §15): a miniature `crates/wire/src/message.rs` +
-//! `frame.rs` replica that passes clean, and one mutant per rule that
-//! must fail — so the pass is proven to detect exactly the drift modes
-//! it exists for.
+//! Fixture-workspace tests for the wire-conformance pass W001–W005
+//! (DESIGN.md §15): miniature `crates/wire/src/message.rs` +
+//! `frame.rs` (+ `v2.rs`/`symtab.rs` for the bounded-decode rule)
+//! replicas that pass clean, and one mutant per rule that must fail —
+//! so the pass is proven to detect exactly the drift modes it exists
+//! for.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -130,6 +131,61 @@ fn base_frame_rs() -> String {
         "            return None;\n",
         "        }\n",
         "        Some(self.len)\n",
+        "    }\n",
+        "}\n",
+    )
+    .to_string()
+}
+
+/// A miniature v2 codec: one varint reader bounded by
+/// `MAX_VARINT_BYTES`, one segment walker bounded by `MAX_FRAME_LEN`.
+fn base_v2_rs() -> String {
+    concat!(
+        "pub const MAX_VARINT_BYTES: usize = 10;\n",
+        "\n",
+        "pub fn get_varint(r: &mut WireReader<'_>) -> Result<u64, WireError> {\n",
+        "    let mut out = 0u64;\n",
+        "    for i in 0..MAX_VARINT_BYTES {\n",
+        "        let b = r.get_u8()?;\n",
+        "        out |= ((b & 0x7f) as u64) << (7 * i);\n",
+        "        if b & 0x80 == 0 {\n",
+        "            return Ok(out);\n",
+        "        }\n",
+        "    }\n",
+        "    Err(WireError::Invalid(\"varint overlong\"))\n",
+        "}\n",
+        "\n",
+        "pub fn decode_segment(seg: &[u8]) -> Result<usize, WireError> {\n",
+        "    let mut frames = 0usize;\n",
+        "    let mut at = 0usize;\n",
+        "    while at < seg.len() {\n",
+        "        if frames > MAX_FRAME_LEN {\n",
+        "            return Err(WireError::Invalid(\"segment frame flood\"));\n",
+        "        }\n",
+        "        frames += 1;\n",
+        "        at += 1;\n",
+        "    }\n",
+        "    Ok(frames)\n",
+        "}\n",
+    )
+    .to_string()
+}
+
+/// A miniature symbol-table reader whose definition loop is bounded.
+fn base_symtab_rs() -> String {
+    concat!(
+        "pub struct SymTabReader { defs: Vec<String> }\n",
+        "\n",
+        "impl SymTabReader {\n",
+        "    pub fn decode_ref(&mut self, r: &mut WireReader<'_>) -> Result<String, WireError> {\n",
+        "        let mut len = 0usize;\n",
+        "        while r.has_remaining() {\n",
+        "            len += 1;\n",
+        "            if len > MAX_FRAME_LEN {\n",
+        "                return Err(WireError::Invalid(\"symbol too long\"));\n",
+        "            }\n",
+        "        }\n",
+        "        Ok(String::new())\n",
         "    }\n",
         "}\n",
     )
@@ -294,6 +350,91 @@ fn w004_unguarded_next_frame() {
 }
 
 #[test]
+fn w005_bounded_decode_loops_pass() {
+    let fx = Fixture::new();
+    // No message.rs needed: the bounded-decode pass stands alone.
+    fx.write("crates/wire/src/v2.rs", &base_v2_rs());
+    fx.write("crates/wire/src/symtab.rs", &base_symtab_rs());
+    let report = fx.run();
+    assert!(rules(&report).is_empty(), "{:?}", report.new);
+}
+
+#[test]
+fn w005_unbounded_varint_loop() {
+    let fx = Fixture::new();
+    // The overlong-varint guard vanishes: a hostile continuation-bit
+    // stream now spins until the reader runs dry.
+    let src = base_v2_rs().replace(
+        concat!(
+            "    for i in 0..MAX_VARINT_BYTES {\n",
+            "        let b = r.get_u8()?;\n",
+            "        out |= ((b & 0x7f) as u64) << (7 * i);\n",
+        ),
+        concat!(
+            "    let mut i = 0usize;\n",
+            "    loop {\n",
+            "        let b = r.get_u8()?;\n",
+            "        out |= ((b & 0x7f) as u64) << (7 * i);\n",
+            "        i += 1;\n",
+        ),
+    );
+    fx.write("crates/wire/src/v2.rs", &src);
+    fx.write("crates/wire/src/symtab.rs", &base_symtab_rs());
+    let report = fx.run();
+    let w005: Vec<_> = report.new.iter().filter(|f| f.rule == "W005").collect();
+    assert_eq!(w005.len(), 1, "{:?}", report.new);
+    assert_eq!(w005[0].file, "crates/wire/src/v2.rs");
+    assert!(w005[0].message.contains("get_varint"), "{}", w005[0].message);
+}
+
+#[test]
+fn w005_unbounded_symbol_definition_loop() {
+    let fx = Fixture::new();
+    fx.write("crates/wire/src/v2.rs", &base_v2_rs());
+    let src = base_symtab_rs().replace(
+        concat!(
+            "            if len > MAX_FRAME_LEN {\n",
+            "                return Err(WireError::Invalid(\"symbol too long\"));\n",
+            "            }\n",
+        ),
+        "",
+    );
+    fx.write("crates/wire/src/symtab.rs", &src);
+    let report = fx.run();
+    let w005: Vec<_> = report.new.iter().filter(|f| f.rule == "W005").collect();
+    assert_eq!(w005.len(), 1, "{:?}", report.new);
+    assert_eq!(w005[0].file, "crates/wire/src/symtab.rs");
+    assert!(w005[0].message.contains("decode_ref"), "{}", w005[0].message);
+}
+
+#[test]
+fn w005_is_suppressable_with_reason() {
+    let fx = Fixture::new();
+    fx.write("crates/wire/src/v2.rs", &base_v2_rs());
+    let src = base_symtab_rs()
+        .replace(
+            concat!(
+                "            if len > MAX_FRAME_LEN {\n",
+                "                return Err(WireError::Invalid(\"symbol too long\"));\n",
+                "            }\n",
+            ),
+            "",
+        )
+        .replace(
+            "    pub fn decode_ref",
+            concat!(
+                "    // nb-lint::allow(W005, reason = \"fixture: bound lands next PR\")\n",
+                "    pub fn decode_ref",
+            ),
+        );
+    fx.write("crates/wire/src/symtab.rs", &src);
+    let report = fx.run();
+    assert!(rules(&report).is_empty(), "{:?}", report.new);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, "W005");
+}
+
+#[test]
 fn w_rules_are_suppressable() {
     let fx = Fixture::new();
     fx.write("crates/wire/src/message.rs", &base_message_rs());
@@ -325,6 +466,20 @@ fn pass_is_scoped_to_canonical_paths() {
     fx.write(
         "crates/other/src/message.rs",
         "pub enum Message { A }\npub(crate) const TAG_A: u8 = 1;\npub(crate) const TAG_B: u8 = 1;\n",
+    );
+    // An unbounded decode loop outside the canonical v2/symtab paths is
+    // not W005's business either.
+    fx.write(
+        "crates/other/src/v2.rs",
+        concat!(
+            "pub fn decode_all(xs: &[u8]) -> usize {\n",
+            "    let mut n = 0;\n",
+            "    for _ in xs {\n",
+            "        n += 1;\n",
+            "    }\n",
+            "    n\n",
+            "}\n",
+        ),
     );
     let report = fx.run();
     assert!(rules(&report).is_empty(), "{:?}", report.new);

@@ -40,7 +40,7 @@ pub use clock::{ClockProfile, ClockState};
 pub use link::{LinkSpec, NetworkModel};
 pub use runtime::{Actor, Context, Incoming};
 pub use shard::{DiscoveryEngine, ShardPlan, ShardRespawnFn, ShardedSim};
-pub use sim::{NetStats, RespawnFn, Sim, TraceRecord};
+pub use sim::{NetStats, RespawnFn, Sim, TraceRecord, WireV2Config};
 pub use threaded::ThreadedNet;
 pub use time::SimTime;
 pub use wan::{Site, WanModel};

@@ -97,6 +97,18 @@ pub trait Context {
         self.send_stream(from_port, to, msg.message());
     }
 
+    /// Sends on a reliable stream, preferring the negotiated v2 compact
+    /// codec: when the runtime has v2 enabled, messages queued to the
+    /// same link within one dispatch coalesce into multi-frame segments
+    /// and topic symbols sync lazily per link. Callers use this only
+    /// for peers that announced v2 capability on their link handshake.
+    /// The default falls back to the per-message v1 stream path, so
+    /// runtimes and test doubles without v2 support keep working
+    /// unmodified.
+    fn send_stream_v2(&mut self, from_port: Port, to: Endpoint, msg: &WireMsg) {
+        self.send_stream_wire(from_port, to, msg);
+    }
+
     /// Multicasts `msg` to every member of `group` within this node's
     /// realm. Cross-realm members never receive it (paper §9: "multicast
     /// was disabled for network traffic outside the lab").

@@ -139,6 +139,12 @@ impl WireWriter {
         self.put_u128(v.as_u128());
     }
 
+    /// Raw bytes, no length prefix. The v2 codec pairs this with a
+    /// varint length it wrote itself.
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
     /// Length-prefixed byte string.
     pub fn put_bytes(&mut self, v: &[u8]) {
         debug_assert!(v.len() <= MAX_FIELD_LEN);
@@ -226,6 +232,12 @@ impl<'a> WireReader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Exactly `n` raw bytes (the caller already read and validated a
+    /// length, e.g. a v2 varint prefix).
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
     pub fn get_bool(&mut self) -> Result<bool, WireError> {
         match self.get_u8()? {
             0 => Ok(false),
@@ -276,6 +288,25 @@ impl<'a> WireReader<'a> {
     /// [`WireReader::shared`]; one copy otherwise.
     pub fn take_bytes(&mut self) -> Result<Bytes, WireError> {
         let len = self.get_u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::FieldTooLong(len));
+        }
+        if self.remaining() < len {
+            return Err(WireError::UnexpectedEof);
+        }
+        let start = self.pos;
+        self.pos += len;
+        Ok(match self.shared {
+            Some(backing) => backing.slice(start..start + len),
+            None => Bytes::copy_from_slice(&self.buf[start..start + len]),
+        })
+    }
+
+    /// Exactly `len` bytes as a [`Bytes`] — the unprefixed sibling of
+    /// [`take_bytes`](WireReader::take_bytes), for lengths the caller
+    /// decoded itself (e.g. a v2 varint prefix). Zero-copy on a shared
+    /// reader.
+    pub fn take_raw_bytes(&mut self, len: usize) -> Result<Bytes, WireError> {
         if len > MAX_FIELD_LEN {
             return Err(WireError::FieldTooLong(len));
         }

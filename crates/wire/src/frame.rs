@@ -90,6 +90,15 @@ pub const PRELUDE_LEN: usize = 4;
 /// legitimate forwarding chain while still bounding routing loops.
 pub const DEFAULT_TTL: u8 = 32;
 
+/// Prelude flag: the sender speaks wire protocol v2. Stamped on link
+/// handshake frames (`LinkHello`/`LinkAccept`) by v2-enabled peers;
+/// v1 peers leave the flags byte zero, so negotiation degrades cleanly.
+pub const FLAG_V2_CAPABLE: u8 = 0b0000_0001;
+
+/// Prelude flag: this frame is a coalesced v2 multi-frame segment
+/// (see [`crate::v2`]), not a single v1 body.
+pub const FLAG_SEGMENT: u8 = 0b0000_0010;
+
 /// Everything a receive path can learn about a frame without decoding
 /// its body: the per-hop prelude plus the fixed-offset body fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +107,9 @@ pub struct FrameHeader {
     pub ttl: u8,
     /// Hops travelled so far (incremented by forwarders).
     pub hops: u8,
+    /// Capability/format flag bits ([`FLAG_V2_CAPABLE`],
+    /// [`FLAG_SEGMENT`]). Zero on every v1 frame.
+    pub flags: u8,
     /// The message's wire tag (first body byte).
     pub tag: u8,
     /// The dedup UUID, for the message kinds that carry one at a fixed
@@ -160,7 +172,7 @@ pub fn peek(framed: &[u8]) -> Result<FrameHeader, WireError> {
         return Err(WireError::UnexpectedEof);
     }
     let (tag, uuid, topic_len) = peek_fields(&framed[PRELUDE_LEN..])?;
-    Ok(FrameHeader { ttl: framed[0], hops: framed[1], tag, uuid, topic_len })
+    Ok(FrameHeader { ttl: framed[0], hops: framed[1], flags: framed[2], tag, uuid, topic_len })
 }
 
 /// Peeks a bare message body that never grew a prelude — e.g. the
@@ -168,7 +180,7 @@ pub fn peek(framed: &[u8]) -> Result<FrameHeader, WireError> {
 /// flooding topics. TTL/hops report their local-origin defaults.
 pub fn peek_body(body: &[u8]) -> Result<FrameHeader, WireError> {
     let (tag, uuid, topic_len) = peek_fields(body)?;
-    Ok(FrameHeader { ttl: DEFAULT_TTL, hops: 0, tag, uuid, topic_len })
+    Ok(FrameHeader { ttl: DEFAULT_TTL, hops: 0, flags: 0, tag, uuid, topic_len })
 }
 
 thread_local! {
@@ -180,12 +192,19 @@ thread_local! {
 /// Encodes `msg` into a wire frame (`[ttl, hops, 0, 0]` prelude + body)
 /// using the per-thread pooled writer.
 pub fn frame_message(msg: &Message, ttl: u8, hops: u8) -> Bytes {
+    frame_message_flags(msg, ttl, hops, 0)
+}
+
+/// [`frame_message`] with explicit prelude flag bits. The body stays
+/// the plain v1 encoding — flags only announce capabilities (or, for
+/// [`FLAG_SEGMENT`], are written by the v2 segment assembler instead).
+pub fn frame_message_flags(msg: &Message, ttl: u8, hops: u8, flags: u8) -> Bytes {
     FRAME_POOL.with(|pool| {
         let mut w = pool.borrow_mut();
         w.clear();
         w.put_u8(ttl);
         w.put_u8(hops);
-        w.put_u8(0); // flags
+        w.put_u8(flags);
         w.put_u8(0); // reserved
         msg.encode(&mut w);
         w.snapshot()
@@ -334,6 +353,21 @@ mod tests {
         let bare = peek_body(&msg.to_bytes()).unwrap();
         assert_eq!((bare.tag, bare.uuid, bare.topic_len), (framed.tag, framed.uuid, framed.topic_len));
         assert_eq!((bare.ttl, bare.hops), (DEFAULT_TTL, 0));
+    }
+
+    #[test]
+    fn flags_survive_framing_and_prelude_patch() {
+        let frame = frame_message_flags(&publish(), 9, 0, FLAG_V2_CAPABLE);
+        assert_eq!(peek(&frame).unwrap().flags, FLAG_V2_CAPABLE);
+        // Flags live in the prelude only: the body is byte-identical to
+        // the flagless frame, so body_len accounting cannot change.
+        assert_eq!(&frame[PRELUDE_LEN..], &frame_message(&publish(), 9, 0)[PRELUDE_LEN..]);
+        // A forwarder's prelude patch re-stamps ttl/hops but not flags.
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&frame);
+        patch_prelude(&mut buf, 8, 1);
+        let h = peek(&buf).unwrap();
+        assert_eq!((h.ttl, h.hops, h.flags), (8, 1, FLAG_V2_CAPABLE));
     }
 
     #[test]

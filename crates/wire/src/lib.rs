@@ -21,7 +21,12 @@
 //!   patch in place,
 //! * [`wiremsg`] — [`WireMsg`]: a decoded message sharing its encoded
 //!   frame across clones, so fan-out encodes once and forwards by
-//!   refcount.
+//!   refcount,
+//! * [`v2`] — the negotiated compact codec: varint lengths, delta
+//!   timestamps, symbol-referenced topics, and multi-frame segments
+//!   with non-decoding peeks,
+//! * [`symtab`] — the per-link topic symbol tables v2 syncs lazily
+//!   (first use ships the string, later uses ship a small id).
 //!
 //! Every message crosses the (simulated or real) network as bytes encoded
 //! by this crate, in both runtimes, so the codec is exercised on every hop.
@@ -31,7 +36,9 @@ pub mod codec;
 pub mod frame;
 pub mod intern;
 pub mod message;
+pub mod symtab;
 pub mod topic;
+pub mod v2;
 pub mod wiremsg;
 
 /// Re-exported so downstream crates name the payload byte type without
@@ -41,13 +48,15 @@ pub use bytes::Bytes;
 pub use addr::{Endpoint, GroupId, NodeId, Port, RealmId, TransportKind};
 pub use codec::{Wire, WireError, WireReader, WireWriter, MAX_FIELD_LEN, MAX_MESSAGE_LEN};
 pub use frame::{
-    decode_framed, frame_message, patch_prelude, peek_body, FrameDecoder, FrameHeader,
-    DEFAULT_TTL, MAX_FRAME_LEN, PRELUDE_LEN,
+    decode_framed, frame_message, frame_message_flags, patch_prelude, peek_body, FrameDecoder,
+    FrameHeader, DEFAULT_TTL, FLAG_SEGMENT, FLAG_V2_CAPABLE, MAX_FRAME_LEN, PRELUDE_LEN,
 };
 pub use intern::{SegId, MAX_TOPIC_DEPTH};
 pub use message::{
     BrokerAdvertisement, Credential, DiscoveryRequest, DiscoveryResponse, Event, FederationSync,
     LeaseRecord, Message, SyncPhase, TombstoneRecord, UsageMetrics,
 };
+pub use symtab::{SymTabReader, SymTabWriter, MAX_SYMBOLS};
 pub use topic::{Topic, TopicError, TopicFilter};
+pub use v2::{SegmentFrame, SegmentFrameView, SegmentView, MAX_VARINT_BYTES};
 pub use wiremsg::WireMsg;

@@ -1,0 +1,234 @@
+//! Per-link topic symbol tables for the v2 wire codec.
+//!
+//! A v2 sender and receiver each keep one table per directed link. The
+//! first time a topic (or filter) string crosses the link it ships as an
+//! inline definition — `varint 0`, then the UTF-8 bytes — and both sides
+//! append it, assigning the next dense id in first-use order. Every
+//! later use ships `varint (id + 1)` instead of the string. Ids are
+//! **link-local**: the process-global [`intern`](crate::intern) table
+//! supplies the canonical string each topic resolves to (its raw form is
+//! the interner's stable cross-process key), but the interner's own ids
+//! never cross the wire — what does is the deterministic first-use order
+//! on this one link, so two links to the same peer can disagree on ids
+//! without either being wrong.
+//!
+//! Sync relies on the stream transport being reliable and in-order per
+//! link (the sim's `StreamBook` guarantees this), so the decoder sees
+//! definitions before references. Corruption must never poison the
+//! table: [`SymTabReader::checkpoint`] / [`SymTabReader::rollback`] let
+//! a segment decoder undo every definition a failed segment added, so
+//! later frames resolve against exactly the state the sender assumed.
+
+use std::collections::BTreeMap;
+
+use crate::codec::{WireError, WireReader, WireWriter};
+use crate::frame::MAX_FRAME_LEN;
+use crate::v2::{get_varint, put_varint};
+
+/// Cap on distinct symbols per link. A hostile peer streaming endless
+/// definitions is cut off here rather than growing the table without
+/// bound; legitimate topic working sets are orders of magnitude smaller.
+pub const MAX_SYMBOLS: usize = 65_536;
+
+/// Encoder side: maps symbol strings to the link-local id this link
+/// assigned them, in first-use order.
+#[derive(Debug, Default)]
+pub struct SymTabWriter {
+    ids: BTreeMap<String, u32>,
+}
+
+impl SymTabWriter {
+    /// A fresh, empty table.
+    pub fn new() -> Self {
+        SymTabWriter::default()
+    }
+
+    /// Distinct symbols defined so far.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no symbol has been defined yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Writes a reference to `sym`: the u32 id if this link has shipped
+    /// it before, otherwise an inline definition (which also assigns the
+    /// next id). Once the table is full every symbol is sent inline —
+    /// correctness degrades to v1-sized output, never to desync.
+    pub fn encode_ref(&mut self, w: &mut WireWriter, sym: &str) {
+        if let Some(&id) = self.ids.get(sym) {
+            put_varint(w, u64::from(id) + 1);
+            return;
+        }
+        if self.ids.len() < MAX_SYMBOLS {
+            self.ids.insert(sym.to_string(), self.ids.len() as u32);
+        }
+        put_varint(w, 0);
+        put_varint(w, sym.len() as u64);
+        w.put_raw(sym.as_bytes());
+    }
+}
+
+/// Decoder side: the definitions received on this link, indexed by the
+/// id the sender assigned (= arrival order).
+#[derive(Debug, Default)]
+pub struct SymTabReader {
+    defs: Vec<String>,
+}
+
+impl SymTabReader {
+    /// A fresh, empty table.
+    pub fn new() -> Self {
+        SymTabReader::default()
+    }
+
+    /// Distinct symbols learned so far.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether no symbol has been learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Marks the current table extent. Pair with [`rollback`] around a
+    /// segment decode so a corrupt segment cannot leave half its
+    /// definitions behind.
+    ///
+    /// [`rollback`]: SymTabReader::rollback
+    pub fn checkpoint(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Discards every definition added after `cp` was taken.
+    pub fn rollback(&mut self, cp: usize) {
+        self.defs.truncate(cp);
+    }
+
+    /// Reads one symbol reference as written by
+    /// [`SymTabWriter::encode_ref`]: either a known id or an inline
+    /// definition, which is recorded for later references. Every length
+    /// is bounded against [`MAX_FRAME_LEN`] before any allocation.
+    pub fn decode_ref(&mut self, r: &mut WireReader<'_>) -> Result<String, WireError> {
+        let v = get_varint(r)?;
+        if v == 0 {
+            let len = get_varint(r)? as usize;
+            if len > MAX_FRAME_LEN {
+                return Err(WireError::FieldTooLong(len));
+            }
+            let raw = r.get_raw(len)?;
+            let sym =
+                std::str::from_utf8(raw).map_err(|_| WireError::InvalidUtf8)?.to_string();
+            if self.defs.len() < MAX_SYMBOLS {
+                self.defs.push(sym.clone());
+            }
+            return Ok(sym);
+        }
+        let idx = (v - 1) as usize;
+        self.defs
+            .get(idx)
+            .cloned()
+            .ok_or(WireError::Invalid("unknown symbol id"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_one(w: &mut SymTabWriter, r: &mut SymTabReader, sym: &str) -> (usize, String) {
+        let mut ww = WireWriter::new();
+        w.encode_ref(&mut ww, sym);
+        let bytes = ww.finish();
+        let mut rr = WireReader::new(&bytes);
+        let back = r.decode_ref(&mut rr).unwrap();
+        rr.expect_end().unwrap();
+        (bytes.len(), back)
+    }
+
+    #[test]
+    fn first_use_defines_later_uses_reference() {
+        let mut w = SymTabWriter::new();
+        let mut r = SymTabReader::new();
+        let (first_len, back) = roundtrip_one(&mut w, &mut r, "sports/scores");
+        assert_eq!(back, "sports/scores");
+        assert!(first_len > "sports/scores".len(), "definition ships the string");
+        let (second_len, back) = roundtrip_one(&mut w, &mut r, "sports/scores");
+        assert_eq!(back, "sports/scores");
+        assert_eq!(second_len, 1, "warm reference is one varint byte");
+        assert_eq!(w.len(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn ids_follow_first_use_order() {
+        let mut w = SymTabWriter::new();
+        let mut r = SymTabReader::new();
+        for sym in ["b", "a", "c", "a", "b"] {
+            let (_, back) = roundtrip_one(&mut w, &mut r, sym);
+            assert_eq!(back, sym);
+        }
+        assert_eq!(r.defs, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn unknown_id_is_a_typed_error() {
+        let mut ww = WireWriter::new();
+        put_varint(&mut ww, 5); // reference to id 4, never defined
+        let bytes = ww.finish();
+        let mut r = SymTabReader::new();
+        assert_eq!(
+            r.decode_ref(&mut WireReader::new(&bytes)),
+            Err(WireError::Invalid("unknown symbol id"))
+        );
+    }
+
+    #[test]
+    fn oversized_definition_is_rejected() {
+        let mut ww = WireWriter::new();
+        put_varint(&mut ww, 0);
+        put_varint(&mut ww, (MAX_FRAME_LEN + 1) as u64);
+        let bytes = ww.finish();
+        let mut r = SymTabReader::new();
+        assert!(matches!(
+            r.decode_ref(&mut WireReader::new(&bytes)),
+            Err(WireError::FieldTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn rollback_discards_definitions_after_checkpoint() {
+        let mut w = SymTabWriter::new();
+        let mut r = SymTabReader::new();
+        roundtrip_one(&mut w, &mut r, "keep");
+        let cp = r.checkpoint();
+        roundtrip_one(&mut w, &mut r, "drop1");
+        roundtrip_one(&mut w, &mut r, "drop2");
+        r.rollback(cp);
+        assert_eq!(r.defs, vec!["keep"]);
+        // A reference to a rolled-back id now fails instead of resolving
+        // to a stale string.
+        let mut ww = WireWriter::new();
+        put_varint(&mut ww, 2);
+        let bytes = ww.finish();
+        assert!(r.decode_ref(&mut WireReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn non_utf8_definition_is_rejected() {
+        let mut ww = WireWriter::new();
+        put_varint(&mut ww, 0);
+        put_varint(&mut ww, 2);
+        ww.put_raw(&[0xFF, 0xFE]);
+        let bytes = ww.finish();
+        let mut r = SymTabReader::new();
+        assert_eq!(
+            r.decode_ref(&mut WireReader::new(&bytes)),
+            Err(WireError::InvalidUtf8)
+        );
+        assert!(r.is_empty(), "failed definition must not be recorded");
+    }
+}

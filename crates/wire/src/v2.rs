@@ -1,0 +1,728 @@
+//! Wire protocol v2: varint compact frames and coalesced segments.
+//!
+//! The v1 codec (PR 1) spends fixed-width lengths, full topic strings
+//! and one frame per message on every hop. v2 is the negotiated compact
+//! encoding layered on the same message set:
+//!
+//! * **Varints** — LEB128 lengths, counts and small integers
+//!   ([`put_varint`] / [`get_varint`]), zigzag deltas for signed values.
+//! * **Compact bodies** — the hot control-plane kinds (`Publish`,
+//!   `Heartbeat`, `Subscribe`/`Unsubscribe`, `Discovery`) get dedicated
+//!   layouts; every other kind embeds its v1 body verbatim behind
+//!   [`V2_EMBED_V1`], so coverage is total and the v1 codec remains the
+//!   round-trip oracle.
+//! * **Symbol-synced topics** — topic and filter strings ship as
+//!   per-link symbol references ([`crate::symtab`]).
+//! * **Delta timestamps** — `issued_at_utc` encodes as a zigzag varint
+//!   of its (wrapping) distance from the segment's `base_utc`, so a
+//!   fresh timestamp costs one or two bytes instead of eight.
+//! * **Segments** — a flush epoch's worth of frames coalesced behind a
+//!   single `[ttl, hops, FLAG_SEGMENT, 0]` prelude; [`peek_segment`]
+//!   walks the frame extents without decoding any body, and
+//!   [`decode_segment`] rolls the symbol table back on any error so a
+//!   corrupt segment never poisons later frames' symbol state.
+//!
+//! Layout of one segment (all integers varint unless sized):
+//!
+//! ```text
+//! [ttl u8][hops u8][flags u8 = FLAG_SEGMENT][reserved u8]
+//! [base_utc][frame_count]
+//! frame*: [frame_len][ttl u8][hops u8][v2 body]
+//! v2 body: [kind u8][kind-specific fields]
+//! ```
+//!
+//! UUID-bearing compact kinds keep the UUID at byte 1 of the v2 body,
+//! so segment peeking reads dedup ids at a fixed offset exactly like
+//! the v1 [`peek`](crate::frame::peek) path does.
+
+use bytes::Bytes;
+use nb_util::Uuid;
+
+use crate::addr::{Endpoint, NodeId, Port, RealmId};
+use crate::codec::{Wire, WireError, WireReader, WireWriter};
+use crate::frame::{MAX_FRAME_LEN, PRELUDE_LEN};
+use crate::message::{DiscoveryRequest, Event, Message};
+use crate::symtab::{SymTabReader, SymTabWriter};
+use crate::topic::{Topic, TopicFilter};
+
+/// Most bytes one LEB128-encoded `u64` may occupy. Reading an eleventh
+/// continuation byte means the stream is corrupt, not the value large.
+pub const MAX_VARINT_BYTES: usize = 10;
+
+/// v2 body kind: the v1-encoded body follows verbatim.
+pub const V2_EMBED_V1: u8 = 0;
+/// v2 body kind: compact `Publish`.
+pub const V2_PUBLISH: u8 = 1;
+/// v2 body kind: compact `Heartbeat`.
+pub const V2_HEARTBEAT: u8 = 2;
+/// v2 body kind: compact `Subscribe`.
+pub const V2_SUBSCRIBE: u8 = 3;
+/// v2 body kind: compact `Unsubscribe`.
+pub const V2_UNSUBSCRIBE: u8 = 4;
+/// v2 body kind: compact `Discovery` request.
+pub const V2_DISCOVERY: u8 = 5;
+
+// ------------------------------------------------------------------
+// Varints.
+// ------------------------------------------------------------------
+
+/// Appends `v` as an LEB128 varint (1–10 bytes, little groups first).
+pub fn put_varint(w: &mut WireWriter, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            w.put_u8(b);
+            return;
+        }
+        w.put_u8(b | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint, reading at most [`MAX_VARINT_BYTES`] bytes.
+pub fn get_varint(r: &mut WireReader<'_>) -> Result<u64, WireError> {
+    let mut out: u64 = 0;
+    let mut shift = 0u32;
+    for i in 0..MAX_VARINT_BYTES {
+        let b = r.get_u8()?;
+        if i == MAX_VARINT_BYTES - 1 {
+            // Tenth byte: only the low bit fits in a u64, and it must
+            // terminate the sequence.
+            if b > 0x01 {
+                return Err(WireError::Invalid("varint overflow"));
+            }
+        }
+        out |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+    Err(WireError::Invalid("varint too long"))
+}
+
+/// Zigzag-maps `v` so small magnitudes (either sign) encode small.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Appends a signed value as a zigzag varint.
+pub fn put_zigzag(w: &mut WireWriter, v: i64) {
+    put_varint(w, zigzag(v));
+}
+
+/// Reads a zigzag varint.
+pub fn get_zigzag(r: &mut WireReader<'_>) -> Result<i64, WireError> {
+    Ok(unzigzag(get_varint(r)?))
+}
+
+fn get_varint_u32(r: &mut WireReader<'_>, what: &'static str) -> Result<u32, WireError> {
+    let v = get_varint(r)?;
+    u32::try_from(v).map_err(|_| WireError::Invalid(what))
+}
+
+fn get_varint_u16(r: &mut WireReader<'_>, what: &'static str) -> Result<u16, WireError> {
+    let v = get_varint(r)?;
+    u16::try_from(v).map_err(|_| WireError::Invalid(what))
+}
+
+/// Varint-length-prefixed raw bytes.
+fn put_varint_bytes(w: &mut WireWriter, v: &[u8]) {
+    put_varint(w, v.len() as u64);
+    w.put_raw(v);
+}
+
+/// Reads a varint length bounded by [`MAX_FRAME_LEN`], then that many
+/// raw bytes (zero-copy on a shared reader).
+fn take_varint_bytes(r: &mut WireReader<'_>) -> Result<Bytes, WireError> {
+    let len = get_varint(r)? as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FieldTooLong(len));
+    }
+    r.take_raw_bytes(len)
+}
+
+fn get_varint_str(r: &mut WireReader<'_>) -> Result<String, WireError> {
+    let len = get_varint(r)? as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FieldTooLong(len));
+    }
+    let raw = r.get_raw(len)?;
+    std::str::from_utf8(raw).map(str::to_owned).map_err(|_| WireError::InvalidUtf8)
+}
+
+// ------------------------------------------------------------------
+// Compact bodies.
+// ------------------------------------------------------------------
+
+/// Encodes `msg` as a v2 body: a kind byte, then either a compact
+/// layout or the embedded v1 encoding. Timestamps are written relative
+/// to `base_utc` (wrapping, so the mapping is bijective for any `u64`);
+/// topic and filter strings go through the per-link symbol table.
+pub fn encode_v2_body(
+    msg: &Message,
+    base_utc: u64,
+    syms: &mut SymTabWriter,
+    w: &mut WireWriter,
+) {
+    match msg {
+        Message::Publish(ev) => {
+            w.put_u8(V2_PUBLISH);
+            w.put_uuid(ev.id);
+            syms.encode_ref(w, ev.topic.as_str());
+            put_varint(w, u64::from(ev.source.0));
+            put_varint_bytes(w, &ev.payload);
+        }
+        Message::Heartbeat { from, seq } => {
+            w.put_u8(V2_HEARTBEAT);
+            put_varint(w, u64::from(from.0));
+            put_varint(w, *seq);
+        }
+        Message::Subscribe { filter, origin, seq } => {
+            w.put_u8(V2_SUBSCRIBE);
+            syms.encode_ref(w, filter.as_str());
+            put_varint(w, u64::from(origin.0));
+            put_varint(w, *seq);
+        }
+        Message::Unsubscribe { filter, origin, seq } => {
+            w.put_u8(V2_UNSUBSCRIBE);
+            syms.encode_ref(w, filter.as_str());
+            put_varint(w, u64::from(origin.0));
+            put_varint(w, *seq);
+        }
+        Message::Discovery(req) => {
+            w.put_u8(V2_DISCOVERY);
+            w.put_uuid(req.request_id);
+            put_varint(w, u64::from(req.requester.0));
+            put_varint_bytes(w, req.hostname.as_bytes());
+            put_varint(w, u64::from(req.realm.0));
+            put_varint(w, u64::from(req.reply_to.node.0));
+            put_varint(w, u64::from(req.reply_to.port.0));
+            put_varint(w, req.transports.len() as u64);
+            for t in &req.transports {
+                t.encode(w);
+            }
+            w.put_option(&req.credentials);
+            put_zigzag(w, req.issued_at_utc.wrapping_sub(base_utc) as i64);
+        }
+        other => {
+            w.put_u8(V2_EMBED_V1);
+            other.encode(w);
+        }
+    }
+}
+
+/// Decodes one v2 body as written by [`encode_v2_body`].
+pub fn decode_v2_body(
+    r: &mut WireReader<'_>,
+    base_utc: u64,
+    syms: &mut SymTabReader,
+) -> Result<Message, WireError> {
+    let kind = r.get_u8()?;
+    Ok(match kind {
+        V2_EMBED_V1 => Message::decode(r)?,
+        V2_PUBLISH => {
+            let id = r.get_uuid()?;
+            let topic = Topic::parse_owned(syms.decode_ref(r)?)
+                .map_err(|_| WireError::Invalid("topic"))?;
+            let source = NodeId(get_varint_u32(r, "node id")?);
+            let payload = take_varint_bytes(r)?;
+            Message::Publish(Event { id, topic, source, payload })
+        }
+        V2_HEARTBEAT => Message::Heartbeat {
+            from: NodeId(get_varint_u32(r, "node id")?),
+            seq: get_varint(r)?,
+        },
+        V2_SUBSCRIBE | V2_UNSUBSCRIBE => {
+            let filter = TopicFilter::parse_owned(syms.decode_ref(r)?)
+                .map_err(|_| WireError::Invalid("topic filter"))?;
+            let origin = NodeId(get_varint_u32(r, "node id")?);
+            let seq = get_varint(r)?;
+            if kind == V2_SUBSCRIBE {
+                Message::Subscribe { filter, origin, seq }
+            } else {
+                Message::Unsubscribe { filter, origin, seq }
+            }
+        }
+        V2_DISCOVERY => {
+            let request_id = r.get_uuid()?;
+            let requester = NodeId(get_varint_u32(r, "node id")?);
+            let hostname = get_varint_str(r)?;
+            let realm = RealmId(get_varint_u16(r, "realm id")?);
+            let reply_to = Endpoint::new(
+                NodeId(get_varint_u32(r, "node id")?),
+                Port(get_varint_u16(r, "port")?),
+            );
+            let n = get_varint(r)? as usize;
+            if n > MAX_FRAME_LEN {
+                return Err(WireError::FieldTooLong(n));
+            }
+            let mut transports = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                transports.push(Wire::decode(r)?);
+            }
+            let credentials = r.get_option()?;
+            let delta = get_zigzag(r)?;
+            let issued_at_utc = base_utc.wrapping_add(delta as u64);
+            Message::Discovery(DiscoveryRequest {
+                request_id,
+                requester,
+                hostname,
+                realm,
+                reply_to,
+                transports,
+                credentials,
+                issued_at_utc,
+            })
+        }
+        other => return Err(WireError::InvalidTag { context: "v2 body", tag: other }),
+    })
+}
+
+// ------------------------------------------------------------------
+// Segments.
+// ------------------------------------------------------------------
+
+use crate::frame::{DEFAULT_TTL, FLAG_SEGMENT};
+
+/// Encodes one segment-internal frame: `[ttl, hops, v2 body]`. The
+/// caller packs these into segments under its byte/frame budget with
+/// [`build_segment`]; symbol definitions travel inside whichever frame
+/// first used them, so packing never reorders symbol sync.
+pub fn encode_v2_frame(
+    ttl: u8,
+    hops: u8,
+    msg: &Message,
+    base_utc: u64,
+    syms: &mut SymTabWriter,
+) -> Bytes {
+    let mut w = WireWriter::new();
+    w.put_u8(ttl);
+    w.put_u8(hops);
+    encode_v2_body(msg, base_utc, syms, &mut w);
+    w.finish()
+}
+
+/// Assembles already-encoded frames (from [`encode_v2_frame`]) into one
+/// segment behind a `FLAG_SEGMENT` prelude.
+pub fn build_segment(base_utc: u64, frames: &[Bytes]) -> Bytes {
+    let mut w = WireWriter::new();
+    w.put_u8(DEFAULT_TTL);
+    w.put_u8(0);
+    w.put_u8(FLAG_SEGMENT);
+    w.put_u8(0);
+    put_varint(&mut w, base_utc);
+    put_varint(&mut w, frames.len() as u64);
+    for f in frames {
+        put_varint(&mut w, f.len() as u64);
+        w.put_raw(f);
+    }
+    assert!(w.len() <= MAX_FRAME_LEN, "segment exceeds MAX_FRAME_LEN");
+    w.finish()
+}
+
+/// Convenience: encode `items` (`(ttl, hops, message)`) into a single
+/// segment, returning it plus each frame's encoded length (hop bytes
+/// included).
+pub fn encode_segment(
+    items: &[(u8, u8, &Message)],
+    base_utc: u64,
+    syms: &mut SymTabWriter,
+) -> (Bytes, Vec<usize>) {
+    let frames: Vec<Bytes> = items
+        .iter()
+        .map(|&(ttl, hops, msg)| encode_v2_frame(ttl, hops, msg, base_utc, syms))
+        .collect();
+    let lens = frames.iter().map(Bytes::len).collect();
+    (build_segment(base_utc, &frames), lens)
+}
+
+/// One frame fully decoded out of a segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentFrame {
+    /// Remaining hop budget carried for this frame.
+    pub ttl: u8,
+    /// Hops travelled so far.
+    pub hops: u8,
+    /// The decoded message.
+    pub msg: Message,
+    /// This frame's encoded length inside the segment (hop bytes
+    /// included) — what the negotiated encoding actually cost, fed to
+    /// [`WireMsg::set_encoded_len`](crate::WireMsg::set_encoded_len).
+    pub encoded_len: usize,
+}
+
+/// Decodes a whole segment. On any error the symbol table is rolled
+/// back to its pre-segment state, so a truncated or corrupted segment
+/// never leaves partial definitions behind to corrupt later frames.
+pub fn decode_segment(
+    seg: &Bytes,
+    syms: &mut SymTabReader,
+) -> Result<Vec<SegmentFrame>, WireError> {
+    let cp = syms.checkpoint();
+    match decode_segment_inner(seg, syms) {
+        Ok(frames) => Ok(frames),
+        Err(e) => {
+            syms.rollback(cp);
+            Err(e)
+        }
+    }
+}
+
+fn decode_segment_inner(
+    seg: &Bytes,
+    syms: &mut SymTabReader,
+) -> Result<Vec<SegmentFrame>, WireError> {
+    if seg.len() < PRELUDE_LEN {
+        return Err(WireError::UnexpectedEof);
+    }
+    if seg.len() > MAX_FRAME_LEN {
+        return Err(WireError::MessageTooLong(seg.len()));
+    }
+    if seg[2] & FLAG_SEGMENT == 0 {
+        return Err(WireError::Invalid("missing segment flag"));
+    }
+    let body = seg.slice(PRELUDE_LEN..);
+    let mut r = WireReader::shared(&body);
+    let base_utc = get_varint(&mut r)?;
+    let count = get_varint(&mut r)? as usize;
+    if count > MAX_FRAME_LEN {
+        return Err(WireError::FieldTooLong(count));
+    }
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let flen = get_varint(&mut r)? as usize;
+        if flen > MAX_FRAME_LEN {
+            return Err(WireError::FieldTooLong(flen));
+        }
+        if flen < 3 {
+            return Err(WireError::Invalid("segment frame too short"));
+        }
+        let frame = r.take_raw_bytes(flen)?;
+        let (ttl, hops) = (frame[0], frame[1]);
+        let inner = frame.slice(2..);
+        let mut fr = WireReader::shared(&inner);
+        let msg = decode_v2_body(&mut fr, base_utc, syms)?;
+        fr.expect_end()?;
+        out.push(SegmentFrame { ttl, hops, msg, encoded_len: flen });
+    }
+    r.expect_end()?;
+    Ok(out)
+}
+
+/// What [`peek_segment`] learns about one frame without decoding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentFrameView {
+    /// Byte offset of the frame (its ttl byte) within the segment.
+    pub offset: usize,
+    /// Encoded frame length (hop bytes included).
+    pub len: usize,
+    /// Remaining hop budget.
+    pub ttl: u8,
+    /// Hops travelled.
+    pub hops: u8,
+    /// The v2 body kind byte ([`V2_PUBLISH`], [`V2_EMBED_V1`], …).
+    pub kind: u8,
+    /// The dedup UUID at its fixed offset, for the kinds that carry one
+    /// (compact `Publish`/`Discovery`, plus any UUID-bearing embedded
+    /// v1 body).
+    pub uuid: Option<Uuid>,
+}
+
+/// The structure of a segment, read without decoding any body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentView {
+    /// The timestamp base every frame's deltas resolve against.
+    pub base_utc: u64,
+    /// Per-frame extents and fixed-offset header fields, in order.
+    pub frames: Vec<SegmentFrameView>,
+}
+
+/// Walks the frames inside a segment without decoding any of them: the
+/// v2 extension of the PR 5 [`peek`](crate::frame::peek) path. Every
+/// extent is bounds-checked against [`MAX_FRAME_LEN`] and the buffer,
+/// so a corrupt length errors instead of running away.
+pub fn peek_segment(seg: &[u8]) -> Result<SegmentView, WireError> {
+    if seg.len() < PRELUDE_LEN {
+        return Err(WireError::UnexpectedEof);
+    }
+    if seg.len() > MAX_FRAME_LEN {
+        return Err(WireError::MessageTooLong(seg.len()));
+    }
+    if seg[2] & FLAG_SEGMENT == 0 {
+        return Err(WireError::Invalid("missing segment flag"));
+    }
+    let body = &seg[PRELUDE_LEN..];
+    let mut r = WireReader::new(body);
+    let base_utc = get_varint(&mut r)?;
+    let count = get_varint(&mut r)? as usize;
+    if count > MAX_FRAME_LEN {
+        return Err(WireError::FieldTooLong(count));
+    }
+    let mut frames = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let flen = get_varint(&mut r)? as usize;
+        if flen > MAX_FRAME_LEN {
+            return Err(WireError::FieldTooLong(flen));
+        }
+        if flen < 3 {
+            return Err(WireError::Invalid("segment frame too short"));
+        }
+        let offset = PRELUDE_LEN + (body.len() - r.remaining());
+        let raw = r.get_raw(flen)?;
+        let (ttl, hops, kind) = (raw[0], raw[1], raw[2]);
+        let uuid = match kind {
+            V2_PUBLISH | V2_DISCOVERY => raw
+                .get(3..19)
+                .map(|b| Uuid::from_u128(u128::from_be_bytes(b.try_into().unwrap()))),
+            // An embedded v1 body has the v1 tag at its own offset 0;
+            // the existing body peek reads its UUID if it has one.
+            V2_EMBED_V1 => {
+                crate::frame::peek_body(&raw[3..]).ok().and_then(|h| h.uuid)
+            }
+            _ => None,
+        };
+        frames.push(SegmentFrameView { offset, len: flen, ttl, hops, kind, uuid });
+    }
+    r.expect_end()?;
+    Ok(SegmentView { base_utc, frames })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::TransportKind;
+    use crate::message::TransportEndpoint;
+
+    #[test]
+    fn varint_roundtrip_across_widths() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in cases {
+            let mut w = WireWriter::new();
+            put_varint(&mut w, v);
+            let bytes = w.finish();
+            assert!(bytes.len() <= MAX_VARINT_BYTES);
+            let mut r = WireReader::new(&bytes);
+            assert_eq!(get_varint(&mut r).unwrap(), v, "value {v}");
+            r.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_small_values_are_one_byte() {
+        for v in [0u64, 1, 42, 127] {
+            let mut w = WireWriter::new();
+            put_varint(&mut w, v);
+            assert_eq!(w.len(), 1);
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_a_typed_error() {
+        // Eleven continuation bytes: must fail before reading forever.
+        let bytes = [0x80u8; 11];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(get_varint(&mut r), Err(WireError::Invalid(_))));
+        // Tenth byte carrying more than the last u64 bit overflows.
+        let mut over = [0x80u8; 10];
+        over[9] = 0x02;
+        let mut r = WireReader::new(&over);
+        assert_eq!(get_varint(&mut r), Err(WireError::Invalid("varint overflow")));
+    }
+
+    #[test]
+    fn zigzag_roundtrip_and_small_magnitudes() {
+        for v in [0i64, -1, 1, -64, 63, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert!(zigzag(-1) < 128, "small negatives stay one byte");
+        assert!(zigzag(63) < 128);
+    }
+
+    fn discovery(issued_at_utc: u64) -> Message {
+        Message::Discovery(DiscoveryRequest {
+            request_id: Uuid::from_u128(77),
+            requester: NodeId(9),
+            hostname: "grids.ucs.indiana.edu".into(),
+            realm: RealmId(2),
+            reply_to: Endpoint::new(NodeId(9), Port(5060)),
+            transports: vec![TransportEndpoint { kind: TransportKind::Udp, port: Port(5060) }],
+            credentials: None,
+            issued_at_utc,
+        })
+    }
+
+    fn publish(topic: &str) -> Message {
+        Message::Publish(Event {
+            id: Uuid::from_u128(0xABCD),
+            topic: Topic::parse(topic).unwrap(),
+            source: NodeId(3),
+            payload: Bytes::from_static(b"score 3-1"),
+        })
+    }
+
+    fn body_roundtrip(msg: &Message, base: u64) -> Message {
+        let mut sw = SymTabWriter::new();
+        let mut sr = SymTabReader::new();
+        let mut w = WireWriter::new();
+        encode_v2_body(msg, base, &mut sw, &mut w);
+        let bytes = w.finish();
+        let mut r = WireReader::shared(&bytes);
+        let back = decode_v2_body(&mut r, base, &mut sr).unwrap();
+        r.expect_end().unwrap();
+        back
+    }
+
+    #[test]
+    fn compact_kinds_roundtrip() {
+        let base = 1_000_000u64;
+        for msg in [
+            publish("sports/scores"),
+            Message::Heartbeat { from: NodeId(1), seq: 42 },
+            Message::Subscribe {
+                filter: TopicFilter::parse("sports/*").unwrap(),
+                origin: NodeId(2),
+                seq: 7,
+            },
+            Message::Unsubscribe {
+                filter: TopicFilter::parse("news/**").unwrap(),
+                origin: NodeId(2),
+                seq: 8,
+            },
+            discovery(base + 12),
+            discovery(0),
+            discovery(u64::MAX), // wrapping delta must still roundtrip
+        ] {
+            assert_eq!(body_roundtrip(&msg, base), msg, "{}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn non_compact_kinds_embed_v1_and_roundtrip() {
+        let msg = Message::LinkHello { from: NodeId(4), realm: RealmId(0) };
+        let mut sw = SymTabWriter::new();
+        let mut w = WireWriter::new();
+        encode_v2_body(&msg, 0, &mut sw, &mut w);
+        let bytes = w.finish();
+        assert_eq!(bytes[0], V2_EMBED_V1);
+        assert_eq!(&bytes[1..], msg.to_bytes().as_ref(), "embedded body is v1 verbatim");
+        assert_eq!(body_roundtrip(&msg, 0), msg);
+    }
+
+    #[test]
+    fn warm_symbols_shrink_publish_frames() {
+        let base = 0;
+        let mut sw = SymTabWriter::new();
+        let msg = publish("sports/scores");
+        let cold = encode_v2_frame(32, 0, &msg, base, &mut sw);
+        let warm = encode_v2_frame(32, 0, &msg, base, &mut sw);
+        assert!(
+            warm.len() + "sports/scores".len() <= cold.len(),
+            "warm {} vs cold {}",
+            warm.len(),
+            cold.len()
+        );
+    }
+
+    #[test]
+    fn segment_roundtrip_preserves_order_ttl_and_lens() {
+        let base = 5_000u64;
+        let msgs =
+            vec![publish("a/b"), Message::Heartbeat { from: NodeId(1), seq: 1 }, publish("a/b")];
+        let items: Vec<(u8, u8, &Message)> =
+            msgs.iter().enumerate().map(|(i, m)| (30 - i as u8, i as u8, m)).collect();
+        let mut sw = SymTabWriter::new();
+        let (seg, lens) = encode_segment(&items, base, &mut sw);
+        let mut sr = SymTabReader::new();
+        let frames = decode_segment(&seg, &mut sr).unwrap();
+        assert_eq!(frames.len(), 3);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.msg, msgs[i]);
+            assert_eq!((f.ttl, f.hops), (30 - i as u8, i as u8));
+            assert_eq!(f.encoded_len, lens[i]);
+        }
+        // Third frame reuses the symbol the first defined.
+        assert!(lens[2] < lens[0]);
+    }
+
+    #[test]
+    fn peek_segment_walks_extents_without_decoding() {
+        let base = 123u64;
+        let msgs = vec![
+            publish("x/y"),
+            discovery(base + 1),
+            Message::LinkHello { from: NodeId(7), realm: RealmId(1) },
+            Message::ReliableAck { channel: Uuid::from_u128(0xEE), cumulative: 3 },
+        ];
+        let items: Vec<(u8, u8, &Message)> = msgs.iter().map(|m| (32, 0, m)).collect();
+        let mut sw = SymTabWriter::new();
+        let (seg, lens) = encode_segment(&items, base, &mut sw);
+        let view = peek_segment(&seg).unwrap();
+        assert_eq!(view.base_utc, base);
+        assert_eq!(view.frames.len(), 4);
+        assert_eq!(view.frames[0].kind, V2_PUBLISH);
+        assert_eq!(view.frames[0].uuid, Some(Uuid::from_u128(0xABCD)));
+        assert_eq!(view.frames[1].kind, V2_DISCOVERY);
+        assert_eq!(view.frames[1].uuid, Some(Uuid::from_u128(77)));
+        assert_eq!(view.frames[2].kind, V2_EMBED_V1);
+        assert_eq!(view.frames[2].uuid, None);
+        // Embedded v1 ReliableAck still exposes its channel UUID.
+        assert_eq!(view.frames[3].uuid, Some(Uuid::from_u128(0xEE)));
+        for (f, len) in view.frames.iter().zip(&lens) {
+            assert_eq!(f.len, *len);
+            assert_eq!((f.ttl, f.hops), (32, 0));
+        }
+        // Extents tile the segment tail exactly.
+        let first = view.frames[0].offset;
+        let end = view.frames.last().map(|f| f.offset + f.len).unwrap();
+        assert_eq!(end, seg.len());
+        assert!(first > PRELUDE_LEN);
+    }
+
+    #[test]
+    fn non_segment_frame_is_rejected() {
+        let plain = crate::frame::frame_message(&publish("a/b"), 32, 0);
+        assert_eq!(
+            peek_segment(&plain).unwrap_err(),
+            WireError::Invalid("missing segment flag")
+        );
+        let mut sr = SymTabReader::new();
+        assert!(decode_segment(&plain, &mut sr).is_err());
+    }
+
+    #[test]
+    fn truncated_segment_errors_and_rolls_back_symbols() {
+        let base = 0u64;
+        let msgs = vec![publish("t/1"), publish("t/2")];
+        let items: Vec<(u8, u8, &Message)> = msgs.iter().map(|m| (32, 0, m)).collect();
+        let mut sw = SymTabWriter::new();
+        let (seg, _) = encode_segment(&items, base, &mut sw);
+        let mut sr = SymTabReader::new();
+        for cut in 0..seg.len() {
+            let trunc = seg.slice(0..cut);
+            assert!(decode_segment(&trunc, &mut sr).is_err(), "cut {cut} decoded");
+            assert_eq!(sr.len(), 0, "cut {cut} leaked symbol definitions");
+        }
+        // The intact segment still decodes against the same table.
+        let frames = decode_segment(&seg, &mut sr).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(sr.len(), 2);
+    }
+}

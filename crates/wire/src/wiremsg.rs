@@ -24,7 +24,7 @@ use bytes::{Bytes, BytesMut};
 
 use crate::codec::WireError;
 use crate::frame::{
-    decode_framed, frame_message, patch_prelude, FrameHeader, DEFAULT_TTL, PRELUDE_LEN,
+    decode_framed, frame_message_flags, patch_prelude, FrameHeader, DEFAULT_TTL, PRELUDE_LEN,
 };
 use crate::message::{Event, Message};
 
@@ -35,6 +35,14 @@ pub struct WireMsg {
     msg: Arc<Message>,
     ttl: u8,
     hops: u8,
+    /// Prelude flag bits stamped on the frame (v2 capability
+    /// announcement); zero for plain v1 traffic.
+    flags: u8,
+    /// The size the *negotiated* encoding of this message actually
+    /// occupied on the wire, when that was not the v1 body ([`None`]
+    /// for v1 traffic). Set by the v2 segment path so timing charges
+    /// reflect the compact encoding.
+    encoded_len: Option<usize>,
     /// The materialised frame, shared across clones so whichever copy
     /// encodes first pays for all of them.
     frame: Arc<OnceLock<Bytes>>,
@@ -43,7 +51,28 @@ pub struct WireMsg {
 impl WireMsg {
     /// Wraps a locally originated message (fresh TTL, zero hops).
     pub fn new(msg: Message) -> Self {
-        WireMsg { msg: Arc::new(msg), ttl: DEFAULT_TTL, hops: 0, frame: Arc::new(OnceLock::new()) }
+        WireMsg {
+            msg: Arc::new(msg),
+            ttl: DEFAULT_TTL,
+            hops: 0,
+            flags: 0,
+            encoded_len: None,
+            frame: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Wraps a message that already travelled: `ttl`/`hops` as carried
+    /// on the wire. The v2 segment delivery path rebuilds per-frame
+    /// [`WireMsg`]s with this.
+    pub fn from_decoded(msg: Message, ttl: u8, hops: u8) -> Self {
+        WireMsg {
+            msg: Arc::new(msg),
+            ttl,
+            hops,
+            flags: 0,
+            encoded_len: None,
+            frame: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Decodes a received frame, retaining the bytes for re-forwarding.
@@ -55,6 +84,8 @@ impl WireMsg {
             msg: Arc::new(msg),
             ttl: header.ttl,
             hops: header.hops,
+            flags: header.flags,
+            encoded_len: None,
             frame: Arc::new(cell),
         })
     }
@@ -84,6 +115,38 @@ impl WireMsg {
         self.hops
     }
 
+    /// Prelude flag bits this message carries.
+    pub fn flags(&self) -> u8 {
+        self.flags
+    }
+
+    /// Stamps prelude flag bits (e.g.
+    /// [`FLAG_V2_CAPABLE`](crate::frame::FLAG_V2_CAPABLE) on a link
+    /// handshake). Must happen before the frame is materialised — the
+    /// flags byte lives in the encoded prelude.
+    pub fn with_flags(mut self, flags: u8) -> Self {
+        debug_assert!(
+            self.frame.get().is_none(),
+            "flags set after the frame was materialised"
+        );
+        self.flags = flags;
+        self
+    }
+
+    /// The on-wire size of the negotiated (non-v1) encoding, if this
+    /// message travelled one.
+    pub fn encoded_len(&self) -> Option<usize> {
+        self.encoded_len
+    }
+
+    /// Records the negotiated encoding's on-wire size, so
+    /// [`body_len`](WireMsg::body_len) — and with it the sim's
+    /// transmission-delay accounting — reflects v2 compaction instead
+    /// of the v1 length.
+    pub fn set_encoded_len(&mut self, len: usize) {
+        self.encoded_len = Some(len);
+    }
+
     /// The header a receiver would [`frame::peek`] off this message's
     /// frame — synthesised from the decoded fields, so calling it never
     /// forces an encode.
@@ -97,20 +160,29 @@ impl WireMsg {
             }
             _ => (None, None),
         };
-        FrameHeader { ttl: self.ttl, hops: self.hops, tag: self.msg.tag(), uuid, topic_len }
+        FrameHeader {
+            ttl: self.ttl,
+            hops: self.hops,
+            flags: self.flags,
+            tag: self.msg.tag(),
+            uuid,
+            topic_len,
+        }
     }
 
     /// The wire frame, encoding it (once, via the pooled writer) if no
     /// handle has yet.
     pub fn frame(&self) -> &Bytes {
-        self.frame.get_or_init(|| frame_message(&self.msg, self.ttl, self.hops))
+        self.frame.get_or_init(|| frame_message_flags(&self.msg, self.ttl, self.hops, self.flags))
     }
 
-    /// Length of the legacy message body (frame minus prelude). The sim
-    /// charges transmission delay on this, so it is byte-identical to
-    /// the pre-frame `Message::to_bytes().len()`.
+    /// On-wire size of this message's body under the encoding it
+    /// travelled (the sim charges transmission delay on this): the v2
+    /// size recorded by [`set_encoded_len`](WireMsg::set_encoded_len)
+    /// when the message crossed a negotiated link, otherwise the v1
+    /// body length — byte-identical to `Message::to_bytes().len()`.
     pub fn body_len(&self) -> usize {
-        self.frame().len() - PRELUDE_LEN
+        self.encoded_len.unwrap_or_else(|| self.frame().len() - PRELUDE_LEN)
     }
 
     /// The frame this message would be forwarded as: TTL spent, hop
@@ -128,7 +200,14 @@ impl WireMsg {
             patch_prelude(&mut buf, ttl, hops);
             let _ = cell.set(buf.freeze());
         }
-        Some(WireMsg { msg: Arc::clone(&self.msg), ttl, hops, frame: Arc::new(cell) })
+        Some(WireMsg {
+            msg: Arc::clone(&self.msg),
+            ttl,
+            hops,
+            flags: self.flags,
+            encoded_len: self.encoded_len,
+            frame: Arc::new(cell),
+        })
     }
 }
 
@@ -220,6 +299,29 @@ mod tests {
         }
         assert_eq!(hops, DEFAULT_TTL);
         assert_eq!(wire.ttl(), 0);
+    }
+
+    #[test]
+    fn encoded_len_overrides_body_len_and_survives_forwarding() {
+        let mut wire = WireMsg::new(publish());
+        let v1 = wire.body_len();
+        wire.set_encoded_len(9);
+        assert!(v1 > 9);
+        assert_eq!(wire.body_len(), 9, "negotiated size wins");
+        let next = wire.forward_hop().unwrap();
+        assert_eq!(next.body_len(), 9, "forward keeps the negotiated size");
+    }
+
+    #[test]
+    fn flags_roundtrip_through_frame_and_back() {
+        use crate::frame::FLAG_V2_CAPABLE;
+        let wire = WireMsg::new(publish()).with_flags(FLAG_V2_CAPABLE);
+        assert_eq!(wire.peek().flags, FLAG_V2_CAPABLE);
+        assert_eq!(wire.peek(), crate::frame::peek(wire.frame()).unwrap());
+        let back = WireMsg::from_frame(wire.frame().clone()).unwrap();
+        assert_eq!(back.flags(), FLAG_V2_CAPABLE);
+        // The body is unchanged, so timing accounting is too.
+        assert_eq!(back.body_len(), WireMsg::new(publish()).body_len());
     }
 
     #[test]

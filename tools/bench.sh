@@ -26,8 +26,13 @@
 #                                   # trie ≥ 3x / memo ≥ 10x at 1e4 filters
 #   tools/bench.sh codec            # wire-path micro-suite (peek vs full
 #                                   # decode, forward vs re-encode, allocs
-#                                   # per delivery), writes BENCH_codec.json;
-#                                   # exit 1 unless peek ≥ 5x and forward ≥ 3x
+#                                   # per delivery, v1-vs-v2 link A/B),
+#                                   # writes BENCH_codec.json; exit 1 unless
+#                                   # peek ≥ 5x, forward ≥ 3x and the v2
+#                                   # bytes/delivery reduction ≥ 1.5x at
+#                                   # 32-way fan-out — or if the committed
+#                                   # BENCH_codec.json's deterministic
+#                                   # (byte-count) columns are stale
 #   tools/bench.sh shards           # sharded-engine determinism gate: the
 #                                   # same workload at 1/2/4 intra-run
 #                                   # workers must produce byte-identical
@@ -110,11 +115,31 @@ fi
 if [[ "${1:-}" == "codec" ]]; then
     shift
     # Zero-copy wire-path gate: header peek must beat the full decode
-    # ≥ 5x and byte-forwarding must beat decode+re-encode ≥ 3x, pinned
-    # seed so reruns measure the same frame population.
+    # ≥ 5x, byte-forwarding must beat decode+re-encode ≥ 3x, and the v2
+    # compact codec must cut bytes/delivery ≥ 1.5x at 32-way fan-out —
+    # pinned seed so reruns measure the same frame population.
+    #
+    # Regenerate-and-compare (same playbook as the lint report): the
+    # committed BENCH_codec.json's *deterministic* columns — byte
+    # counts, reductions, frames per segment, population shape — must
+    # match what the tree actually produces, so a stale committed
+    # baseline can never pass CI. Timing columns are machine-dependent
+    # and deliberately excluded from the comparison.
     cargo build --release -p nb-bench
     ./target/release/repro codec --seed 11 --min-peek-speedup 5 \
-        --min-forward-speedup 3 --codec-json BENCH_codec.json "$@"
+        --min-forward-speedup 3 --min-bytes-reduction 1.5 \
+        --codec-json BENCH_codec.json.new "$@"
+    det_keys() {
+        grep -E '"(suite|seed|frames|ops|link_fan_out|fan_out|v2_batch|v2_epochs|fan(4|32)_(v1|v2)_bytes_per_delivery|fan(4|32)_bytes_reduction|fan(4|32)_frames_per_segment|bytes_reduction)":' "$1"
+    }
+    if ! diff <(det_keys BENCH_codec.json) <(det_keys BENCH_codec.json.new); then
+        echo "FAIL: committed BENCH_codec.json is stale — regenerate with:" >&2
+        echo "  ./target/release/repro codec --seed 11 --codec-json BENCH_codec.json" >&2
+        rm -f BENCH_codec.json.new
+        exit 1
+    fi
+    rm -f BENCH_codec.json.new
+    echo "BENCH_codec.json deterministic columns match the tree"
     exit 0
 fi
 
