@@ -39,6 +39,15 @@
 //!                           # writes BENCH_codec.json (see --codec-json); with
 //!                           # --min-peek-speedup / --min-forward-speedup, exit 1 when
 //!                           # the zero-copy path falls below either gate
+//! repro scale               # seeded WAN scale campaign: generated topologies at
+//!                           # 1e2–1e3 brokers / 1e3–1e5 entities through the sharded
+//!                           # engine (discovery → attach → pub/sub steady state) plus
+//!                           # the slab A/B columns, writes BENCH_scale.json (see
+//!                           # --tier small|large|all, --scale-json, --workers); the
+//!                           # JSON is byte-identical at any worker count; gates:
+//!                           # --min-events-per-sec, --max-bytes-per-entity,
+//!                           # --min-ab-speedup (≥2 of 3 A/B columns must clear it);
+//!                           # --brokers/--entities/--topology define one custom tier
 //! repro all --runs 30 --seed 7    # faster smoke reproduction
 //! repro all --csv out/            # also write machine-readable CSVs
 //! ```
@@ -70,6 +79,14 @@ struct Args {
     min_forward_speedup: Option<f64>,
     min_bytes_reduction: Option<f64>,
     lint_rules: bool,
+    tier: String,
+    scale_json: std::path::PathBuf,
+    min_events_per_sec: Option<f64>,
+    max_bytes_per_entity: Option<u64>,
+    min_ab_speedup: Option<f64>,
+    brokers: Option<usize>,
+    entities: Option<usize>,
+    topology: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -91,6 +108,14 @@ fn parse_args() -> Args {
         min_forward_speedup: None,
         min_bytes_reduction: None,
         lint_rules: false,
+        tier: "all".to_string(),
+        scale_json: std::path::PathBuf::from("BENCH_scale.json"),
+        min_events_per_sec: None,
+        max_bytes_per_entity: None,
+        min_ab_speedup: None,
+        brokers: None,
+        entities: None,
+        topology: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -203,6 +228,67 @@ fn parse_args() -> Args {
                     eprintln!("--min-speedup needs a number");
                     std::process::exit(2);
                 });
+            }
+            "--tier" => {
+                i += 1;
+                let Some(t) = argv.get(i) else {
+                    eprintln!("--tier needs small|large|all");
+                    std::process::exit(2);
+                };
+                args.tier = t.clone();
+            }
+            "--scale-json" => {
+                i += 1;
+                let Some(path) = argv.get(i) else {
+                    eprintln!("--scale-json needs a path");
+                    std::process::exit(2);
+                };
+                args.scale_json = std::path::PathBuf::from(path);
+            }
+            "--min-events-per-sec" => {
+                i += 1;
+                args.min_events_per_sec =
+                    argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
+                        eprintln!("--min-events-per-sec needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--max-bytes-per-entity" => {
+                i += 1;
+                args.max_bytes_per_entity =
+                    argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
+                        eprintln!("--max-bytes-per-entity needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--min-ab-speedup" => {
+                i += 1;
+                args.min_ab_speedup = argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
+                    eprintln!("--min-ab-speedup needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--brokers" => {
+                i += 1;
+                args.brokers = argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
+                    eprintln!("--brokers needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--entities" => {
+                i += 1;
+                args.entities = argv.get(i).and_then(|v| v.parse().ok()).or_else(|| {
+                    eprintln!("--entities needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--topology" => {
+                i += 1;
+                let Some(t) = argv.get(i) else {
+                    eprintln!("--topology needs star|linear|geo|isp");
+                    std::process::exit(2);
+                };
+                args.topology = Some(t.clone());
             }
             // `--workers` is the documented spelling; `--threads` stays
             // as a compatibility alias for older scripts.
@@ -623,6 +709,19 @@ fn run_bench_cmd(args: &Args) {
         report.hot_path.speedup()
     );
     print_shard_scaling(&report.shard_scaling);
+    println!(
+        "scale probe: {} brokers / {} entities / {} subscriptions over {} region(s) — \
+         {} events, digest {:016x}, {}/{} attached, {:.0} events/sec",
+        report.scale.brokers,
+        report.scale.entities,
+        report.scale.subscriptions,
+        report.scale.regions,
+        report.scale.events,
+        report.scale.digest,
+        report.scale.attached,
+        report.scale.entities,
+        report.scale.events_per_sec()
+    );
     if let Err(e) = std::fs::write(&args.bench_json, report.to_json()) {
         eprintln!("cannot write {}: {e}", args.bench_json.display());
         std::process::exit(2);
@@ -918,6 +1017,150 @@ fn run_federation_cmd(args: &Args) {
     println!("all scenarios passed all invariants");
 }
 
+/// `repro scale`: runs the seeded WAN scale campaign through the
+/// sharded engine and writes the deterministic JSON report (wall-clock
+/// columns stay on stdout so the bytes are worker-count-invariant).
+/// Exits 1 when a tier fails to attach, an A/B oracle diverges, or a
+/// requested gate is missed.
+fn run_scale_cmd(args: &Args) {
+    use nb_bench::scale::{self, TierSelection, TierSpec};
+    use nb_net::topogen::TopologyKind as WanKind;
+
+    let workers = args.threads.unwrap_or(1).max(1);
+    let tiers: Vec<TierSpec> = if args.brokers.is_some()
+        || args.entities.is_some()
+        || args.topology.is_some()
+    {
+        let kind = match args.topology.as_deref().unwrap_or("geo") {
+            "star" => WanKind::Star,
+            "linear" => WanKind::Linear,
+            "geo" => WanKind::RandomGeometric,
+            "isp" => WanKind::HierarchicalIsp,
+            other => {
+                eprintln!("--topology {other}: expected star|linear|geo|isp");
+                std::process::exit(2);
+            }
+        };
+        vec![TierSpec {
+            name: "custom",
+            kind,
+            brokers: args.brokers.unwrap_or(100),
+            entities: args.entities.unwrap_or(10_000),
+        }]
+    } else {
+        let selection = match args.tier.as_str() {
+            "small" => TierSelection::Small,
+            "large" => TierSelection::Large,
+            "all" => TierSelection::All,
+            other => {
+                eprintln!("--tier {other}: expected small|large|all");
+                std::process::exit(2);
+            }
+        };
+        scale::default_tiers(selection)
+    };
+
+    println!(
+        "=== Scale campaign: {} tier(s), seed {}, {} worker(s), {} shards ===",
+        tiers.len(),
+        args.seed,
+        workers,
+        scale::SCALE_SHARDS
+    );
+    let report = scale::run_campaign(&tiers, args.seed, workers);
+    println!(
+        "{:<14} {:>7} {:>8} {:>4} {:>12} {:>9} {:>11} {:>9} {:>9} {:>9} {:>7} {:>7}",
+        "tier", "brokers", "entities", "rgns", "events", "evts/sec", "attach_ms",
+        "p50_us", "p99_us", "p999_us", "wire/e", "mem/e"
+    );
+    for t in &report.tiers {
+        println!(
+            "{:<14} {:>7} {:>8} {:>4} {:>12} {:>9.0} {:>11} {:>9} {:>9} {:>9} {:>7} {:>7}",
+            t.name,
+            t.brokers,
+            t.entities,
+            t.regions,
+            t.events,
+            t.events_per_sec(),
+            t.time_to_all_attached_us / 1_000,
+            t.discovery_p50_us,
+            t.discovery_p99_us,
+            t.discovery_p999_us,
+            t.wire_bytes_per_entity,
+            t.mem_bytes_per_entity,
+        );
+        if t.attached != t.entities {
+            eprintln!("    [FAIL] only {}/{} entities attached", t.attached, t.entities);
+        }
+    }
+    println!("--- slab A/B at campaign population ---");
+    println!(
+        "{:<26} {:>8} {:>7} {:>12} {:>12} {:>9} {:>7}",
+        "structure", "n", "rounds", "legacy ns/op", "slab ns/op", "speedup", "oracle"
+    );
+    for a in &report.ab {
+        println!(
+            "{:<26} {:>8} {:>7} {:>12.0} {:>12.0} {:>8.1}x {:>7}",
+            a.name,
+            a.n,
+            a.rounds,
+            a.legacy_ns_per_op,
+            a.slab_ns_per_op,
+            a.speedup(),
+            if a.oracle_match { "OK" } else { "FAIL" }
+        );
+    }
+
+    if let Err(e) = std::fs::write(&args.scale_json, report.to_json()) {
+        eprintln!("cannot write {}: {e}", args.scale_json.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", args.scale_json.display());
+
+    let mut failed = !report.passed();
+    if failed {
+        eprintln!("scale campaign FAILED (unattached entities, failovers, or oracle drift)");
+    }
+    if let Some(floor) = args.min_events_per_sec {
+        for t in &report.tiers {
+            if t.events_per_sec() < floor {
+                eprintln!(
+                    "[FAIL] {}: {:.0} events/sec below the {floor:.0} floor",
+                    t.name,
+                    t.events_per_sec()
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(ceiling) = args.max_bytes_per_entity {
+        for t in &report.tiers {
+            if t.alloc_counting && t.mem_bytes_per_entity > ceiling {
+                eprintln!(
+                    "[FAIL] {}: {} heap bytes/entity above the {ceiling} ceiling",
+                    t.name, t.mem_bytes_per_entity
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(min) = args.min_ab_speedup {
+        let clearing = report.ab.iter().filter(|a| a.speedup() >= min).count();
+        if clearing < 2 {
+            eprintln!(
+                "[FAIL] only {clearing}/{} A/B columns reached the {min:.1}x speedup gate \
+                 (need >= 2)",
+                report.ab.len()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("all tiers attached; every requested gate passed");
+}
+
 /// `repro lint`: runs the nb-lint static-analysis pass over the
 /// workspace and writes the deterministic JSON report. Exits 1 when new
 /// (un-suppressed, un-baselined) findings exist.
@@ -980,6 +1223,10 @@ fn main() {
     }
     if args.cmd == "lint" {
         run_lint_cmd(&args);
+        return;
+    }
+    if args.cmd == "scale" {
+        run_scale_cmd(&args);
         return;
     }
     run(&args.cmd, args.runs, args.seed, &args.csv);

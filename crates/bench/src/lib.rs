@@ -14,6 +14,7 @@ pub mod hotpath;
 pub mod parallel;
 pub mod report;
 pub mod routing;
+pub mod scale;
 
 use std::time::{Duration, Instant};
 

@@ -112,6 +112,63 @@ pub struct BenchReport {
     pub shard_scaling: ShardScaling,
     /// Isolated old-vs-new event-loop layout comparison.
     pub hot_path: HotPathBench,
+    /// The scale probe: one small `repro scale` tier driven end to end
+    /// (the full campaign lives behind `repro scale`).
+    pub scale: ScaleProbe,
+}
+
+/// A miniature scale-campaign tier run inside `repro bench`, heading
+/// the report with the population it drove. Wall numbers are fine here:
+/// BENCH_discovery.json is never byte-compared across invocations.
+#[derive(Debug, Clone)]
+pub struct ScaleProbe {
+    /// Brokers in the probe overlay.
+    pub brokers: usize,
+    /// Entities driven through discovery → attach → steady state.
+    pub entities: usize,
+    /// Subscriptions held by the fleet (one filter per entity).
+    pub subscriptions: usize,
+    /// Topology regions (== BDNs).
+    pub regions: usize,
+    /// Engine events processed.
+    pub events: u64,
+    /// Engine run digest.
+    pub digest: u64,
+    /// Entities attached at the end (must equal `entities`).
+    pub attached: usize,
+    /// Wall milliseconds for the probe.
+    pub wall_ms: f64,
+}
+
+impl ScaleProbe {
+    /// Engine throughput of the probe.
+    pub fn events_per_sec(&self) -> f64 {
+        rate(self.events, self.wall_ms)
+    }
+}
+
+/// Runs the miniature scale tier (random-geometric, 50 brokers, 1000
+/// entities) that heads BENCH_discovery.json with a `population` row.
+pub fn run_scale_probe(seed: u64) -> ScaleProbe {
+    use crate::scale::{run_tier, TierSpec};
+    use nb_net::topogen::TopologyKind as WanKind;
+    let spec = TierSpec {
+        name: "bench_probe",
+        kind: WanKind::RandomGeometric,
+        brokers: 50,
+        entities: 1_000,
+    };
+    let t = run_tier(&spec, seed, 1);
+    ScaleProbe {
+        brokers: t.brokers,
+        entities: t.entities,
+        subscriptions: t.entities,
+        regions: t.regions,
+        events: t.events,
+        digest: t.digest,
+        attached: t.attached,
+        wall_ms: t.wall_ms,
+    }
 }
 
 impl BenchReport {
@@ -157,6 +214,10 @@ impl BenchReport {
         out.push_str(&format!("  \"cores_detected\": {},\n", self.cores));
         out.push_str(&format!("  \"workers_used\": {},\n", self.workers));
         out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!(
+            "  \"population\": {{\"brokers\": {}, \"entities\": {}, \"subscriptions\": {}}},\n",
+            self.scale.brokers, self.scale.entities, self.scale.subscriptions
+        ));
         out.push_str(&format!("  \"events\": {},\n", self.events()));
         out.push_str(&format!("  \"serial_wall_ms\": {:.1},\n", self.serial_ms()));
         out.push_str(&format!("  \"parallel_wall_ms\": {:.1},\n", self.parallel_ms()));
@@ -209,11 +270,20 @@ impl BenchReport {
         out.push_str("    ]},\n");
         out.push_str(&format!(
             "  \"hot_path\": {{\"events\": {}, \"legacy_ns_per_event\": {:.1}, \
-             \"slab_ns_per_event\": {:.1}, \"speedup\": {:.2}}}\n",
+             \"slab_ns_per_event\": {:.1}, \"speedup\": {:.2}}},\n",
             self.hot_path.events,
             self.hot_path.legacy_ns_per_event,
             self.hot_path.slab_ns_per_event,
             self.hot_path.speedup(),
+        ));
+        out.push_str(&format!(
+            "  \"scale\": {{\"regions\": {}, \"events\": {}, \"digest\": \"{:016x}\", \
+             \"attached\": {}, \"events_per_sec\": {:.0}}}\n",
+            self.scale.regions,
+            self.scale.events,
+            self.scale.digest,
+            self.scale.attached,
+            self.scale.events_per_sec(),
         ));
         out.push_str("}\n");
         out
@@ -338,6 +408,7 @@ pub fn run_bench(seed: u64, runs: usize, workers: Option<usize>) -> BenchReport 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let shard_scaling = run_shard_scaling(seed, runs);
     let hot_path = run_hotpath_bench(HOTPATH_EVENTS);
+    let scale = run_scale_probe(seed);
     let mode = if serial_fallback { "serial-fallback" } else { "parallel" };
     BenchReport {
         seed,
@@ -348,6 +419,7 @@ pub fn run_bench(seed: u64, runs: usize, workers: Option<usize>) -> BenchReport 
         figures,
         shard_scaling,
         hot_path,
+        scale,
     }
 }
 

@@ -9,6 +9,7 @@
 //! suppression bounding the cost (paper §4's last-1000 cache).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -19,6 +20,7 @@ use nb_wire::{Endpoint, Event, Message, NodeId, Topic, TopicFilter, WireMsg, FLA
 use nb_net::{impl_actor_any, Actor, Context, Incoming, SimTime};
 
 use crate::metrics::{MachineProfile, UsageMeter};
+use crate::tables::DenseNodeTable;
 use crate::topics::{Destination, SubscriptionTable};
 
 /// Timer token namespace reserved by the broker (owners embedding a
@@ -142,8 +144,8 @@ impl InterestState {
 /// owner to act on.
 pub struct Broker {
     cfg: BrokerConfig,
-    links: BTreeMap<NodeId, LinkState>,
-    clients: BTreeMap<NodeId, ClientState>,
+    links: DenseNodeTable<LinkState>,
+    clients: DenseNodeTable<ClientState>,
     subs: SubscriptionTable,
     /// Per-filter interest sources (local clients + per-link counts),
     /// driving per-neighbour split-horizon advertisement: filter `F` is
@@ -151,6 +153,11 @@ pub struct Broker {
     /// contribution* is non-zero. Ordered maps keep message emission
     /// deterministic under a fixed seed.
     interest: BTreeMap<TopicFilter, InterestState>,
+    /// Memoized sorted snapshot of `interest`'s key set, shared (not
+    /// cloned) by the link-up reconcile sweep; invalidated whenever a
+    /// filter enters or leaves the interest map. `interest_filters` is
+    /// the uncached oracle it is tested against.
+    interest_snapshot: Option<Arc<[TopicFilter]>>,
     /// Which (neighbour, filter) advertisements are currently active.
     advertised: BTreeSet<(NodeId, TopicFilter)>,
     event_dedup: BoundedDedup<Uuid>,
@@ -169,10 +176,11 @@ impl Broker {
         let dedup = cfg.dedup_capacity;
         Broker {
             cfg,
-            links: BTreeMap::new(),
-            clients: BTreeMap::new(),
+            links: DenseNodeTable::new(),
+            clients: DenseNodeTable::new(),
             subs: SubscriptionTable::new(),
             interest: BTreeMap::new(),
+            interest_snapshot: None,
             advertised: BTreeSet::new(),
             event_dedup: BoundedDedup::new(dedup),
             meter,
@@ -199,12 +207,12 @@ impl Broker {
 
     /// Whether an established link to `peer` exists.
     pub fn is_linked(&self, peer: NodeId) -> bool {
-        self.links.get(&peer).is_some_and(|l| l.established)
+        self.links.get(peer).is_some_and(|l| l.established)
     }
 
     /// Whether `client` is connected.
     pub fn has_client(&self, client: NodeId) -> bool {
-        self.clients.contains_key(&client)
+        self.clients.contains_key(client)
     }
 
     /// Overrides the client-connection cap at runtime (tests and
@@ -213,10 +221,23 @@ impl Broker {
         self.cfg.max_clients = max;
     }
 
-    /// Diagnostic: the distinct filters in this broker's aggregate
-    /// interest, sorted.
+    /// Diagnostic and oracle: the distinct filters in this broker's
+    /// aggregate interest, sorted — rebuilt from scratch on every call.
+    /// The hot path uses [`Broker::shared_interest_filters`] instead;
+    /// the two must always agree (see `interest_snapshot_tracks_oracle`).
     pub fn interest_filters(&self) -> Vec<TopicFilter> {
         self.interest.keys().cloned().collect()
+    }
+
+    /// The memoized shared snapshot of the interest filter set. Rebuilt
+    /// only after a filter entered or left the map; every other call is
+    /// one `Arc` bump instead of the per-rebroadcast
+    /// `keys().cloned().collect()` the flood path used to pay.
+    pub fn shared_interest_filters(&mut self) -> Arc<[TopicFilter]> {
+        if self.interest_snapshot.is_none() {
+            self.interest_snapshot = Some(self.interest.keys().cloned().collect());
+        }
+        Arc::clone(self.interest_snapshot.as_ref().expect("memoized above"))
     }
 
     /// Diagnostic: destinations whose filters match `topic`.
@@ -291,7 +312,7 @@ impl Broker {
         msg: WireMsg,
         ctx: &mut dyn Context,
     ) -> Vec<Event> {
-        if let Some(link) = self.links.get_mut(&from.node) {
+        if let Some(link) = self.links.get_mut(from.node) {
             link.last_heard = ctx.now();
         }
         // Peek-dedup fast path (paper §4's last-1000 cache): a `Publish`
@@ -326,14 +347,14 @@ impl Broker {
             }
             Message::Heartbeat { .. } => { /* freshness already recorded */ }
             Message::Subscribe { filter, .. }
-                if self.links.contains_key(&from.node) => {
+                if self.links.contains_key(from.node) => {
                     let first = self.subs.subscribe(Destination::Link(from.node), filter.clone());
                     if first {
                         self.interest_gained(filter, Some(from.node), ctx);
                     }
                 }
             Message::Unsubscribe { filter, .. }
-                if self.links.contains_key(&from.node) => {
+                if self.links.contains_key(from.node) => {
                     let gone = self.subs.unsubscribe(Destination::Link(from.node), &filter);
                     if gone {
                         self.interest_lost(filter, Some(from.node), ctx);
@@ -352,21 +373,21 @@ impl Broker {
                 ctx.send_stream(well_known::BROKER, Endpoint::new(client, reply_port), &ack);
             }
             Message::ClientSubscribe { filter }
-                if self.clients.contains_key(&from.node) => {
+                if self.clients.contains_key(from.node) => {
                     let first = self.subs.subscribe(Destination::Client(from.node), filter.clone());
                     if first {
                         self.interest_gained(filter, None, ctx);
                     }
                 }
             Message::ClientUnsubscribe { filter }
-                if self.clients.contains_key(&from.node) => {
+                if self.clients.contains_key(from.node) => {
                     let gone = self.subs.unsubscribe(Destination::Client(from.node), &filter);
                     if gone {
                         self.interest_lost(filter, None, ctx);
                     }
                 }
             Message::ClientDisconnect { client }
-                if self.clients.remove(&client).is_some() => {
+                if self.clients.remove(client).is_some() => {
                     for filter in self.subs.remove_destination(Destination::Client(client)) {
                         self.interest_lost(filter, None, ctx);
                     }
@@ -378,7 +399,7 @@ impl Broker {
 
     fn link_up(&mut self, peer: NodeId, peer_v2: bool, ctx: &mut dyn Context) {
         let now = ctx.now();
-        let entry = self.links.entry(peer).or_insert(LinkState {
+        let entry = self.links.get_or_insert_with(peer, || LinkState {
             endpoint: Endpoint::new(peer, well_known::BROKER),
             established: false,
             last_heard: now,
@@ -392,15 +413,19 @@ impl Broker {
         }
         entry.established = true;
         entry.last_heard = now;
-        // Sync interest to the new neighbour.
-        let filters: Vec<TopicFilter> = self.interest.keys().cloned().collect();
-        for filter in filters {
-            self.reconcile_advertisements(&filter, ctx);
+        // Sync interest to the new neighbour. The shared snapshot makes
+        // this O(1) allocations instead of cloning every filter on each
+        // peer (re)advertisement; `reconcile_advertisements` never
+        // changes the filter *set*, so the snapshot stays valid across
+        // the sweep.
+        let filters = self.shared_interest_filters();
+        for filter in filters.iter() {
+            self.reconcile_advertisements(filter, ctx);
         }
     }
 
     fn link_down(&mut self, peer: NodeId, ctx: &mut dyn Context) {
-        if self.links.remove(&peer).is_none() {
+        if self.links.remove(peer).is_none() {
             return;
         }
         self.advertised.retain(|(p, _)| *p != peer);
@@ -412,6 +437,7 @@ impl Broker {
                 state.links.remove(&peer);
                 if state.total() == 0 {
                     self.interest.remove(&filter);
+                    self.interest_snapshot = None;
                 }
             }
             self.reconcile_advertisements(&filter, ctx);
@@ -422,6 +448,9 @@ impl Broker {
     /// `source` is `None`, otherwise the link it arrived on) and
     /// reconciles the per-neighbour advertisements.
     fn interest_gained(&mut self, filter: TopicFilter, source: Option<NodeId>, ctx: &mut dyn Context) {
+        if !self.interest.contains_key(&filter) {
+            self.interest_snapshot = None;
+        }
         let state = self.interest.entry(filter.clone()).or_default();
         match source {
             None => state.local += 1,
@@ -448,6 +477,7 @@ impl Broker {
         }
         if state.total() == 0 {
             self.interest.remove(&filter);
+            self.interest_snapshot = None;
         }
         self.reconcile_advertisements(&filter, ctx);
     }
@@ -460,7 +490,7 @@ impl Broker {
         let peers: Vec<(NodeId, Endpoint, bool, bool)> = self
             .links
             .iter()
-            .map(|(&p, l)| (p, l.endpoint, l.established, l.peer_v2))
+            .map(|(p, l)| (p, l.endpoint, l.established, l.peer_v2))
             .collect();
         for (peer, endpoint, established, peer_v2) in peers {
             if !established {
@@ -542,7 +572,7 @@ impl Broker {
                     if Some(c) == source {
                         continue;
                     }
-                    if let Some(client) = self.clients.get(&c) {
+                    if let Some(client) = self.clients.get(c) {
                         ctx.send_stream_wire(well_known::BROKER, client.endpoint, &msg);
                     }
                 }
@@ -553,7 +583,7 @@ impl Broker {
                     if Some(l) == source {
                         continue;
                     }
-                    if let (Some(link), Some(fwd)) = (self.links.get(&l), fwd.as_ref()) {
+                    if let (Some(link), Some(fwd)) = (self.links.get(l), fwd.as_ref()) {
                         if link.established {
                             if link.peer_v2 {
                                 ctx.send_stream_v2(well_known::BROKER, link.endpoint, fwd);
@@ -567,7 +597,7 @@ impl Broker {
         }
         if flood {
             if let Some(fwd) = fwd.as_ref() {
-                for (&peer, link) in &self.links {
+                for (peer, link) in self.links.iter() {
                     if !link.established || Some(peer) == source {
                         continue;
                     }
@@ -592,7 +622,7 @@ impl Broker {
         let deadline = self.cfg.heartbeat_interval * self.cfg.heartbeat_misses;
         let now = ctx.now();
         let mut dead: Vec<NodeId> = Vec::new();
-        for (&peer, link) in &self.links {
+        for (peer, link) in self.links.iter() {
             if !link.established {
                 continue;
             }
@@ -851,6 +881,36 @@ mod tests {
         assert!(sim.actor::<BrokerActor>(a).unwrap().broker.is_linked(b));
         assert!(sim.actor::<BrokerActor>(b).unwrap().broker.is_linked(a));
         assert_eq!(sim.stats().segments_sent, 0, "mixed-version link must stay v1");
+    }
+
+    #[test]
+    fn interest_snapshot_tracks_oracle() {
+        use crate::client::PubSubClient;
+        let mut sim = quiet_sim();
+        let a = sim.add_node("a", RealmId(0), Box::new(BrokerActor::new(broker_cfg(vec![]))));
+        let b = sim.add_node("b", RealmId(0), Box::new(BrokerActor::new(broker_cfg(vec![a]))));
+        let f1 = TopicFilter::parse("sports/*").unwrap();
+        let f2 = TopicFilter::parse("news/**").unwrap();
+        let _s1 = sim.add_node("s1", RealmId(0), Box::new(PubSubClient::new(a, vec![f1])));
+        let _s2 = sim.add_node("s2", RealmId(0), Box::new(PubSubClient::new(b, vec![f2])));
+        sim.run_for(Duration::from_secs(2));
+        // Growth: both brokers hold local + link-learned interest.
+        for node in [a, b] {
+            let broker = &mut sim.actor_mut::<BrokerActor>(node).unwrap().broker;
+            let snap = broker.shared_interest_filters();
+            assert_eq!(snap.to_vec(), broker.interest_filters(), "snapshot == oracle after growth");
+            assert_eq!(snap.len(), 2);
+            // A second call shares the same allocation (memoized).
+            assert!(Arc::ptr_eq(&snap, &broker.shared_interest_filters()));
+        }
+        // Shrink: kill b, let a's heartbeats reap the link and its
+        // interest contribution — the snapshot must follow.
+        sim.crash(b);
+        sim.run_for(Duration::from_secs(30));
+        let broker = &mut sim.actor_mut::<BrokerActor>(a).unwrap().broker;
+        let oracle = broker.interest_filters();
+        assert_eq!(oracle.len(), 1, "link-learned filter must be gone");
+        assert_eq!(broker.shared_interest_filters().to_vec(), oracle, "snapshot == oracle after shrink");
     }
 
     #[test]

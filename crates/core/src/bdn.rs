@@ -150,12 +150,43 @@ pub fn injection_order(targets: &[(NodeId, Option<u64>)]) -> Vec<NodeId> {
     order
 }
 
+/// Memoized live-lease view of the registry: the FNV fold over the
+/// sorted live leases (plus the section separator) and the wire-ready
+/// record list, both exactly as [`Bdn::registry_digest`] /
+/// [`Bdn::live_lease_records`] would rebuild them. Valid while the
+/// registry generation is unchanged AND no included lease has lapsed
+/// (`valid_until_us` is the earliest included expiry) — the two ways
+/// the live set can move without a wire event.
+#[derive(Debug)]
+struct LeaseCache {
+    /// Registry generation this view was computed against.
+    version: u64,
+    /// When it was computed (a cache is never served backwards in time).
+    computed_at: SimTime,
+    /// Earliest `expires_at` among the included leases (µs); `u64::MAX`
+    /// when the live set is empty.
+    valid_until_us: u64,
+    /// FNV state over the sorted live leases and the `0xFF` separator;
+    /// tombstones are folded on top per call (they can change without a
+    /// registry mutation, e.g. federation pruning).
+    lease_digest: u64,
+    /// Wire-ready snapshot, in registry (NodeId) order.
+    records: Vec<LeaseRecord>,
+}
+
 /// The BDN actor.
 pub struct Bdn {
     cfg: BdnConfig,
     /// Ordered so that registry sweeps and key collection are
     /// deterministic regardless of insertion history (lint rule D002).
     registry: BTreeMap<NodeId, Registered>,
+    /// Bumped on every mutation that can change the live-lease view
+    /// (ad upsert, expiry sweep, sync merge, tombstone removal) — NOT on
+    /// RTT refreshes, which the digest and records exclude by design.
+    registry_version: u64,
+    /// Per-round memo replacing the old rebuild of the digest and the
+    /// `live_lease_records` Vec on every federation round / digest probe.
+    lease_cache: Option<LeaseCache>,
     dedup: BoundedDedup<Uuid>,
     ping_nonces: HashMap<u64, (NodeId, SimTime)>,
     next_nonce: u64,
@@ -205,6 +236,8 @@ impl Bdn {
         Bdn {
             cfg,
             registry: BTreeMap::new(),
+            registry_version: 0,
+            lease_cache: None,
             dedup,
             ping_nonces: HashMap::new(),
             next_nonce: 1,
@@ -284,8 +317,9 @@ impl Bdn {
         h
     }
 
-    /// Wire-ready snapshot of the live leases at `now`.
-    fn live_lease_records(&self, now: SimTime) -> Vec<LeaseRecord> {
+    /// Wire-ready snapshot of the live leases at `now` — the uncached
+    /// oracle [`LeaseCache::records`] must always match.
+    pub fn live_lease_records(&self, now: SimTime) -> Vec<LeaseRecord> {
         self.registry
             .values()
             .filter(|reg| now <= reg.expires_at)
@@ -294,6 +328,71 @@ impl Bdn {
                 expires_at_us: reg.expires_at.as_micros(),
             })
             .collect()
+    }
+
+    /// Rebuilds the lease cache iff it cannot be proven current: the
+    /// registry generation moved, time ran backwards past the compute
+    /// point (never in one run, but cheap to guard), or a cached lease
+    /// lapsed since. At quiescence — the common federation steady state —
+    /// every round hits the memo and pays O(tombstones), not O(registry).
+    fn ensure_lease_cache(&mut self, now: SimTime) -> &LeaseCache {
+        let fresh = self.lease_cache.as_ref().is_some_and(|c| {
+            c.version == self.registry_version
+                && c.computed_at <= now
+                && now.as_micros() <= c.valid_until_us
+        });
+        if !fresh {
+            let mut h = federation::FNV_OFFSET;
+            let mut w = WireWriter::new();
+            let mut records = Vec::with_capacity(self.registry.len());
+            let mut valid_until_us = u64::MAX;
+            for (broker, reg) in &self.registry {
+                if now > reg.expires_at {
+                    continue;
+                }
+                h = federation::fnv1a64_step(h, &broker.0.to_le_bytes());
+                h = federation::fnv1a64_step(h, &reg.ad.issued_at_utc.to_le_bytes());
+                w.clear();
+                reg.ad.encode(&mut w);
+                h = federation::fnv1a64_step(h, w.as_slice());
+                valid_until_us = valid_until_us.min(reg.expires_at.as_micros());
+                records.push(LeaseRecord { ad: reg.ad.clone(), expires_at_us: reg.expires_at.as_micros() });
+            }
+            h = federation::fnv1a64_step(h, &[0xFF]);
+            self.lease_cache = Some(LeaseCache {
+                version: self.registry_version,
+                computed_at: now,
+                valid_until_us,
+                lease_digest: h,
+                records,
+            });
+        }
+        // Both branches leave `lease_cache` populated; the insert arm is
+        // the empty-registry view, kept so no panic path exists here
+        // (lint rule D004).
+        let version = self.registry_version;
+        self.lease_cache.get_or_insert_with(|| LeaseCache {
+            version,
+            computed_at: now,
+            valid_until_us: u64::MAX,
+            lease_digest: federation::fnv1a64_step(federation::FNV_OFFSET, &[0xFF]),
+            records: Vec::new(),
+        })
+    }
+
+    /// [`Bdn::registry_digest`] through the memo: the cached lease fold
+    /// plus a per-call tombstone fold (tombstones move independently of
+    /// the registry). Equality with the oracle is pinned by
+    /// `lease_cache_tracks_digest_and_records_oracles`.
+    pub fn cached_registry_digest(&mut self, now: SimTime) -> u64 {
+        let mut h = self.ensure_lease_cache(now).lease_digest;
+        if let Some(fed) = &self.federation {
+            for (broker, t) in fed.tombstones() {
+                h = federation::fnv1a64_step(h, &broker.0.to_le_bytes());
+                h = federation::fnv1a64_step(h, &t.to_le_bytes());
+            }
+        }
+        h
     }
 
     fn register_ad(&mut self, ad: BrokerAdvertisement, ctx: &mut dyn Context) {
@@ -335,6 +434,7 @@ impl Bdn {
         entry.ad = ad;
         entry.last_seen = now;
         entry.expires_at = expires_at;
+        self.registry_version += 1;
         self.ads_registered += 1;
         if self.cfg.auto_attach && !self.cfg.attached_brokers.contains(&broker) {
             self.cfg.attached_brokers.push(broker);
@@ -370,6 +470,7 @@ impl Bdn {
         }
         let expired = before - self.registry.len();
         if expired > 0 {
+            self.registry_version += 1;
             self.ads_expired += expired as u64;
             if self.cfg.auto_attach {
                 // Auto-managed attachments follow the registry; pinned
@@ -482,7 +583,7 @@ impl Bdn {
             None => return,
         };
         if let Some(peer) = partner {
-            let digest = self.registry_digest(ctx.now());
+            let digest = self.cached_registry_digest(ctx.now());
             let probe = Message::FederationSync(FederationSync {
                 from: me,
                 phase: SyncPhase::Digest,
@@ -498,8 +599,8 @@ impl Bdn {
     /// Sends a full snapshot (live leases + tombstones) to `peer`.
     fn send_sync_snapshot(&mut self, peer: NodeId, phase: SyncPhase, ctx: &mut dyn Context) {
         let now = ctx.now();
-        let digest = self.registry_digest(now);
-        let leases = self.live_lease_records(now);
+        let digest = self.cached_registry_digest(now);
+        let leases = self.ensure_lease_cache(now).records.clone();
         let tombstones = match self.federation.as_mut() {
             Some(fed) => {
                 fed.stats.entries_pushed += leases.len() as u64;
@@ -532,7 +633,7 @@ impl Bdn {
         }
         match sync.phase {
             SyncPhase::Digest => {
-                let mine = self.registry_digest(ctx.now());
+                let mine = self.cached_registry_digest(ctx.now());
                 if let Some(fed) = self.federation.as_mut() {
                     if mine == sync.digest {
                         fed.stats.digests_matched += 1;
@@ -611,6 +712,7 @@ impl Bdn {
                     expires_at: SimTime::from_micros(rec.expires_at_us),
                 },
             );
+            self.registry_version += 1;
             if let Some(fed) = self.federation.as_mut() {
                 fed.stats.entries_pulled += 1;
             }
@@ -639,6 +741,7 @@ impl Bdn {
                 return;
             }
             self.registry.remove(&broker);
+            self.registry_version += 1;
             if self.cfg.auto_attach {
                 self.cfg.attached_brokers.retain(|&b| b != broker);
                 self.attach_ok.remove(&broker);
@@ -947,6 +1050,51 @@ mod tests {
         a.on_federation_sync(probe, NodeId(201), &mut ctx);
         assert_eq!(ctx.sent.len(), sent_before, "matched digest sends nothing");
         assert_eq!(a.federation().map(|f| f.stats.digests_matched), Some(1));
+    }
+
+    #[test]
+    fn lease_cache_tracks_digest_and_records_oracles() {
+        let mut bdn = fed_bdn(false);
+        let mut ctx = FakeCtx::new();
+        let check = |bdn: &mut Bdn, now: SimTime, label: &str| {
+            assert_eq!(
+                bdn.cached_registry_digest(now),
+                bdn.registry_digest(now),
+                "digest memo diverged from oracle: {label}"
+            );
+            let cached = bdn.lease_cache.as_ref().expect("cache populated").records.clone();
+            let oracle = bdn.live_lease_records(now);
+            assert_eq!(cached.len(), oracle.len(), "record memo diverged: {label}");
+            for (c, o) in cached.iter().zip(&oracle) {
+                assert_eq!(c.ad.broker, o.ad.broker, "{label}");
+                assert_eq!(c.expires_at_us, o.expires_at_us, "{label}");
+            }
+        };
+        check(&mut bdn, ctx.now, "empty registry");
+        // Growth via direct ads.
+        for b in [5u32, 9, 3] {
+            bdn.register_ad(ad_for(b, 10 + u64::from(b)), &mut ctx);
+            check(&mut bdn, ctx.now, "after register_ad");
+        }
+        // A refresh (same broker, newer stamp) changes the digest too.
+        bdn.register_ad(ad_for(5, 40), &mut ctx);
+        check(&mut bdn, ctx.now, "after lease refresh");
+        // RTT update must NOT invalidate (excluded from the view) — and
+        // must not change either side.
+        let before = bdn.cached_registry_digest(ctx.now);
+        bdn.registry.get_mut(&NodeId(5)).unwrap().rtt_us = Some(123);
+        check(&mut bdn, ctx.now, "after rtt refresh");
+        assert_eq!(bdn.cached_registry_digest(ctx.now), before);
+        // Pure time advance past a lease's expiry: no mutation, but the
+        // live set shrinks — valid_until must catch it.
+        let past_expiry = ctx.now + bdn.cfg.ad_ttl + Duration::from_secs(1);
+        check(&mut bdn, past_expiry, "after silent expiry");
+        assert_eq!(bdn.live_lease_records(past_expiry).len(), 0);
+        // Tombstones fold per call: removing via a peer tombstone moves
+        // both the registry and the tombstone set.
+        bdn.register_ad(ad_for(7, 99), &mut ctx);
+        bdn.apply_peer_tombstone(NodeId(7), 100);
+        check(&mut bdn, ctx.now, "after tombstone removal");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::config::{DiscoveryConfig, RetryPolicy};
 
 const TIMER_KEEPALIVE: u64 = 0xE171_0000_0000_0001;
 const TIMER_FLUSH: u64 = 0xE171_0000_0000_0002;
+const TIMER_START_DELAY: u64 = 0xE171_0000_0000_0003;
 /// Discovery-client timers live in this namespace (see `client.rs`).
 const DISCOVERY_TIMER_PREFIX: u64 = 0xD15C_0000_0000_0000;
 
@@ -48,6 +49,15 @@ pub struct Entity {
     outbox: VecDeque<(Topic, Vec<u8>)>,
     keepalive_interval: Duration,
     keepalive_misses: u32,
+    /// Outbox drain cadence while attached. The 50 ms default is right
+    /// for a handful of chatty entities; the scale suite stretches it so
+    /// 1e5+ mostly-idle entities do not each contribute 20 timer events
+    /// per virtual second to the engine.
+    flush_interval: Duration,
+    /// When set, `on_start` arms a one-shot timer for this delay instead
+    /// of discovering immediately — the scale campaign staggers entity
+    /// start-up so 1e5 discoveries do not land on the same instant.
+    start_delay: Option<Duration>,
     /// Stranded-retry schedule: capped exponential with jitter, so a
     /// fleet of entities stranded by the same outage desynchronises its
     /// re-discovery attempts instead of producing a retry storm.
@@ -89,6 +99,8 @@ impl Entity {
             outbox: VecDeque::new(),
             keepalive_interval: Duration::from_secs(2),
             keepalive_misses: 3,
+            flush_interval: Duration::from_millis(50),
+            start_delay: None,
             // First retry ~5 s (the historical fixed backoff), doubling
             // to a 60 s cap with ±10% jitter.
             retry_policy: RetryPolicy::new(
@@ -141,6 +153,37 @@ impl Entity {
         self.retry_policy = policy;
     }
 
+    /// Overrides the keepalive ping cadence (default 2 s). Population
+    /// knob: at 1e5 entities the default is 5e4 pings per virtual
+    /// second; failure detection latency scales with it accordingly.
+    pub fn set_keepalive_interval(&mut self, interval: Duration) {
+        self.keepalive_interval = interval;
+    }
+
+    /// Overrides the outbox drain cadence (default 50 ms); see
+    /// [`Entity::set_keepalive_interval`] for the population rationale.
+    pub fn set_flush_interval(&mut self, interval: Duration) {
+        self.flush_interval = interval;
+    }
+
+    /// Delays the initial discovery by `delay` after start (staggered
+    /// ramp-up for population runs). Only affects the first discovery;
+    /// failover rediscovery is immediate as ever. Call before the actor
+    /// starts: the embedded discovery client is rebuilt without
+    /// auto-start so the one-shot timer is the sole trigger.
+    pub fn set_start_delay(&mut self, delay: Duration) {
+        self.start_delay = Some(delay);
+        let cfg = self.discovery.config_mut().clone();
+        self.discovery = DiscoveryClient::with_auto_start(cfg, false);
+    }
+
+    /// Replaces the receive-dedup cache with one of `capacity`, pre-sized
+    /// for `expected` keys (see [`BoundedDedup::with_expected`]). Call
+    /// before traffic flows: the cache contents are reset.
+    pub fn set_dedup_capacity(&mut self, capacity: usize, expected: usize) {
+        self.dedup = BoundedDedup::with_expected(capacity, expected);
+    }
+
     /// Extends the discovery client's BDN rotation with federated peers
     /// (see [`DiscoveryClient::federate_bdns`]): entity discovery then
     /// survives the loss of every originally-configured BDN.
@@ -186,7 +229,7 @@ impl Entity {
         }
         self.flush(ctx);
         ctx.set_timer(self.keepalive_interval, TIMER_KEEPALIVE);
-        ctx.set_timer(Duration::from_millis(50), TIMER_FLUSH);
+        ctx.set_timer(self.flush_interval, TIMER_FLUSH);
     }
 
     fn flush(&mut self, ctx: &mut dyn Context) {
@@ -264,6 +307,10 @@ impl Entity {
 
 impl Actor for Entity {
     fn on_start(&mut self, ctx: &mut dyn Context) {
+        if let Some(delay) = self.start_delay {
+            ctx.set_timer(delay, TIMER_START_DELAY);
+            return;
+        }
         self.discovery.on_start(ctx);
         self.check_discovery_progress(ctx);
     }
@@ -285,8 +332,13 @@ impl Actor for Entity {
             Incoming::Timer { token: TIMER_FLUSH } => {
                 if matches!(self.state, EntityState::Attached(_)) {
                     self.flush(ctx);
-                    ctx.set_timer(Duration::from_millis(50), TIMER_FLUSH);
+                    ctx.set_timer(self.flush_interval, TIMER_FLUSH);
                 }
+                return;
+            }
+            Incoming::Timer { token: TIMER_START_DELAY } => {
+                self.discovery.begin(ctx);
+                self.check_discovery_progress(ctx);
                 return;
             }
             Incoming::Timer { token } if *token & 0xFFFF_0000_0000_0000 == DISCOVERY_TIMER_PREFIX => {

@@ -33,6 +33,7 @@ pub mod shard;
 pub mod sim;
 pub mod threaded;
 pub mod time;
+pub mod topogen;
 pub mod wan;
 
 pub use chaos::{ChaosProfile, ChaosScheduler, ChaosTargets, Fault, FaultPlan, PacketFaults, TimedFault};
@@ -43,6 +44,7 @@ pub use shard::{DiscoveryEngine, ShardPlan, ShardRespawnFn, ShardedSim};
 pub use sim::{NetStats, RespawnFn, Sim, TraceRecord, WireV2Config};
 pub use threaded::ThreadedNet;
 pub use time::SimTime;
+pub use topogen::{TopologyKind, TopologySpec, WanTopology};
 pub use wan::{Site, WanModel};
 
 /// Re-export of the wire-level address types for convenience.

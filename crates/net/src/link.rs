@@ -314,6 +314,19 @@ impl NetworkModel {
         min
     }
 
+    /// Explicit per-pair link overrides, ascending by normalised
+    /// `(low, high)` key. Sparse-topology consumers — the shard planner
+    /// above ~2k nodes, topology generators — walk this instead of
+    /// probing all O(n²) pairs through [`NetworkModel::spec_between`].
+    pub fn link_overrides(&self) -> impl Iterator<Item = (NodeId, NodeId, &LinkSpec)> + '_ {
+        self.overrides.iter().map(|(&(a, b), s)| (a, b, s))
+    }
+
+    /// Registered nodes and their realms, ascending by node id.
+    pub fn registered_nodes(&self) -> impl Iterator<Item = (NodeId, RealmId)> + '_ {
+        self.realms.iter().map(|(&n, &r)| (n, r))
+    }
+
     /// Multicast recipients for a sender: members of `group` in the
     /// sender's realm, excluding the sender itself. Multicast never
     /// crosses realms.

@@ -112,59 +112,96 @@ pub struct ShardPlan {
     pub assignment: Vec<usize>,
 }
 
+/// Above this node count the planner stops materialising all O(n²)
+/// pairs and clusters from the *sparse* view of the model instead:
+/// explicit link overrides plus a per-realm chain. Both paths are pure
+/// functions of the model, and the plan never affects results — only
+/// which worker runs which LP.
+const DENSE_PARTITION_NODES: usize = 2048;
+
+/// Union-find `find` with path halving. Roots are kept at the smallest
+/// member id (see `union` below), matching the label-relabel scheme the
+/// dense planner historically used, so cluster identity — and therefore
+/// the dealt assignment — is unchanged by the union-find rewrite.
+fn uf_find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
 impl ShardPlan {
     /// Partitions `nodes` logical processes into at most `shards` groups.
     pub fn partition(net: &NetworkModel, nodes: usize, shards: usize) -> ShardPlan {
         let shards = shards.clamp(1, nodes.max(1));
         let cap = nodes.div_ceil(shards);
-        // Every reachable pair, cheapest link first; ties break on the
-        // pair's ids so the ordering is total and deterministic.
+        // Candidate edges, cheapest link first; ties break on the pair's
+        // ids so the ordering is total and deterministic.
         let mut edges: Vec<(Duration, usize, usize)> = Vec::new();
-        for a in 0..nodes {
-            for b in (a + 1)..nodes {
-                if let Some(spec) = net.spec_between(NodeId(a as u32), NodeId(b as u32)) {
-                    edges.push((spec.latency, a, b));
+        if nodes <= DENSE_PARTITION_NODES {
+            // Every reachable pair (the historical exact path).
+            for a in 0..nodes {
+                for b in (a + 1)..nodes {
+                    if let Some(spec) = net.spec_between(NodeId(a as u32), NodeId(b as u32)) {
+                        edges.push((spec.latency, a, b));
+                    }
                 }
+            }
+        } else {
+            // Sparse path: a realm's members form an intra-realm-latency
+            // chain (enough connectivity to co-locate the realm without
+            // materialising its clique), plus every explicit override.
+            let mut prev_by_realm: BTreeMap<RealmId, usize> = BTreeMap::new();
+            for (n, realm) in net.registered_nodes() {
+                let idx = n.0 as usize;
+                if idx >= nodes {
+                    continue;
+                }
+                if let Some(prev) = prev_by_realm.insert(realm, idx) {
+                    edges.push((net.intra_realm_spec.latency, prev, idx));
+                }
+            }
+            for (a, b, spec) in net.link_overrides() {
+                let (ai, bi) = (a.0 as usize, b.0 as usize);
+                if a == b || ai >= nodes || bi >= nodes {
+                    continue;
+                }
+                edges.push((spec.latency, ai, bi));
             }
         }
         edges.sort();
-        let mut cluster_of: Vec<usize> = (0..nodes).collect();
+        // Kruskal-style greedy merge under the capacity bound, on a
+        // union-find whose roots stay at each cluster's smallest id.
+        let mut parent: Vec<usize> = (0..nodes).collect();
         let mut sizes: Vec<usize> = vec![1; nodes];
         let mut count = nodes;
         for (_, a, b) in edges {
             if count <= shards {
                 break;
             }
-            let (ca, cb) = (cluster_of[a], cluster_of[b]);
-            if ca == cb || sizes[ca] + sizes[cb] > cap {
+            let (ra, rb) = (uf_find(&mut parent, a), uf_find(&mut parent, b));
+            if ra == rb || sizes[ra] + sizes[rb] > cap {
                 continue;
             }
-            let (keep, gone) = (ca.min(cb), ca.max(cb));
-            for c in cluster_of.iter_mut() {
-                if *c == gone {
-                    *c = keep;
-                }
-            }
+            let (keep, gone) = (ra.min(rb), ra.max(rb));
+            parent[gone] = keep;
             sizes[keep] += sizes[gone];
-            sizes[gone] = 0;
             count -= 1;
         }
         // Flatten clusters (ordered by smallest member id, members
         // ascending) and deal sequentially into capacity-`cap` groups:
         // cluster members stay adjacent, so a cluster splits across
         // groups only when a capacity boundary forces it.
+        let mut order: Vec<(usize, usize)> = Vec::with_capacity(nodes);
+        for v in 0..nodes {
+            let root = uf_find(&mut parent, v);
+            order.push((root, v));
+        }
+        order.sort_unstable();
         let mut assignment = vec![0usize; nodes];
-        let mut dealt = 0usize;
-        for lead in 0..nodes {
-            if cluster_of[lead] != lead {
-                continue;
-            }
-            for v in lead..nodes {
-                if cluster_of[v] == lead {
-                    assignment[v] = dealt / cap;
-                    dealt += 1;
-                }
-            }
+        for (dealt, &(_, v)) in order.iter().enumerate() {
+            assignment[v] = dealt / cap;
         }
         ShardPlan { shards, assignment }
     }
@@ -706,9 +743,25 @@ impl Context for LpCtx<'_> {
 struct EpochTask {
     gidx: usize,
     lps: Vec<Lp>,
+    /// Slots (within `lps`) that actually have events this epoch; the
+    /// worker touches only these, so a mostly-idle group costs O(active)
+    /// rather than O(group).
+    active_slots: Vec<usize>,
     net: Arc<NetworkModel>,
     pf: PacketFaults,
     horizon: SimTime,
+}
+
+/// Cached topology products: the shard plan and the lookahead window,
+/// both pure functions of the network model. Recomputed whenever the
+/// model may have changed ([`ShardedSim::network_mut`], node additions)
+/// — so every `run_until` sees exactly the values an uncached run would
+/// have derived, without paying the O(n²)/O(E) planning walk per call.
+struct TopoCache {
+    plan: ShardPlan,
+    lookahead: Duration,
+    nodes: usize,
+    shards: usize,
 }
 
 /// The sharded simulator. API mirrors [`Sim`] (construction, node
@@ -728,6 +781,7 @@ pub struct ShardedSim {
     gseq: u64,
     workers: usize,
     shards: Option<usize>,
+    topo_cache: Option<TopoCache>,
 }
 
 impl ShardedSim {
@@ -750,6 +804,7 @@ impl ShardedSim {
             gseq: 0,
             workers: 1,
             shards: None,
+            topo_cache: None,
         }
     }
 
@@ -805,8 +860,11 @@ impl ShardedSim {
     }
 
     /// The static network model (latencies, partitions, groups).
-    /// Coordinator-time only; epochs snapshot it immutably.
+    /// Coordinator-time only; epochs snapshot it immutably. Handing out
+    /// the mutable borrow drops the cached plan/lookahead — the caller
+    /// may be about to change what they are derived from.
     pub fn network_mut(&mut self) -> &mut NetworkModel {
+        self.topo_cache = None;
         Arc::make_mut(&mut self.network)
     }
 
@@ -833,6 +891,7 @@ impl ShardedSim {
         actor: Box<dyn Actor>,
     ) -> NodeId {
         let id = NodeId(self.lps.len() as u32);
+        self.topo_cache = None;
         let mut rng = StdRng::seed_from_u64(self.seed ^ id.0 as u64);
         let clock = profile.sample(self.now, &mut rng);
         let sync_at = clock.sync_at;
@@ -1035,37 +1094,82 @@ impl ShardedSim {
             }
             return;
         }
-        let lookahead = self.network.min_cross_node_latency().max(Duration::from_nanos(1));
         let n = self.lps.len();
         let shard_count = self.shards.unwrap_or(self.workers).clamp(1, n);
-        let plan = ShardPlan::partition(&self.network, n, shard_count);
+        let cache_ok = self
+            .topo_cache
+            .as_ref()
+            .is_some_and(|c| c.nodes == n && c.shards == shard_count);
+        if !cache_ok {
+            self.topo_cache = Some(TopoCache {
+                plan: ShardPlan::partition(&self.network, n, shard_count),
+                lookahead: self.network.min_cross_node_latency().max(Duration::from_nanos(1)),
+                nodes: n,
+                shards: shard_count,
+            });
+        }
+        let cache = self.topo_cache.as_ref().expect("just ensured");
+        let lookahead = cache.lookahead;
+        let plan_shards = cache.plan.shards;
+        let assignment = cache.plan.assignment.clone();
 
         // Deal the LPs out to their executor groups. `index[node]` maps
         // back to `(group, slot)` for the barrier's node-order walks.
-        let mut groups: Vec<Vec<Lp>> = (0..plan.shards).map(|_| Vec::new()).collect();
+        let mut groups: Vec<Vec<Lp>> = (0..plan_shards).map(|_| Vec::new()).collect();
         let mut index = vec![(0usize, 0usize); n];
         for (node, lp) in self.lps.drain(..).enumerate() {
-            let g = plan.assignment[node];
+            let g = assignment[node];
             index[node] = (g, groups[g].len());
             groups[g].push(lp);
         }
 
-        let workers = self.workers.min(plan.shards).max(1);
+        // The peek heap: one entry per (next-event time, node), seeded
+        // from every LP head and refreshed after each epoch. Entries go
+        // stale when the LP consumes or re-times its head; staleness is
+        // detected lazily on pop by comparing against the true head, so
+        // finding the next horizon and the epoch's active set costs
+        // O(active · log n) instead of an O(n) sweep per epoch.
+        let mut peeks: BinaryHeap<std::cmp::Reverse<(SimTime, u32)>> = BinaryHeap::with_capacity(n);
+        for group in &groups {
+            for lp in group {
+                if let Some(q) = lp.queue.peek() {
+                    peeks.push(std::cmp::Reverse((q.at, lp.id.0)));
+                }
+            }
+        }
+        let mut active: Vec<u32> = Vec::new();
+        let mut stamp: Vec<u64> = vec![0; n];
+        let mut epoch: u64 = 0;
+
+        let workers = self.workers.min(plan_shards).max(1);
         if workers == 1 {
-            while let Some(horizon) = self.next_horizon(&groups, deadline, lookahead) {
-                for group in groups.iter_mut() {
-                    for lp in group.iter_mut() {
-                        lp.process_until(horizon, &self.network, self.packet_faults);
+            loop {
+                epoch += 1;
+                let Some(horizon) = self.next_active_epoch(
+                    &groups, &index, &mut peeks, deadline, lookahead, &mut active, &mut stamp,
+                    epoch,
+                ) else {
+                    break;
+                };
+                for &node in &active {
+                    let (g, s) = index[node as usize];
+                    let lp = &mut groups[g][s];
+                    lp.process_until(horizon, &self.network, self.packet_faults);
+                    if let Some(q) = lp.queue.peek() {
+                        peeks.push(std::cmp::Reverse((q.at, node)));
                     }
                 }
-                self.barrier(&mut groups, &index);
+                self.barrier(&mut groups, &index, &active, &mut peeks);
                 let reached = if horizon < deadline { horizon } else { deadline };
                 if self.now < reached {
                     self.now = reached;
                 }
             }
         } else {
-            self.run_epochs_threaded(&mut groups, &index, deadline, lookahead, workers);
+            self.run_epochs_threaded(
+                &mut groups, &index, deadline, lookahead, workers, &mut peeks, &mut active,
+                &mut stamp, &mut epoch,
+            );
         }
 
         // Put the LPs back in node order and let their local clocks
@@ -1102,18 +1206,41 @@ impl ShardedSim {
     /// crosses the next global fault (the model must not change
     /// mid-epoch) nor `deadline` (events *at* the deadline run,
     /// matching `Sim::run_until`, hence the +1 ns).
-    fn next_horizon(
+    /// Finds the next epoch's horizon *and* its active set: the sorted
+    /// node ids whose head event lies below the horizon. Entries popped
+    /// from the peek heap are validated against the LP's true head —
+    /// mismatches are stale leftovers and are simply discarded (the
+    /// invariant that every non-empty LP keeps one matching entry is
+    /// maintained by the post-process and barrier re-pushes). `stamp`
+    /// de-duplicates multiple valid entries for one node within an
+    /// epoch.
+    #[allow(clippy::too_many_arguments)]
+    fn next_active_epoch(
         &mut self,
         groups: &[Vec<Lp>],
+        index: &[(usize, usize)],
+        peeks: &mut BinaryHeap<std::cmp::Reverse<(SimTime, u32)>>,
         deadline: SimTime,
         lookahead: Duration,
+        active: &mut Vec<u32>,
+        stamp: &mut [u64],
+        epoch: u64,
     ) -> Option<SimTime> {
         loop {
-            let m = groups
-                .iter()
-                .flat_map(|g| g.iter())
-                .filter_map(|lp| lp.queue.peek().map(|q| q.at))
-                .min();
+            // The earliest true head anywhere: pop stale entries until
+            // the top matches its LP's actual head.
+            let m = loop {
+                match peeks.peek() {
+                    None => break None,
+                    Some(&std::cmp::Reverse((t, node))) => {
+                        let (g, s) = index[node as usize];
+                        if groups[g][s].queue.peek().is_some_and(|q| q.at == t) {
+                            break Some(t);
+                        }
+                        peeks.pop();
+                    }
+                }
+            };
             if let Some((&key, _)) = self.global_faults.iter().next() {
                 let due = m.is_none_or(|m| key.0 <= m);
                 if due && key.0 <= deadline {
@@ -1139,6 +1266,22 @@ impl ShardedSim {
             if cap < horizon {
                 horizon = cap;
             }
+            // Drain every heap entry below the horizon; the valid ones
+            // name exactly the LPs with work this epoch.
+            active.clear();
+            while let Some(&std::cmp::Reverse((t, node))) = peeks.peek() {
+                if t >= horizon {
+                    break;
+                }
+                peeks.pop();
+                let (g, s) = index[node as usize];
+                let valid = groups[g][s].queue.peek().is_some_and(|q| q.at == t);
+                if valid && stamp[node as usize] != epoch {
+                    stamp[node as usize] = epoch;
+                    active.push(node);
+                }
+            }
+            active.sort_unstable();
             return Some(horizon);
         }
     }
@@ -1146,13 +1289,24 @@ impl ShardedSim {
     /// The epoch barrier: applies deferred network ops, then merges
     /// every outbox into its destination queue — both in ascending node
     /// order, so sequence assignment is a pure function of the event
-    /// streams themselves.
-    fn barrier(&mut self, groups: &mut [Vec<Lp>], index: &[(usize, usize)]) {
+    /// streams themselves. Only the epoch's active LPs are walked: an LP
+    /// that processed nothing since the last barrier has an empty outbox
+    /// and no deferred ops, and `active` is sorted, so the walk order is
+    /// exactly the historical full 0..n ascending sweep minus its
+    /// no-ops. Merged deliveries are mirrored into the peek heap to keep
+    /// its head-tracking invariant.
+    fn barrier(
+        &mut self,
+        groups: &mut [Vec<Lp>],
+        index: &[(usize, usize)],
+        active: &[u32],
+        peeks: &mut BinaryHeap<std::cmp::Reverse<(SimTime, u32)>>,
+    ) {
         let mut ops: Vec<(NodeId, DeferredOp)> = Vec::new();
-        for node in 0..index.len() {
-            let (g, i) = index[node];
+        for &node in active {
+            let (g, i) = index[node as usize];
             for op in groups[g][i].ops.drain(..) {
-                ops.push((NodeId(node as u32), op));
+                ops.push((NodeId(node), op));
             }
         }
         for (node, op) in ops {
@@ -1175,11 +1329,13 @@ impl ShardedSim {
                 }
             }
         }
-        for node in 0..index.len() {
-            let (g, i) = index[node];
+        for &node in active {
+            let (g, i) = index[node as usize];
             let outbox = std::mem::take(&mut groups[g][i].outbox);
             for m in outbox {
-                let (dg, di) = index[m.to.node.0 as usize];
+                let dest = m.to.node.0 as usize;
+                let (dg, di) = index[dest];
+                peeks.push(std::cmp::Reverse((m.at, dest as u32)));
                 groups[dg][di].enqueue(
                     m.at,
                     LpEvent::Deliver {
@@ -1198,6 +1354,7 @@ impl ShardedSim {
     /// channels: a worker owns the group for the duration of one epoch
     /// and hands it back, so there is no shared mutable state at all —
     /// the coordinator is the only thread alive at every barrier.
+    #[allow(clippy::too_many_arguments)]
     fn run_epochs_threaded(
         &mut self,
         groups: &mut Vec<Vec<Lp>>,
@@ -1205,37 +1362,51 @@ impl ShardedSim {
         deadline: SimTime,
         lookahead: Duration,
         workers: usize,
+        peeks: &mut BinaryHeap<std::cmp::Reverse<(SimTime, u32)>>,
+        active: &mut Vec<u32>,
+        stamp: &mut [u64],
+        epoch: &mut u64,
     ) {
         let (task_tx, task_rx) = channel::unbounded::<EpochTask>();
-        let (result_tx, result_rx) = channel::unbounded::<(usize, Vec<Lp>)>();
+        let (result_tx, result_rx) = channel::unbounded::<(usize, Vec<Lp>, Vec<usize>)>();
+        // Per-group active-slot buckets, reused across epochs.
+        let mut group_slots: Vec<Vec<usize>> = (0..groups.len()).map(|_| Vec::new()).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let task_rx = task_rx.clone();
                 let result_tx = result_tx.clone();
                 scope.spawn(move || {
                     while let Ok(mut task) = task_rx.recv() {
-                        for lp in task.lps.iter_mut() {
-                            lp.process_until(task.horizon, &task.net, task.pf);
+                        for &slot in &task.active_slots {
+                            task.lps[slot].process_until(task.horizon, &task.net, task.pf);
                         }
-                        if result_tx.send((task.gidx, task.lps)).is_err() {
+                        if result_tx.send((task.gidx, task.lps, task.active_slots)).is_err() {
                             break;
                         }
                     }
                 });
             }
-            while let Some(horizon) = self.next_horizon(groups, deadline, lookahead) {
+            loop {
+                *epoch += 1;
+                let Some(horizon) = self.next_active_epoch(
+                    groups, index, peeks, deadline, lookahead, active, stamp, *epoch,
+                ) else {
+                    break;
+                };
+                for &node in active.iter() {
+                    let (g, s) = index[node as usize];
+                    group_slots[g].push(s);
+                }
                 let mut outstanding = 0usize;
-                for (gidx, group) in groups.iter_mut().enumerate() {
-                    let busy = group
-                        .iter()
-                        .any(|lp| lp.queue.peek().is_some_and(|q| q.at < horizon));
-                    if !busy {
+                for (gidx, slots) in group_slots.iter_mut().enumerate() {
+                    if slots.is_empty() {
                         continue;
                     }
-                    let lps = std::mem::take(group);
+                    let lps = std::mem::take(&mut groups[gidx]);
                     let sent = task_tx.send(EpochTask {
                         gidx,
                         lps,
+                        active_slots: std::mem::take(slots),
                         net: Arc::clone(&self.network),
                         pf: self.packet_faults,
                         horizon,
@@ -1244,10 +1415,18 @@ impl ShardedSim {
                     outstanding += 1;
                 }
                 for _ in 0..outstanding {
-                    let (gidx, lps) = result_rx.recv().expect("worker returns its group");
+                    let (gidx, lps, slots) = result_rx.recv().expect("worker returns its group");
                     groups[gidx] = lps;
+                    for slot in slots {
+                        let lp = &groups[gidx][slot];
+                        if let Some(q) = lp.queue.peek() {
+                            peeks.push(std::cmp::Reverse((q.at, lp.id.0)));
+                        }
+                    }
                 }
-                self.barrier(groups, index);
+                let act = std::mem::take(active);
+                self.barrier(groups, index, &act, peeks);
+                *active = act;
                 let reached = if horizon < deadline { horizon } else { deadline };
                 if self.now < reached {
                     self.now = reached;

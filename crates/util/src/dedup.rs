@@ -34,10 +34,22 @@ impl<K: Hash + Eq + Clone> BoundedDedup<K> {
     /// A capacity of zero is allowed and makes every key "fresh"
     /// (no suppression), which is useful for disabling the cache.
     pub fn new(capacity: usize) -> Self {
+        Self::with_expected(capacity, capacity.min(4096))
+    }
+
+    /// Creates a cache remembering at most `capacity` keys, pre-sized
+    /// for an expected working set of `expected` keys. The scale-suite
+    /// sizing knob: a light client (one entity among 1e5+) passes a
+    /// small `expected` so it does not carry a full-capacity allocation
+    /// it will never fill, while a hot broker passes `capacity` itself
+    /// and never pays incremental rehash growth. Capacity semantics are
+    /// unchanged — only the up-front allocation differs.
+    pub fn with_expected(capacity: usize, expected: usize) -> Self {
+        let pre = capacity.min(expected);
         BoundedDedup {
             capacity,
-            seen: HashSet::with_capacity(capacity.min(4096)),
-            order: VecDeque::with_capacity(capacity.min(4096)),
+            seen: HashSet::with_capacity(pre),
+            order: VecDeque::with_capacity(pre),
         }
     }
 
@@ -110,6 +122,18 @@ mod tests {
         assert!(!d.contains(&0));
         assert!(d.contains(&1));
         assert!(d.check_and_insert(0)); // 0 is fresh again
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn with_expected_keeps_capacity_semantics() {
+        let mut d = BoundedDedup::with_expected(3, 1);
+        assert_eq!(d.capacity(), 3);
+        for k in 0..3 {
+            assert!(d.check_and_insert(k));
+        }
+        assert!(d.check_and_insert(3)); // evicts 0, exactly like new(3)
+        assert!(!d.contains(&0));
         assert_eq!(d.len(), 3);
     }
 

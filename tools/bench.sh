@@ -33,6 +33,16 @@
 #                                   # 32-way fan-out — or if the committed
 #                                   # BENCH_codec.json's deterministic
 #                                   # (byte-count) columns are stale
+#   tools/bench.sh scale            # WAN scale-campaign gate: the small
+#                                   # tier set (star/linear at 2e3 and the
+#                                   # geometric mesh at 1e4 entities) run
+#                                   # at 1 and 4 workers; writes
+#                                   # BENCH_scale.json, exit 1 if any tier
+#                                   # fails to attach, an A/B oracle
+#                                   # drifts, fewer than 2 of 3 slab A/B
+#                                   # columns clear 3x, the throughput
+#                                   # floor / memory ceiling is missed, or
+#                                   # the two reports differ by a byte
 #   tools/bench.sh shards           # sharded-engine determinism gate: the
 #                                   # same workload at 1/2/4 intra-run
 #                                   # workers must produce byte-identical
@@ -140,6 +150,33 @@ if [[ "${1:-}" == "codec" ]]; then
     fi
     rm -f BENCH_codec.json.new
     echo "BENCH_codec.json deterministic columns match the tree"
+    exit 0
+fi
+
+if [[ "${1:-}" == "scale" ]]; then
+    shift
+    # Scale-campaign gate, same playbook as the federation gate: the
+    # report contains no wall-clock or worker-count fields, so the 1-
+    # and 4-worker invocations must emit byte-identical JSON — that is
+    # the worker-invariance contract of the whole discovery → attach →
+    # steady-state flow at campaign population. Gates on the first run:
+    # every tier fully attaches, ≥ 2 of the 3 slab A/B columns clear 3x
+    # with oracle agreement, ≥ 20k events/sec per tier (a ~10x-headroom
+    # floor against engine regressions, not a hardware benchmark), and
+    # ≤ 16 KiB retained heap per entity via the counting allocator.
+    cargo build --release -p nb-bench
+    ./target/release/repro scale --tier small --seed 2005 --workers 1 \
+        --min-ab-speedup 3 --min-events-per-sec 20000 \
+        --max-bytes-per-entity 16384 \
+        --scale-json BENCH_scale.json "$@"
+    ./target/release/repro scale --tier small --seed 2005 --workers 4 \
+        --scale-json BENCH_scale.workers4.json "$@"
+    if ! cmp -s BENCH_scale.json BENCH_scale.workers4.json; then
+        echo "FAIL: scale report differs between 1 and 4 workers" >&2
+        exit 1
+    fi
+    rm -f BENCH_scale.workers4.json
+    echo "scale report byte-identical at 1 and 4 workers"
     exit 0
 fi
 
